@@ -1,0 +1,71 @@
+// Command benchrunner regenerates the tables and figures of the paper's
+// evaluation section (§5) as text tables.
+//
+// Usage:
+//
+//	benchrunner -fig all                 # every figure at default scale
+//	benchrunner -fig 13 -unit 2097152    # Figure 13 with 2MB units
+//	benchrunner -fig params              # Table 1
+//
+// One paper data unit (100MB) maps to -unit bytes (default 1MB), keeping
+// the sweeps' shape at laptop scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"vxml/internal/benchkit"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to run: params, 13..21, or all")
+	unit := flag.Int("unit", 1<<20, "bytes per data unit (the paper's 100MB)")
+	seed := flag.Int64("seed", 42, "data generation seed")
+	flag.Parse()
+
+	base := benchkit.Default()
+	base.UnitBytes = *unit
+	base.Seed = *seed
+
+	runners := map[string]func() (*benchkit.Table, error){
+		"13": func() (*benchkit.Table, error) { return benchkit.Fig13(base, nil) },
+		"14": func() (*benchkit.Table, error) { return benchkit.Fig14(base, nil) },
+		"15": func() (*benchkit.Table, error) { return benchkit.Fig15(base) },
+		"16": func() (*benchkit.Table, error) { return benchkit.Fig16(base) },
+		"17": func() (*benchkit.Table, error) { return benchkit.Fig17(base) },
+		"18": func() (*benchkit.Table, error) { return benchkit.Fig18(base) },
+		"19": func() (*benchkit.Table, error) { return benchkit.Fig19(base) },
+		"20": func() (*benchkit.Table, error) { return benchkit.Fig20(base) },
+		"21": func() (*benchkit.Table, error) { return benchkit.Fig21(base) },
+	}
+	order := []string{"13", "14", "15", "16", "17", "18", "19", "20", "21"}
+
+	which := strings.ToLower(*fig)
+	if which == "params" || which == "all" {
+		fmt.Println(benchkit.ParamsTable().Render())
+		if which == "params" {
+			return
+		}
+	}
+	var selected []string
+	if which == "all" {
+		selected = order
+	} else {
+		if _, ok := runners[which]; !ok {
+			fmt.Fprintf(os.Stderr, "benchrunner: unknown figure %q (use params, 13..21, all)\n", *fig)
+			os.Exit(2)
+		}
+		selected = []string{which}
+	}
+	for _, name := range selected {
+		table, err := runners[name]()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: figure %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(table.Render())
+	}
+}

@@ -1,0 +1,153 @@
+// Command vxmlsearch runs ranked keyword search over a virtual XML view.
+//
+// Documents are loaded from XML files; the view definition comes from a
+// file or from -view; keywords come from -q. Alternatively, -query runs a
+// complete Figure-2 style query (let $view := ... for $r in $view where $r
+// ftcontains('k1' & 'k2') return $r).
+//
+// Examples:
+//
+//	vxmlsearch -doc books.xml -doc reviews.xml -viewfile view.xq -q "xml,search"
+//	vxmlsearch -doc books.xml -doc reviews.xml -queryfile query.xq
+//	vxmlsearch -demo -q "xml,search"       # built-in books & reviews demo
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"vxml"
+	"vxml/internal/inex"
+)
+
+type stringList []string
+
+func (s *stringList) String() string     { return strings.Join(*s, ",") }
+func (s *stringList) Set(v string) error { *s = append(*s, v); return nil }
+
+func main() {
+	var docs stringList
+	flag.Var(&docs, "doc", "XML document file to load (repeatable); referenced in views by base name")
+	viewText := flag.String("view", "", "view definition (XQuery text)")
+	viewFile := flag.String("viewfile", "", "file containing the view definition")
+	queryText := flag.String("query", "", "complete keyword query (Figure-2 style)")
+	queryFile := flag.String("queryfile", "", "file containing the complete keyword query")
+	keywords := flag.String("q", "", "comma-separated keywords")
+	topK := flag.Int("k", 10, "number of results (0 = all)")
+	disjunctive := flag.Bool("any", false, "match any keyword instead of all")
+	approach := flag.String("approach", "efficient", "pipeline: efficient, baseline, gtp")
+	demo := flag.Bool("demo", false, "load a generated books/reviews demo corpus")
+	showStats := flag.Bool("stats", true, "print per-phase statistics")
+	explain := flag.Bool("explain", false, "print the query plan (QPTs and index probes) before searching")
+	flag.Parse()
+
+	db := vxml.Open()
+	if *demo {
+		booksXML, reviewsXML := inex.GenerateBooksReviews(200, 7)
+		db.MustAdd("books.xml", booksXML)
+		db.MustAdd("reviews.xml", reviewsXML)
+	}
+	for _, path := range docs {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fatalf("reading %s: %v", path, err)
+		}
+		if err := db.Add(filepath.Base(path), string(data)); err != nil {
+			fatalf("loading %s: %v", path, err)
+		}
+	}
+	if len(db.DocumentNames()) == 0 {
+		fatalf("no documents loaded; use -doc or -demo")
+	}
+
+	opts := &vxml.Options{TopK: *topK, Disjunctive: *disjunctive}
+	switch strings.ToLower(*approach) {
+	case "efficient":
+		opts.Approach = vxml.Efficient
+	case "baseline":
+		opts.Approach = vxml.Baseline
+	case "gtp":
+		opts.Approach = vxml.GTPTermJoin
+	default:
+		fatalf("unknown approach %q", *approach)
+	}
+
+	var (
+		results []vxml.Result
+		stats   *vxml.Stats
+		err     error
+	)
+	switch {
+	case *queryText != "" || *queryFile != "":
+		query := *queryText
+		if *queryFile != "" {
+			data, err := os.ReadFile(*queryFile)
+			if err != nil {
+				fatalf("reading %s: %v", *queryFile, err)
+			}
+			query = string(data)
+		}
+		results, stats, err = db.Query(query, opts)
+	default:
+		text := *viewText
+		if *viewFile != "" {
+			data, err := os.ReadFile(*viewFile)
+			if err != nil {
+				fatalf("reading %s: %v", *viewFile, err)
+			}
+			text = string(data)
+		}
+		if text == "" && *demo {
+			text = demoView
+		}
+		if text == "" {
+			fatalf("no view; use -view, -viewfile, -query or -queryfile")
+		}
+		if *keywords == "" {
+			fatalf("no keywords; use -q k1,k2")
+		}
+		view, verr := db.DefineView(text)
+		if verr != nil {
+			fatalf("compiling view: %v", verr)
+		}
+		kws := strings.Split(*keywords, ",")
+		if *explain {
+			fmt.Println(db.Explain(view, kws))
+		}
+		results, stats, err = db.Search(view, kws, opts)
+	}
+	if err != nil {
+		fatalf("search: %v", err)
+	}
+
+	for _, r := range results {
+		fmt.Printf("-- rank %d  score %.4f  tf %v\n", r.Rank, r.Score, r.TF)
+		if r.Snippet != "" {
+			fmt.Printf("   «%s»\n", r.Snippet)
+		}
+		fmt.Println(r.XML)
+	}
+	if *showStats {
+		fmt.Printf("\n%d/%d view results matched; PDT %v (%d nodes), eval %v, post %v, total %v; base fetches %d\n",
+			stats.Matched, stats.ViewSize, stats.PDTTime, stats.PDTNodes,
+			stats.EvalTime, stats.PostTime, stats.Total, stats.BaseData)
+	}
+}
+
+const demoView = `
+for $book in fn:doc(books.xml)/books//book
+where $book/year > 1995
+return <bookrevs>
+         <book>{$book/title}</book>,
+         {for $rev in fn:doc(reviews.xml)/reviews//review
+          where $rev/isbn = $book/isbn
+          return $rev/content}
+       </bookrevs>`
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "vxmlsearch: "+format+"\n", args...)
+	os.Exit(1)
+}

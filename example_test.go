@@ -1,0 +1,66 @@
+package vxml_test
+
+import (
+	"fmt"
+
+	"vxml"
+)
+
+// The paper's running example: books joined with reviews on isbn, nested
+// under each book, searched for two keywords that no single base element
+// contains together.
+func Example() {
+	db := vxml.Open()
+	db.MustAdd("books.xml", `<books>
+	  <book><isbn>111</isbn><title>XML Web Services</title><year>2004</year></book>
+	  <book><isbn>222</isbn><title>Old Tome</title><year>1990</year></book>
+	</books>`)
+	db.MustAdd("reviews.xml", `<reviews>
+	  <review><isbn>111</isbn><content>all about search</content></review>
+	</reviews>`)
+
+	view, err := db.DefineView(`
+	  for $book in fn:doc(books.xml)/books//book
+	  where $book/year > 1995
+	  return <bookrevs>
+	           <book>{$book/title}</book>,
+	           {for $rev in fn:doc(reviews.xml)/reviews//review
+	            where $rev/isbn = $book/isbn
+	            return $rev/content}
+	         </bookrevs>`)
+	if err != nil {
+		panic(err)
+	}
+	results, _, err := db.Search(view, []string{"xml", "search"}, &vxml.Options{TopK: 5})
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range results {
+		fmt.Printf("rank %d tf %d/%d\n%s\n", r.Rank, r.TF["xml"], r.TF["search"], r.XML)
+	}
+	// Output:
+	// rank 1 tf 1/1
+	// <bookrevs><book><title>XML Web Services</title></book><content>all about search</content></bookrevs>
+}
+
+// Queries can also be posed in the paper's Figure-2 form, with the view in
+// a let clause and ftcontains supplying the keywords.
+func ExampleDatabase_Query() {
+	db := vxml.Open()
+	db.MustAdd("articles.xml", `<articles>
+	  <article><topic>db</topic><body>virtual xml views</body></article>
+	  <article><topic>ir</topic><body>ranked keyword search</body></article>
+	</articles>`)
+
+	results, _, err := db.Query(`
+	  let $view := for $a in fn:doc(articles.xml)/articles//article return $a
+	  for $r in $view
+	  where $r ftcontains('keyword' & 'search')
+	  return $r`, nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(results), "result:", results[0].Snippet)
+	// Output:
+	// 1 result: ranked keyword search
+}

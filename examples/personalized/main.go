@@ -1,0 +1,81 @@
+// Personalized portals (paper §1, "Personalized Views"): a portal defines
+// one virtual view per user — same base data, different interests and
+// permission levels — and lets each user search only their own view.
+// Materializing a view per user would duplicate overlapping content; the
+// virtual-view pipeline shares the base data and its indices across all
+// users.
+//
+// Run with: go run ./examples/personalized
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vxml"
+)
+
+const articlesXML = `<articles>
+  <article><topic>databases</topic><level>public</level>
+    <headline>XML query engines compared</headline>
+    <body>a survey of xml search and indexing systems</body></article>
+  <article><topic>databases</topic><level>internal</level>
+    <headline>Quarterly storage roadmap</headline>
+    <body>internal plans for the storage and search stack</body></article>
+  <article><topic>ai</topic><level>public</level>
+    <headline>Neural ranking for search</headline>
+    <body>learning to rank with neural networks</body></article>
+  <article><topic>ai</topic><level>internal</level>
+    <headline>Model training incidents</headline>
+    <body>postmortem of the ranking model rollout</body></article>
+  <article><topic>sports</topic><level>public</level>
+    <headline>Cup final recap</headline>
+    <body>an eventful final with a late winner</body></article>
+</articles>`
+
+const profilesXML = `<profiles>
+  <profile><user>alice</user><interest>databases</interest><interest>ai</interest></profile>
+  <profile><user>bob</user><interest>sports</interest></profile>
+</profiles>`
+
+func main() {
+	db := vxml.Open()
+	db.MustAdd("articles.xml", articlesXML)
+	db.MustAdd("profiles.xml", profilesXML)
+
+	// Each user's view joins their profile interests with the articles and
+	// filters by permission level. The views are virtual: defining one per
+	// user costs nothing until a search runs.
+	userView := func(user, level string) string {
+		return `
+for $p in fn:doc(profiles.xml)/profiles//profile
+where $p/user = '` + user + `'
+return <feed>
+  {for $a in fn:doc(articles.xml)/articles//article
+   where $a/topic = $p/interest
+   return if $a/level = '` + level + `'
+          then <item>{$a/headline}{$a/body}</item>
+          else <item>{$a/headline}</item>}
+</feed>`
+	}
+
+	for _, u := range []struct{ name, level string }{
+		{"alice", "public"},
+		{"bob", "public"},
+	} {
+		v, err := db.DefineView(userView(u.name, "public"))
+		if err != nil {
+			log.Fatalf("%s view: %v", u.name, err)
+		}
+		results, stats, err := db.Search(v, []string{"search"}, &vxml.Options{TopK: 3})
+		if err != nil {
+			log.Fatalf("%s search: %v", u.name, err)
+		}
+		fmt.Printf("=== %s searches 'search' in their personal feed (%d matches, PDT %d nodes)\n",
+			u.name, len(results), stats.PDTNodes)
+		for _, r := range results {
+			fmt.Printf("  rank %d score %.4f: %s\n", r.Rank, r.Score, r.XML)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,163 @@
+package benchkit
+
+import (
+	"strings"
+	"testing"
+
+	"vxml/internal/xq"
+)
+
+func TestDefaultMatchesTable1(t *testing.T) {
+	p := Default()
+	if p.SizeUnits != 5 || p.NumKeywords != 2 || p.Selectivity != "medium" ||
+		p.NumJoins != 1 || p.JoinPartitions != 1 || p.Nesting != 2 ||
+		p.TopK != 10 || p.ElemSizeX != 1 {
+		t.Errorf("defaults diverge from Table 1: %+v", p)
+	}
+}
+
+func TestKeywordsPerSelectivity(t *testing.T) {
+	p := Default()
+	cases := map[string]string{"low": "ieee", "medium": "thomas", "high": "moore"}
+	for sel, first := range cases {
+		p.Selectivity = sel
+		kws := p.Keywords()
+		if len(kws) != 2 || kws[0] != first {
+			t.Errorf("%s keywords = %v", sel, kws)
+		}
+	}
+	p.Selectivity = "medium"
+	for n := 1; n <= 5; n++ {
+		p.NumKeywords = n
+		if got := len(p.Keywords()); got != n {
+			t.Errorf("NumKeywords=%d -> %d keywords", n, got)
+		}
+	}
+}
+
+// TestViewTextsParseAndAnalyze: every parameter combination must yield a
+// view that parses and produces QPTs for the right documents.
+func TestViewTextsParseAndAnalyze(t *testing.T) {
+	for joins := 0; joins <= 4; joins++ {
+		for nesting := 1; nesting <= 4; nesting++ {
+			p := Default()
+			p.NumJoins = joins
+			p.Nesting = nesting
+			text := p.ViewText()
+			q, err := xq.Parse(text)
+			if err != nil {
+				t.Fatalf("joins=%d nesting=%d: parse: %v\n%s", joins, nesting, err, text)
+			}
+			_ = q
+		}
+	}
+}
+
+func TestViewTextJoinChain(t *testing.T) {
+	p := Default()
+	p.NumJoins = 4
+	text := p.ViewText()
+	for _, doc := range []string{"inex.xml", "authors.xml", "topics.xml", "venues.xml"} {
+		if !strings.Contains(text, doc) {
+			t.Errorf("joins=4 view missing %s:\n%s", doc, text)
+		}
+	}
+	p.NumJoins = 0
+	text = p.ViewText()
+	if strings.Contains(text, "authors.xml") {
+		t.Errorf("joins=0 view should be selection-only:\n%s", text)
+	}
+}
+
+func TestViewTextNesting(t *testing.T) {
+	p := Default()
+	p.Nesting = 4
+	text := p.ViewText()
+	for _, doc := range []string{"countries.xml", "affils.xml", "authors.xml", "inex.xml"} {
+		if !strings.Contains(text, doc) {
+			t.Errorf("nesting=4 view missing %s", doc)
+		}
+	}
+}
+
+func TestBuildWorkload(t *testing.T) {
+	p := smallParams(1)
+	w, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.View.QPTs) < 2 {
+		t.Errorf("QPTs = %d (expected inex + authors)", len(w.View.QPTs))
+	}
+	if w.Engine.Store.TotalBytes() == 0 {
+		t.Error("empty corpus")
+	}
+	stats, err := w.RunEfficient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ViewResults == 0 {
+		t.Error("view produced no results")
+	}
+	if d, nodes := w.RunProj(); d <= 0 || nodes == 0 {
+		t.Errorf("proj: %v, %d nodes", d, nodes)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	table := &Table{
+		Title:   "T",
+		Columns: []string{"a", "bbbb"},
+		Rows:    [][]string{{"xxxxx", "y"}},
+	}
+	out := table.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "a    ") {
+		t.Errorf("header misaligned: %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "xxxxx") {
+		t.Errorf("row misaligned: %q", lines[2])
+	}
+}
+
+func TestParamsTable(t *testing.T) {
+	out := ParamsTable().Render()
+	for _, want := range []string{"# keywords", "Join selectivity", "FIVE"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 missing %q", want)
+		}
+	}
+}
+
+// TestFigureRunnersSmall smoke-tests every figure runner at tiny scale.
+func TestFigureRunnersSmall(t *testing.T) {
+	old := Runs
+	Runs = 1
+	defer func() { Runs = old }()
+	base := Default()
+	base.UnitBytes = 8 << 10
+	base.SizeUnits = 1
+
+	if tab, err := Fig13(base, []int{1}); err != nil || len(tab.Rows) != 1 {
+		t.Errorf("Fig13: %v", err)
+	}
+	if tab, err := Fig14(base, []int{1}); err != nil || len(tab.Rows) != 1 {
+		t.Errorf("Fig14: %v", err)
+	}
+	for name, run := range map[string]func(Params) (*Table, error){
+		"Fig15": Fig15, "Fig16": Fig16, "Fig17": Fig17,
+		"Fig18": Fig18, "Fig19": Fig19, "Fig20": Fig20, "Fig21": Fig21,
+	} {
+		tab, err := run(base)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if len(tab.Rows) == 0 {
+			t.Errorf("%s: no rows", name)
+		}
+	}
+}

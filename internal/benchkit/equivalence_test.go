@@ -1,0 +1,212 @@
+package benchkit
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"vxml/internal/baseline"
+	"vxml/internal/core"
+	"vxml/internal/gtp"
+	"vxml/internal/inex"
+	"vxml/internal/store"
+)
+
+// smallParams keeps the corpora tiny so equivalence tests stay fast.
+func smallParams(seed int64) Params {
+	p := Default()
+	p.UnitBytes = 16 << 10
+	p.SizeUnits = 2
+	p.Seed = seed
+	return p
+}
+
+// renderResults fingerprints a ranked result list: rank, score and the
+// materialized XML of every result.
+func renderResults(results []core.Result) string {
+	var b strings.Builder
+	for _, r := range results {
+		fmt.Fprintf(&b, "#%d %.9f\n%s\n", r.Rank, r.Score, r.Element.XMLString(""))
+	}
+	return b.String()
+}
+
+// TestTheorem41EfficientEqualsBaseline is the paper's headline correctness
+// claim: searching the virtual view through PDTs yields exactly the same
+// results, scores and rank order as materializing the view.
+func TestTheorem41EfficientEqualsBaseline(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		w, err := Build(smallParams(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := core.Options{K: 0} // all matches, full materialization
+		eff, _, err := w.Engine.Search(w.View, w.Keywords, opts)
+		if err != nil {
+			t.Fatalf("seed %d: efficient: %v", seed, err)
+		}
+		base, _, err := baseline.Search(w.Engine, w.View, w.Keywords, opts)
+		if err != nil {
+			t.Fatalf("seed %d: baseline: %v", seed, err)
+		}
+		if len(eff) != len(base) {
+			t.Fatalf("seed %d: efficient %d results, baseline %d", seed, len(eff), len(base))
+		}
+		for i := range eff {
+			if math.Abs(eff[i].Score-base[i].Score) > 1e-9 {
+				t.Errorf("seed %d: score[%d] %f vs %f", seed, i, eff[i].Score, base[i].Score)
+			}
+			for j := range eff[i].TFs {
+				if eff[i].TFs[j] != base[i].TFs[j] {
+					t.Errorf("seed %d: tf[%d][%d] %d vs %d", seed, i, j, eff[i].TFs[j], base[i].TFs[j])
+				}
+			}
+		}
+		if a, b := renderResults(eff), renderResults(base); a != b {
+			t.Errorf("seed %d: materialized results differ:\n%s\n-- vs --\n%s", seed, head(a), head(b))
+		}
+	}
+}
+
+// TestGTPEqualsEfficient: the GTP comparator derives the same pruned trees
+// by structural joins, so its ranked output must match exactly.
+func TestGTPEqualsEfficient(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		w, err := Build(smallParams(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := core.Options{K: 0}
+		eff, _, err := w.Engine.Search(w.View, w.Keywords, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, gstats, err := gtp.Search(w.Engine, w.View, w.Keywords, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a, b := renderResults(eff), renderResults(g); a != b {
+			t.Errorf("seed %d: GTP results differ:\n%s\n-- vs --\n%s", seed, head(a), head(b))
+		}
+		if gstats.TagListEntries == 0 {
+			t.Error("GTP should scan tag lists")
+		}
+		if gstats.BaseValueFetches == 0 {
+			t.Error("GTP should access base data for values")
+		}
+	}
+}
+
+// TestEquivalenceAcrossViewShapes exercises joins 0-4 and nesting 1-4.
+func TestEquivalenceAcrossViewShapes(t *testing.T) {
+	for joins := 0; joins <= 4; joins++ {
+		p := smallParams(7)
+		p.NumJoins = joins
+		w, err := Build(p)
+		if err != nil {
+			t.Fatalf("joins=%d: %v", joins, err)
+		}
+		checkEquivalence(t, w, fmt.Sprintf("joins=%d", joins))
+	}
+	for nesting := 1; nesting <= 4; nesting++ {
+		p := smallParams(9)
+		p.Nesting = nesting
+		w, err := Build(p)
+		if err != nil {
+			t.Fatalf("nesting=%d: %v", nesting, err)
+		}
+		checkEquivalence(t, w, fmt.Sprintf("nesting=%d", nesting))
+	}
+}
+
+func checkEquivalence(t *testing.T, w *Workload, label string) {
+	t.Helper()
+	opts := core.Options{K: 0}
+	eff, _, err := w.Engine.Search(w.View, w.Keywords, opts)
+	if err != nil {
+		t.Fatalf("%s: efficient: %v", label, err)
+	}
+	base, _, err := baseline.Search(w.Engine, w.View, w.Keywords, opts)
+	if err != nil {
+		t.Fatalf("%s: baseline: %v", label, err)
+	}
+	if a, b := renderResults(eff), renderResults(base); a != b {
+		t.Errorf("%s: efficient != baseline\n%s\n-- vs --\n%s", label, head(a), head(b))
+	}
+}
+
+// TestEquivalenceDisjunctive checks the disjunctive semantics path.
+func TestEquivalenceDisjunctive(t *testing.T) {
+	w, err := Build(smallParams(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.Options{K: 0, Disjunctive: true}
+	eff, _, err := w.Engine.Search(w.View, w.Keywords, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _, err := baseline.Search(w.Engine, w.View, w.Keywords, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := renderResults(eff), renderResults(base); a != b {
+		t.Errorf("disjunctive: efficient != baseline\n%s\n-- vs --\n%s", head(a), head(b))
+	}
+	if len(eff) == 0 {
+		t.Error("disjunctive query matched nothing; generator markers missing?")
+	}
+}
+
+// TestBooksReviewsEquivalence uses the paper's running-example generator.
+func TestBooksReviewsEquivalence(t *testing.T) {
+	booksXML, reviewsXML := inex.GenerateBooksReviews(60, 11)
+	st := store.New()
+	if _, err := st.AddXML("books.xml", booksXML); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.AddXML("reviews.xml", reviewsXML); err != nil {
+		t.Fatal(err)
+	}
+	e := core.New(st)
+	v, err := e.CompileView(`
+for $book in fn:doc(books.xml)/books//book
+where $book/year > 1995
+return <bookrevs>
+         <book> {$book/title} </book>,
+         {for $rev in fn:doc(reviews.xml)/reviews//review
+          where $rev/isbn = $book/isbn
+          return $rev/content}
+       </bookrevs>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kws := range [][]string{{"data"}, {"system", "data"}, {"moore"}} {
+		opts := core.Options{K: 0}
+		eff, _, err := e.Search(v, kws, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, _, err := baseline.Search(e, v, kws, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, _, err := gtp.Search(e, v, kws, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b, c := renderResults(eff), renderResults(base), renderResults(g)
+		if a != b || a != c {
+			t.Errorf("keywords %v: pipelines disagree (eff=%d base=%d gtp=%d chars)",
+				kws, len(a), len(b), len(c))
+		}
+	}
+}
+
+func head(s string) string {
+	if len(s) > 1200 {
+		return s[:1200] + "..."
+	}
+	return s
+}

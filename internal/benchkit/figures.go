@@ -1,0 +1,318 @@
+package benchkit
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"vxml/internal/core"
+)
+
+// Table is a rendered experiment result: one row per x-axis point.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// Render formats the table as aligned text.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	b.WriteString(t.Title)
+	b.WriteString("\n")
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+func secs(d time.Duration) string { return fmt.Sprintf("%.4f", d.Seconds()) }
+
+// Runs is how many times each configuration is executed; runners report
+// the fastest run (benchmark convention, suppresses GC noise).
+var Runs = 3
+
+// minEfficient runs the Efficient pipeline Runs times and returns the
+// stats of the fastest run.
+func minEfficient(w *Workload) (*core.Stats, error) {
+	var best *core.Stats
+	for i := 0; i < Runs; i++ {
+		s, err := w.RunEfficient()
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || s.Total() < best.Total() {
+			best = s
+		}
+	}
+	return best, nil
+}
+
+func minDuration(run func() (time.Duration, error)) (time.Duration, error) {
+	var best time.Duration
+	for i := 0; i < Runs; i++ {
+		d, err := run()
+		if err != nil {
+			return 0, err
+		}
+		if i == 0 || d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+// Fig13 reproduces Figure 13: total run time of the four approaches while
+// varying the data size.
+func Fig13(base Params, sizes []int) (*Table, error) {
+	if len(sizes) == 0 {
+		sizes = []int{1, 2, 3, 4, 5}
+	}
+	t := &Table{
+		Title:   "Figure 13: run time (s) vs data size — Baseline / GTP / Proj / Efficient",
+		Columns: []string{"size(units)", "Baseline", "GTP", "Proj", "Efficient"},
+	}
+	for _, size := range sizes {
+		p := base
+		p.SizeUnits = size
+		w, err := Build(p)
+		if err != nil {
+			return nil, err
+		}
+		baseTime, err := minDuration(func() (time.Duration, error) {
+			s, err := w.RunBaseline()
+			if err != nil {
+				return 0, err
+			}
+			return s.Total(), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		gtpTime, err := minDuration(func() (time.Duration, error) {
+			s, err := w.RunGTP()
+			if err != nil {
+				return 0, err
+			}
+			return s.Total(), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		projTime, err := minDuration(func() (time.Duration, error) {
+			d, _ := w.RunProj()
+			return d, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		es, err := minEfficient(w)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", size),
+			secs(baseTime), secs(gtpTime), secs(projTime), secs(es.Total()),
+		})
+	}
+	return t, nil
+}
+
+// breakdownRow runs Efficient once and reports the Figure 14 module split.
+func breakdownRow(p Params, label string) ([]string, error) {
+	w, err := Build(p)
+	if err != nil {
+		return nil, err
+	}
+	s, err := minEfficient(w)
+	if err != nil {
+		return nil, err
+	}
+	return []string{label, secs(s.PDTTime), secs(s.EvalTime), secs(s.PostTime), secs(s.Total())}, nil
+}
+
+var breakdownColumns = []string{"x", "PDT", "Evaluator", "Post-processing", "Total"}
+
+func breakdownTable(title, xLabel string) *Table {
+	cols := append([]string{}, breakdownColumns...)
+	cols[0] = xLabel
+	return &Table{Title: title, Columns: cols}
+}
+
+// Fig14 reproduces Figure 14: Efficient's per-module cost vs data size.
+func Fig14(base Params, sizes []int) (*Table, error) {
+	if len(sizes) == 0 {
+		sizes = []int{1, 2, 3, 4, 5}
+	}
+	t := breakdownTable("Figure 14: Efficient module breakdown (s) vs data size", "size(units)")
+	for _, size := range sizes {
+		p := base
+		p.SizeUnits = size
+		row, err := breakdownRow(p, fmt.Sprintf("%d", size))
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig15 reproduces Figure 15: varying the number of keywords (1-5).
+func Fig15(base Params) (*Table, error) {
+	t := breakdownTable("Figure 15: Efficient module breakdown (s) vs #keywords", "#keywords")
+	for n := 1; n <= 5; n++ {
+		p := base
+		p.NumKeywords = n
+		row, err := breakdownRow(p, fmt.Sprintf("%d", n))
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig16 reproduces Figure 16: varying keyword selectivity.
+func Fig16(base Params) (*Table, error) {
+	t := breakdownTable("Figure 16: Efficient module breakdown (s) vs keyword selectivity", "selectivity")
+	for _, sel := range []string{"low", "medium", "high"} {
+		p := base
+		p.Selectivity = sel
+		row, err := breakdownRow(p, sel)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig17 reproduces Figure 17: varying the number of value joins (0-4).
+func Fig17(base Params) (*Table, error) {
+	t := breakdownTable("Figure 17: Efficient module breakdown (s) vs #joins", "#joins")
+	for joins := 0; joins <= 4; joins++ {
+		p := base
+		p.NumJoins = joins
+		row, err := breakdownRow(p, fmt.Sprintf("%d", joins))
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig18 reproduces Figure 18: varying join selectivity (0.1X-1X).
+func Fig18(base Params) (*Table, error) {
+	t := breakdownTable("Figure 18: Efficient module breakdown (s) vs join selectivity", "selectivity")
+	for _, pt := range []struct {
+		label      string
+		partitions int
+	}{{"0.1X", 10}, {"0.2X", 5}, {"0.5X", 2}, {"1X", 1}} {
+		p := base
+		p.JoinPartitions = pt.partitions
+		row, err := breakdownRow(p, pt.label)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig19 reproduces Figure 19: varying the level of nesting (1-4).
+func Fig19(base Params) (*Table, error) {
+	t := breakdownTable("Figure 19: Efficient module breakdown (s) vs nesting level", "nesting")
+	for level := 1; level <= 4; level++ {
+		p := base
+		p.Nesting = level
+		row, err := breakdownRow(p, fmt.Sprintf("%d", level))
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig20 reproduces Figure 20: varying K in top-K.
+func Fig20(base Params) (*Table, error) {
+	t := breakdownTable("Figure 20: Efficient module breakdown (s) vs #results (top-K)", "K")
+	for _, k := range []int{1, 10, 20, 30, 40} {
+		p := base
+		p.TopK = k
+		row, err := breakdownRow(p, fmt.Sprintf("%d", k))
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig21 reproduces the "other results" of §5.2.3: view element size sweep
+// and the PDT-size-vs-data-size observation (the paper reports ~2MB of
+// PDTs from 500MB of data).
+func Fig21(base Params) (*Table, error) {
+	t := &Table{
+		Title:   "Figure 21 (§5.2.3 other results): element size sweep and PDT size",
+		Columns: []string{"elem-size", "Efficient(s)", "PDT nodes", "PDT bytes", "data bytes"},
+	}
+	for x := 1; x <= 5; x++ {
+		p := base
+		p.ElemSizeX = x
+		w, err := Build(p)
+		if err != nil {
+			return nil, err
+		}
+		s, err := minEfficient(w)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%dX", x), secs(s.Total()),
+			fmt.Sprintf("%d", s.PDTNodes), fmt.Sprintf("%d", s.PDTBytes),
+			fmt.Sprintf("%d", w.Engine.Store.TotalBytes()),
+		})
+	}
+	return t, nil
+}
+
+// ParamsTable renders Table 1.
+func ParamsTable() *Table {
+	return &Table{
+		Title:   "Table 1: experimental parameters (defaults in CAPS)",
+		Columns: []string{"parameter", "values"},
+		Rows: [][]string{
+			{"Size of data (units)", "1, 2, 3, 4, FIVE"},
+			{"# keywords", "1, TWO, 3, 4, 5"},
+			{"Selectivity of keywords", "low(ieee,computing), MEDIUM(thomas,control), high(moore,burnett)"},
+			{"# of joins", "0, ONE, 2, 3, 4"},
+			{"Join selectivity", "1X(default), 0.5X, 0.2X, 0.1X"},
+			{"Level of nestings", "1, TWO, 3, 4"},
+			{"# of results (K)", "1, TEN, 20, 30, 40"},
+			{"Avg. size of view element", "1X(default), 2X, 3X, 4X, 5X"},
+		},
+	}
+}

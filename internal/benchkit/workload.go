@@ -1,0 +1,87 @@
+package benchkit
+
+import (
+	"fmt"
+	"time"
+
+	"vxml/internal/baseline"
+	"vxml/internal/core"
+	"vxml/internal/gtp"
+	"vxml/internal/inex"
+	"vxml/internal/proj"
+	"vxml/internal/store"
+)
+
+// Workload is a generated corpus, its indexes, and a compiled view.
+type Workload struct {
+	Params   Params
+	Engine   *core.Engine
+	View     *core.View
+	Keywords []string
+	Corpus   *inex.Corpus
+}
+
+// Build generates the corpus for p, loads and indexes it, and compiles the
+// experiment view.
+func Build(p Params) (*Workload, error) {
+	corpus := inex.Generate(inex.Options{
+		TargetBytes: p.TargetBytes(),
+		Seed:        p.Seed,
+		Partitions:  p.JoinPartitions,
+		ElemSizeX:   p.ElemSizeX,
+	})
+	st := store.New()
+	for _, doc := range corpus.Docs() {
+		st.AddParsed(doc)
+	}
+	engine := core.New(st)
+	view, err := engine.CompileView(p.ViewText())
+	if err != nil {
+		return nil, fmt.Errorf("benchkit: compiling view: %w", err)
+	}
+	return &Workload{
+		Params:   p,
+		Engine:   engine,
+		View:     view,
+		Keywords: p.Keywords(),
+		Corpus:   corpus,
+	}, nil
+}
+
+// options maps the workload parameters to search options.
+func (w *Workload) options() core.Options {
+	return core.Options{K: w.Params.TopK}
+}
+
+// RunEfficient executes the paper's Efficient pipeline once.
+func (w *Workload) RunEfficient() (*core.Stats, error) {
+	_, stats, err := w.Engine.Search(w.View, w.Keywords, w.options())
+	return stats, err
+}
+
+// RunBaseline executes the materialize-then-search Baseline once.
+func (w *Workload) RunBaseline() (*baseline.Stats, error) {
+	_, stats, err := baseline.Search(w.Engine, w.View, w.Keywords, w.options())
+	return stats, err
+}
+
+// RunGTP executes the GTP+TermJoin comparator once.
+func (w *Workload) RunGTP() (*gtp.Stats, error) {
+	_, stats, err := gtp.Search(w.Engine, w.View, w.Keywords, w.options())
+	return stats, err
+}
+
+// RunProj times document projection (the paper reports only projection
+// cost for Proj).
+func (w *Workload) RunProj() (time.Duration, int) {
+	start := time.Now()
+	nodes := 0
+	for _, q := range w.View.QPTs {
+		doc := w.Engine.Store.Doc(q.Doc)
+		if doc == nil {
+			continue
+		}
+		nodes += proj.Size(proj.Project(doc, q))
+	}
+	return time.Since(start), nodes
+}

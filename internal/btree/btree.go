@@ -1,0 +1,262 @@
+// Package btree implements an in-memory B+-tree with byte-string keys and
+// ordered range scans. It backs the Path-Values table of the path index and
+// the per-keyword inverted lists (paper §3.2, Figures 4b and 5).
+//
+// The tree is build-once/read-many, matching how the system uses indices:
+// they are constructed at load time and then only probed. Keys are unique;
+// Put on an existing key replaces its value.
+package btree
+
+import "bytes"
+
+// degree is the maximum number of keys in a node. Chosen so a leaf fits in a
+// couple of cache lines with typical short keys.
+const degree = 32
+
+// Tree is a B+-tree from []byte keys to arbitrary values. The zero value is
+// not usable; call New.
+type Tree struct {
+	root   node
+	length int
+	// Probes counts point lookups and seeks, so callers can report index
+	// access costs (the paper's "fixed number of index lookups" claim is
+	// assertable from this counter in tests).
+	Probes int
+}
+
+type node interface {
+	isLeaf() bool
+}
+
+type leaf struct {
+	keys [][]byte
+	vals []any
+	next *leaf
+}
+
+type internal struct {
+	keys     [][]byte // keys[i] = smallest key reachable from children[i+1]
+	children []node
+}
+
+func (*leaf) isLeaf() bool     { return true }
+func (*internal) isLeaf() bool { return false }
+
+// New returns an empty tree.
+func New() *Tree {
+	return &Tree{root: &leaf{}}
+}
+
+// Len returns the number of keys stored.
+func (t *Tree) Len() int { return t.length }
+
+// Put inserts or replaces the value for key. The key bytes are retained; the
+// caller must not mutate them afterwards.
+func (t *Tree) Put(key []byte, val any) {
+	sepKey, right, grew := t.insert(t.root, key, val)
+	if grew {
+		t.root = &internal{keys: [][]byte{sepKey}, children: []node{t.root, right}}
+	}
+}
+
+// insert adds key below n; if n split, it returns the separator key and the
+// new right sibling.
+func (t *Tree) insert(n node, key []byte, val any) (sep []byte, right node, grew bool) {
+	switch n := n.(type) {
+	case *leaf:
+		i := search(n.keys, key)
+		if i < len(n.keys) && bytes.Equal(n.keys[i], key) {
+			n.vals[i] = val
+			return nil, nil, false
+		}
+		n.keys = append(n.keys, nil)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = key
+		n.vals = append(n.vals, nil)
+		copy(n.vals[i+1:], n.vals[i:])
+		n.vals[i] = val
+		t.length++
+		if len(n.keys) <= degree {
+			return nil, nil, false
+		}
+		mid := len(n.keys) / 2
+		r := &leaf{
+			keys: append([][]byte(nil), n.keys[mid:]...),
+			vals: append([]any(nil), n.vals[mid:]...),
+			next: n.next,
+		}
+		n.keys = n.keys[:mid]
+		n.vals = n.vals[:mid]
+		n.next = r
+		return r.keys[0], r, true
+	case *internal:
+		i := search(n.keys, key)
+		if i < len(n.keys) && bytes.Equal(n.keys[i], key) {
+			i++ // equal separator keys live in the right child
+		}
+		sepKey, newChild, split := t.insert(n.children[i], key, val)
+		if !split {
+			return nil, nil, false
+		}
+		n.keys = append(n.keys, nil)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = sepKey
+		n.children = append(n.children, nil)
+		copy(n.children[i+2:], n.children[i+1:])
+		n.children[i+1] = newChild
+		if len(n.keys) <= degree {
+			return nil, nil, false
+		}
+		mid := len(n.keys) / 2
+		promoted := n.keys[mid]
+		r := &internal{
+			keys:     append([][]byte(nil), n.keys[mid+1:]...),
+			children: append([]node(nil), n.children[mid+1:]...),
+		}
+		n.keys = n.keys[:mid]
+		n.children = n.children[:mid+1]
+		return promoted, r, true
+	}
+	panic("btree: unknown node type")
+}
+
+// search returns the smallest index i such that keys[i] >= key.
+func search(keys [][]byte, key []byte) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(keys[mid], key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Get returns the value stored under key.
+func (t *Tree) Get(key []byte) (any, bool) {
+	t.Probes++
+	n := t.root
+	for {
+		switch x := n.(type) {
+		case *internal:
+			i := search(x.keys, key)
+			if i < len(x.keys) && bytes.Equal(x.keys[i], key) {
+				i++
+			}
+			n = x.children[i]
+		case *leaf:
+			i := search(x.keys, key)
+			if i < len(x.keys) && bytes.Equal(x.keys[i], key) {
+				return x.vals[i], true
+			}
+			return nil, false
+		}
+	}
+}
+
+// Iterator walks keys in ascending order from a seek position.
+type Iterator struct {
+	leaf *leaf
+	idx  int
+}
+
+// Seek positions an iterator at the first key >= key.
+func (t *Tree) Seek(key []byte) *Iterator {
+	t.Probes++
+	n := t.root
+	for {
+		switch x := n.(type) {
+		case *internal:
+			i := search(x.keys, key)
+			if i < len(x.keys) && bytes.Equal(x.keys[i], key) {
+				i++
+			}
+			n = x.children[i]
+		case *leaf:
+			it := &Iterator{leaf: x, idx: search(x.keys, key)}
+			it.skipExhausted()
+			return it
+		}
+	}
+}
+
+// Min positions an iterator at the smallest key.
+func (t *Tree) Min() *Iterator {
+	t.Probes++
+	n := t.root
+	for {
+		switch x := n.(type) {
+		case *internal:
+			n = x.children[0]
+		case *leaf:
+			it := &Iterator{leaf: x}
+			it.skipExhausted()
+			return it
+		}
+	}
+}
+
+func (it *Iterator) skipExhausted() {
+	for it.leaf != nil && it.idx >= len(it.leaf.keys) {
+		it.leaf = it.leaf.next
+		it.idx = 0
+	}
+}
+
+// Valid reports whether the iterator is positioned on a key.
+func (it *Iterator) Valid() bool { return it.leaf != nil }
+
+// Key returns the current key. Valid must be true.
+func (it *Iterator) Key() []byte { return it.leaf.keys[it.idx] }
+
+// Value returns the current value. Valid must be true.
+func (it *Iterator) Value() any { return it.leaf.vals[it.idx] }
+
+// Next advances to the following key.
+func (it *Iterator) Next() {
+	it.idx++
+	it.skipExhausted()
+}
+
+// ScanPrefix calls visit for every (key, value) whose key starts with
+// prefix, in ascending key order, until visit returns false.
+func (t *Tree) ScanPrefix(prefix []byte, visit func(key []byte, val any) bool) {
+	for it := t.Seek(prefix); it.Valid(); it.Next() {
+		if !bytes.HasPrefix(it.Key(), prefix) {
+			return
+		}
+		if !visit(it.Key(), it.Value()) {
+			return
+		}
+	}
+}
+
+// ScanRange calls visit for every key in [lo, hi) in ascending order until
+// visit returns false. A nil hi means "to the end".
+func (t *Tree) ScanRange(lo, hi []byte, visit func(key []byte, val any) bool) {
+	for it := t.Seek(lo); it.Valid(); it.Next() {
+		if hi != nil && bytes.Compare(it.Key(), hi) >= 0 {
+			return
+		}
+		if !visit(it.Key(), it.Value()) {
+			return
+		}
+	}
+}
+
+// Height returns the tree height (1 for a single leaf); used in tests to
+// confirm logarithmic growth.
+func (t *Tree) Height() int {
+	h := 1
+	n := t.root
+	for {
+		x, ok := n.(*internal)
+		if !ok {
+			return h
+		}
+		h++
+		n = x.children[0]
+	}
+}

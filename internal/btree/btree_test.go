@@ -1,0 +1,271 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestPutGetSmall(t *testing.T) {
+	tr := New()
+	tr.Put([]byte("b"), 2)
+	tr.Put([]byte("a"), 1)
+	tr.Put([]byte("c"), 3)
+	for k, want := range map[string]int{"a": 1, "b": 2, "c": 3} {
+		got, ok := tr.Get([]byte(k))
+		if !ok || got.(int) != want {
+			t.Errorf("Get(%q) = %v,%v", k, got, ok)
+		}
+	}
+	if _, ok := tr.Get([]byte("z")); ok {
+		t.Error("Get(z) should miss")
+	}
+	if tr.Len() != 3 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+}
+
+func TestPutReplace(t *testing.T) {
+	tr := New()
+	tr.Put([]byte("k"), 1)
+	tr.Put([]byte("k"), 2)
+	if v, _ := tr.Get([]byte("k")); v.(int) != 2 {
+		t.Errorf("replace failed: %v", v)
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d after replace", tr.Len())
+	}
+}
+
+func TestLargeSequentialAndRandom(t *testing.T) {
+	for name, order := range map[string]func(n int) []int{
+		"sequential": func(n int) []int {
+			s := make([]int, n)
+			for i := range s {
+				s[i] = i
+			}
+			return s
+		},
+		"reverse": func(n int) []int {
+			s := make([]int, n)
+			for i := range s {
+				s[i] = n - 1 - i
+			}
+			return s
+		},
+		"random": func(n int) []int {
+			return rand.New(rand.NewSource(1)).Perm(n)
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			const n = 5000
+			tr := New()
+			for _, i := range order(n) {
+				tr.Put([]byte(fmt.Sprintf("key%06d", i)), i)
+			}
+			if tr.Len() != n {
+				t.Fatalf("Len = %d, want %d", tr.Len(), n)
+			}
+			for i := 0; i < n; i++ {
+				v, ok := tr.Get([]byte(fmt.Sprintf("key%06d", i)))
+				if !ok || v.(int) != i {
+					t.Fatalf("Get(key%06d) = %v,%v", i, v, ok)
+				}
+			}
+			if h := tr.Height(); h > 4 {
+				t.Errorf("height %d too large for %d keys", h, n)
+			}
+		})
+	}
+}
+
+func TestIterationSorted(t *testing.T) {
+	tr := New()
+	keys := rand.New(rand.NewSource(2)).Perm(1000)
+	for _, i := range keys {
+		tr.Put([]byte(fmt.Sprintf("%05d", i)), i)
+	}
+	var got []string
+	for it := tr.Min(); it.Valid(); it.Next() {
+		got = append(got, string(it.Key()))
+	}
+	if len(got) != 1000 {
+		t.Fatalf("iterated %d keys", len(got))
+	}
+	if !sort.StringsAreSorted(got) {
+		t.Error("iteration out of order")
+	}
+}
+
+func TestSeek(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i += 2 { // even keys only
+		tr.Put([]byte(fmt.Sprintf("%03d", i)), i)
+	}
+	it := tr.Seek([]byte("051")) // between 050 and 052
+	if !it.Valid() || string(it.Key()) != "052" {
+		t.Errorf("Seek(051) landed on %q", it.Key())
+	}
+	it = tr.Seek([]byte("050")) // exact
+	if !it.Valid() || string(it.Key()) != "050" {
+		t.Errorf("Seek(050) landed on %q", it.Key())
+	}
+	it = tr.Seek([]byte("999")) // past the end
+	if it.Valid() {
+		t.Error("Seek(999) should be exhausted")
+	}
+}
+
+func TestScanPrefix(t *testing.T) {
+	tr := New()
+	words := []string{"ant", "apple", "applet", "bee", "beetle", "cat"}
+	for i, w := range words {
+		tr.Put([]byte(w), i)
+	}
+	var got []string
+	tr.ScanPrefix([]byte("app"), func(k []byte, _ any) bool {
+		got = append(got, string(k))
+		return true
+	})
+	want := []string{"apple", "applet"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("ScanPrefix = %v, want %v", got, want)
+	}
+	// early stop
+	count := 0
+	tr.ScanPrefix([]byte(""), func(k []byte, _ any) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Errorf("early stop visited %d", count)
+	}
+}
+
+func TestScanRange(t *testing.T) {
+	tr := New()
+	for i := 0; i < 10; i++ {
+		tr.Put([]byte{byte('a' + i)}, i)
+	}
+	var got []string
+	tr.ScanRange([]byte("c"), []byte("f"), func(k []byte, _ any) bool {
+		got = append(got, string(k))
+		return true
+	})
+	if fmt.Sprint(got) != "[c d e]" {
+		t.Errorf("ScanRange = %v", got)
+	}
+	got = nil
+	tr.ScanRange([]byte("h"), nil, func(k []byte, _ any) bool {
+		got = append(got, string(k))
+		return true
+	})
+	if fmt.Sprint(got) != "[h i j]" {
+		t.Errorf("open-ended ScanRange = %v", got)
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New()
+	if _, ok := tr.Get([]byte("x")); ok {
+		t.Error("Get on empty tree")
+	}
+	if it := tr.Min(); it.Valid() {
+		t.Error("Min on empty tree should be invalid")
+	}
+	if tr.Len() != 0 {
+		t.Error("Len on empty tree")
+	}
+}
+
+func TestProbesCounted(t *testing.T) {
+	tr := New()
+	tr.Put([]byte("a"), 1)
+	before := tr.Probes
+	tr.Get([]byte("a"))
+	tr.Seek([]byte("a"))
+	if tr.Probes != before+2 {
+		t.Errorf("Probes = %d, want %d", tr.Probes, before+2)
+	}
+}
+
+// TestQuickAgainstMap compares the tree with a reference map model under
+// random workloads: every Get and every ordered scan must match.
+func TestQuickAgainstMap(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := New()
+		ref := map[string]int{}
+		for i := 0; i < 400; i++ {
+			k := fmt.Sprintf("%04d", r.Intn(300)) // collisions exercise replace
+			tr.Put([]byte(k), i)
+			ref[k] = i
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			got, ok := tr.Get([]byte(k))
+			if !ok || got.(int) != v {
+				return false
+			}
+		}
+		// ordered scan equals sorted reference keys
+		var refKeys []string
+		for k := range ref {
+			refKeys = append(refKeys, k)
+		}
+		sort.Strings(refKeys)
+		var scanKeys []string
+		for it := tr.Min(); it.Valid(); it.Next() {
+			scanKeys = append(scanKeys, string(it.Key()))
+		}
+		if len(refKeys) != len(scanKeys) {
+			return false
+		}
+		for i := range refKeys {
+			if refKeys[i] != scanKeys[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSeekSemantics: Seek(k) lands on the smallest key >= k.
+func TestQuickSeekSemantics(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := New()
+		var keys [][]byte
+		for i := 0; i < 200; i++ {
+			k := []byte(fmt.Sprintf("%03d", r.Intn(500)))
+			tr.Put(k, nil)
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return bytes.Compare(keys[i], keys[j]) < 0 })
+		probe := []byte(fmt.Sprintf("%03d", r.Intn(600)))
+		it := tr.Seek(probe)
+		// reference: first key >= probe
+		var want []byte
+		for _, k := range keys {
+			if bytes.Compare(k, probe) >= 0 {
+				want = k
+				break
+			}
+		}
+		if want == nil {
+			return !it.Valid()
+		}
+		return it.Valid() && bytes.Equal(it.Key(), want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

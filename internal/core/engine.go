@@ -1,0 +1,358 @@
+// Package core wires the paper's architecture together (Figure 3): QPT
+// generation, index-only PDT generation, evaluation of the unchanged view
+// query over the PDTs, and scoring with deferred top-k materialization.
+// This is the "Efficient" system of the experimental section.
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"vxml/internal/invindex"
+	"vxml/internal/pathindex"
+	"vxml/internal/pdt"
+	"vxml/internal/qpt"
+	"vxml/internal/scoring"
+	"vxml/internal/store"
+	"vxml/internal/xmltree"
+	"vxml/internal/xq"
+	"vxml/internal/xqeval"
+)
+
+// Engine owns the document store and the per-document path and
+// inverted-list indices.
+type Engine struct {
+	Store *store.Store
+	Path  map[string]*pathindex.Index
+	Inv   map[string]*invindex.Index
+}
+
+// New builds an engine over an existing store, indexing every document.
+func New(st *store.Store) *Engine {
+	e := &Engine{
+		Store: st,
+		Path:  map[string]*pathindex.Index{},
+		Inv:   map[string]*invindex.Index{},
+	}
+	for _, doc := range st.Docs() {
+		e.index(doc)
+	}
+	return e
+}
+
+// AddXML parses, stores and indexes a document.
+func (e *Engine) AddXML(name, xmlText string) error {
+	doc, err := e.Store.AddXML(name, xmlText)
+	if err != nil {
+		return err
+	}
+	e.index(doc)
+	return nil
+}
+
+// AddParsed stores and indexes a programmatically built document.
+func (e *Engine) AddParsed(doc *xmltree.Document) {
+	e.index(e.Store.AddParsed(doc))
+}
+
+func (e *Engine) index(doc *xmltree.Document) {
+	e.Path[doc.Name] = pathindex.Build(doc)
+	e.Inv[doc.Name] = invindex.Build(doc)
+}
+
+// View is a compiled virtual view: the parsed definition plus one QPT per
+// referenced document.
+type View struct {
+	Text  string
+	Expr  xq.Expr
+	Funcs map[string]*xq.FuncDecl
+	QPTs  []*qpt.QPT
+}
+
+// CompileView parses a view definition (an XQuery expression without
+// ftcontains) and derives its QPTs.
+func (e *Engine) CompileView(text string) (*View, error) {
+	q, err := xq.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	return e.CompileParsedView(text, q.Body, q.Functions)
+}
+
+// CompileParsedView compiles an already-parsed view expression.
+func (e *Engine) CompileParsedView(text string, expr xq.Expr, funcs map[string]*xq.FuncDecl) (*View, error) {
+	qpts, err := qpt.Generate(expr, funcs)
+	if err != nil {
+		return nil, err
+	}
+	for _, q := range qpts {
+		if e.Store.Doc(q.Doc) == nil {
+			return nil, fmt.Errorf("core: view references unknown document %q", q.Doc)
+		}
+	}
+	return &View{Text: text, Expr: expr, Funcs: funcs, QPTs: qpts}, nil
+}
+
+// Options configure a search.
+type Options struct {
+	// K is the number of results to return (top-K); 0 returns all matches.
+	K int
+	// Disjunctive switches from conjunctive (all keywords) to disjunctive
+	// (any keyword) semantics.
+	Disjunctive bool
+	// DisableHashJoin turns off the evaluator's equality-join fast path
+	// (used by ablation benchmarks).
+	DisableHashJoin bool
+	// SkipMaterialize leaves the winners pruned (used by benchmarks that
+	// measure phases separately).
+	SkipMaterialize bool
+	// KeywordPruning enables the monotone top-k extension sketched in the
+	// paper's conclusion: for selection-shaped views (a view result is a
+	// single base element), elements that cannot satisfy the keyword
+	// semantics are skipped during PDT generation. The result SET is
+	// unchanged; scores are computed with IDF statistics over the matching
+	// subset (context-sensitive flavor), so under conjunctive semantics
+	// the rank order can differ from the exact TF-IDF order. Ignored for
+	// views where it would be unsound (joins, nesting, constructors).
+	KeywordPruning bool
+	// ParallelPDT generates the per-document PDTs concurrently. Safe
+	// because each PDT touches only its own document's indices; off by
+	// default so phase timings stay comparable to the paper's.
+	ParallelPDT bool
+}
+
+// Stats reports the per-module cost breakdown of Figure 14 plus size
+// counters.
+type Stats struct {
+	PDTTime  time.Duration // PDT generation (PrepareLists + GeneratePDT)
+	EvalTime time.Duration // query evaluation over the PDTs
+	PostTime time.Duration // scoring + top-k materialization
+	PDTNodes int
+	PDTBytes int
+	// ViewResults is |V(D)|; Matched counts results satisfying the
+	// keyword semantics.
+	ViewResults int
+	Matched     int
+	// KeywordPruned reports whether the selection-view keyword pruning
+	// optimization was applied.
+	KeywordPruned bool
+	// SubtreeFetches counts base-data accesses during materialization.
+	SubtreeFetches int
+}
+
+// Total returns the end-to-end time.
+func (s *Stats) Total() time.Duration { return s.PDTTime + s.EvalTime + s.PostTime }
+
+// Result is one ranked, materialized search result.
+type Result struct {
+	Rank  int
+	Score float64
+	TFs   []int
+	// Element is the materialized result (pruned if SkipMaterialize).
+	Element *xmltree.Node
+	// Snippet is a keyword-in-context excerpt from the materialized
+	// element ("" when SkipMaterialize is set).
+	Snippet string
+}
+
+// Search evaluates a ranked keyword query over the virtual view: the
+// Efficient pipeline of the paper. Scores and rank order are identical to
+// materializing the view and searching it (Theorem 4.1).
+func (e *Engine) Search(v *View, keywords []string, opts Options) ([]Result, *Stats, error) {
+	stats := &Stats{}
+	kws := normalizeKeywords(keywords)
+
+	// Phase 1+2: QPTs are compile-time; generate the PDTs from indices.
+	start := time.Now()
+	var filter *pdt.KeywordFilter
+	if opts.KeywordPruning && len(kws) > 0 {
+		if node := selectionFilterNode(v); node != nil {
+			filter = &pdt.KeywordFilter{Node: node, Conjunctive: !opts.Disjunctive}
+			stats.KeywordPruned = true
+		}
+	}
+	catalog := xqeval.MapCatalog{}
+	pdts := make([]*pdt.PDT, len(v.QPTs))
+	generateOne := func(i int) {
+		q := v.QPTs[i]
+		pix, iix := e.Path[q.Doc], e.Inv[q.Doc]
+		if pix == nil || iix == nil {
+			return // unknown doc: empty PDT
+		}
+		lists := pdt.PrepareLists(q, pix, iix, kws)
+		pdts[i] = pdt.GenerateFiltered(q, lists, q.Doc, filter)
+	}
+	if opts.ParallelPDT && len(v.QPTs) > 1 {
+		var wg sync.WaitGroup
+		for i := range v.QPTs {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				generateOne(i)
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := range v.QPTs {
+			generateOne(i)
+		}
+	}
+	for _, p := range pdts {
+		if p == nil {
+			continue
+		}
+		stats.PDTNodes += p.Nodes
+		stats.PDTBytes += p.Bytes
+		if p.Doc != nil {
+			catalog[p.SourceName] = p.Doc
+		}
+	}
+	stats.PDTTime = time.Since(start)
+
+	// Phase 3: the unchanged evaluator runs the view over the PDTs.
+	start = time.Now()
+	ev := xqeval.New(catalog, v.Funcs)
+	ev.HashJoin = !opts.DisableHashJoin
+	items, err := ev.Eval(v.Expr, nil)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: evaluating view over PDTs: %w", err)
+	}
+	results := nodesOf(items)
+	stats.EvalTime = time.Since(start)
+	stats.ViewResults = len(results)
+
+	// Phase 4: score from PDT payloads, then materialize only the top-k.
+	start = time.Now()
+	fetchesBefore := e.Store.SubtreeFetches
+	ranking := scoring.Rank(results, kws, !opts.Disjunctive, opts.K, scoring.FromPDT)
+	stats.Matched = ranking.Matched
+	out := make([]Result, 0, len(ranking.Results))
+	for i, sc := range ranking.Results {
+		elem := sc.Result
+		snippet := ""
+		if !opts.SkipMaterialize {
+			elem = scoring.Materialize(sc.Result, e.Store)
+			snippet = scoring.Snippet(elem, kws, 160)
+		}
+		out = append(out, Result{Rank: i + 1, Score: sc.Score, TFs: sc.Stats.TFs, Element: elem, Snippet: snippet})
+	}
+	stats.PostTime = time.Since(start)
+	stats.SubtreeFetches = e.Store.SubtreeFetches - fetchesBefore
+	return out, stats, nil
+}
+
+// selectionFilterNode decides whether a view is selection-shaped — every
+// view result is exactly one base element — and if so returns the QPT node
+// whose elements are the results. Shapes accepted: a FLWOR whose clauses
+// bind paths over a single document and whose return is the (last) loop
+// variable, or a bare (filtered) path expression. Exactly one QPT with
+// exactly one 'c'-annotated node is required; anything else (joins across
+// documents, constructors, nesting) is rejected as non-monotone.
+func selectionFilterNode(v *View) *qpt.Node {
+	if len(v.QPTs) != 1 {
+		return nil
+	}
+	switch x := v.Expr.(type) {
+	case *xq.FLWORExpr:
+		rv, ok := x.Return.(*xq.VarExpr)
+		if !ok || rv.Name != x.Clauses[len(x.Clauses)-1].Var {
+			return nil
+		}
+	case *xq.StepExpr, *xq.FilterExpr:
+		// bare path views return base elements directly
+		_ = x
+	default:
+		return nil
+	}
+	var cnode *qpt.Node
+	for _, n := range v.QPTs[0].Nodes() {
+		if n.C {
+			if cnode != nil {
+				return nil // multiple output nodes: not a selection view
+			}
+			cnode = n
+		}
+	}
+	return cnode
+}
+
+func normalizeKeywords(keywords []string) []string {
+	out := make([]string, len(keywords))
+	for i, k := range keywords {
+		out[i] = strings.ToLower(strings.TrimSpace(k))
+	}
+	return out
+}
+
+func nodesOf(items []xqeval.Item) []*xmltree.Node {
+	var nodes []*xmltree.Node
+	for _, it := range items {
+		if n, ok := it.(*xmltree.Node); ok {
+			nodes = append(nodes, n)
+		}
+	}
+	return nodes
+}
+
+// KeywordQuery is a Figure-2 style query split into its parts.
+type KeywordQuery struct {
+	ViewExpr    xq.Expr
+	Funcs       map[string]*xq.FuncDecl
+	Keywords    []string
+	Conjunctive bool
+}
+
+// SplitKeywordQuery recognizes the keyword-search-over-view pattern of
+// Figure 2 and splits it into the view definition and the keyword query:
+//
+//	let $view := <view expression>
+//	for $r in $view
+//	where $r ftcontains('k1' & 'k2')
+//	return $r
+//
+// The variant without the let clause (for $r in (<view>) where ...) is also
+// accepted.
+func SplitKeywordQuery(q *xq.Query) (*KeywordQuery, error) {
+	fl, ok := q.Body.(*xq.FLWORExpr)
+	if !ok {
+		return nil, fmt.Errorf("core: keyword query must be a FLWOR expression")
+	}
+	ft, ok := fl.Where.(*xq.FTContainsExpr)
+	if !ok {
+		return nil, fmt.Errorf("core: keyword query needs an ftcontains where-clause")
+	}
+	last := fl.Clauses[len(fl.Clauses)-1]
+	if last.IsLet {
+		return nil, fmt.Errorf("core: the final clause must iterate the view (for $r in $view)")
+	}
+	tv, ok := ft.Target.(*xq.VarExpr)
+	if !ok || tv.Name != last.Var {
+		return nil, fmt.Errorf("core: ftcontains must apply to the iteration variable $%s", last.Var)
+	}
+	rv, ok := fl.Return.(*xq.VarExpr)
+	if !ok || rv.Name != last.Var {
+		return nil, fmt.Errorf("core: the return clause must return the iteration variable $%s", last.Var)
+	}
+	viewExpr := last.In
+	if v, ok := viewExpr.(*xq.VarExpr); ok {
+		// resolve through the preceding let clauses
+		resolved := false
+		for _, cl := range fl.Clauses[:len(fl.Clauses)-1] {
+			if cl.IsLet && cl.Var == v.Name {
+				viewExpr = cl.In
+				resolved = true
+			}
+		}
+		if !resolved {
+			return nil, fmt.Errorf("core: view variable $%s is not bound by a let clause", v.Name)
+		}
+	}
+	return &KeywordQuery{
+		ViewExpr:    viewExpr,
+		Funcs:       q.Functions,
+		Keywords:    ft.Keywords,
+		Conjunctive: ft.Conjunctive,
+	}, nil
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"vxml/internal/pathindex"
+)
+
+// Explain renders the query plan for a keyword search over the view: the
+// QPT per document, the exact index probes PrepareLists will issue (with
+// '//' expansion against each document's path dictionary), and the
+// inverted-list probes for the keywords. No PDT is generated.
+func (e *Engine) Explain(v *View, keywords []string) string {
+	var b strings.Builder
+	b.WriteString("view:\n")
+	for _, line := range strings.Split(strings.TrimSpace(v.Text), "\n") {
+		b.WriteString("  ")
+		b.WriteString(strings.TrimSpace(line))
+		b.WriteString("\n")
+	}
+	for _, q := range v.QPTs {
+		fmt.Fprintf(&b, "\nQPT for %s:\n", q.Doc)
+		for _, line := range strings.Split(strings.TrimRight(q.String(), "\n"), "\n") {
+			b.WriteString("  ")
+			b.WriteString(line)
+			b.WriteString("\n")
+		}
+		b.WriteString("  path index probes:\n")
+		pix := e.Path[q.Doc]
+		for _, n := range q.Nodes() {
+			if n.HasMandatoryChild() && !n.V && !n.C {
+				continue
+			}
+			steps := n.StepsFromRoot()
+			var ann []string
+			if n.V {
+				ann = append(ann, "values")
+			}
+			if n.C {
+				ann = append(ann, "tf+len")
+			}
+			for _, p := range n.Preds {
+				ann = append(ann, "pred("+p.String()+")")
+			}
+			suffix := ""
+			if len(ann) > 0 {
+				suffix = " [" + strings.Join(ann, ", ") + "]"
+			}
+			fmt.Fprintf(&b, "    %s%s\n", pathindex.FormatSteps(steps), suffix)
+			if pix != nil {
+				for _, fp := range pix.MatchFullPaths(steps) {
+					fmt.Fprintf(&b, "      -> %s\n", fp)
+				}
+			}
+		}
+	}
+	if len(keywords) > 0 {
+		fmt.Fprintf(&b, "\ninverted list probes: %s\n",
+			strings.Join(normalizeKeywords(keywords), ", "))
+	}
+	return b.String()
+}

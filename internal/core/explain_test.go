@@ -1,0 +1,41 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExplainListsProbesAndQPTs(t *testing.T) {
+	e := engineWithBooks(t)
+	v, err := e.CompileView(figure2View)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := e.Explain(v, []string{"XML", "Search"})
+	for _, want := range []string{
+		"QPT for books.xml:",
+		"QPT for reviews.xml:",
+		"/books//book/year [values, pred(> 1995)]",
+		"/books//book/title [tf+len]",
+		"/books//book/isbn [values]",
+		"-> /books/book/year", // '//' expansion against the dictionary
+		"/reviews//review/content [tf+len]",
+		"inverted list probes: xml, search",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplainWithoutKeywords(t *testing.T) {
+	e := engineWithBooks(t)
+	v, err := e.CompileView(figure2View)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := e.Explain(v, nil)
+	if strings.Contains(out, "inverted list probes") {
+		t.Error("no keywords means no inverted probes section")
+	}
+}

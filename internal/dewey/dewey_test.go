@@ -1,0 +1,228 @@
+package dewey
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseString(t *testing.T) {
+	cases := []string{"", "1", "1.2.3", "10.0.7", "1.1.1.1.1"}
+	for _, c := range cases {
+		id, err := Parse(c)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c, err)
+		}
+		if got := id.String(); got != c {
+			t.Errorf("round trip %q -> %q", c, got)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, c := range []string{"a", "1..2", "1.x", ".", "1.", ".1"} {
+		if _, err := Parse(c); err == nil {
+			t.Errorf("Parse(%q): expected error", c)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"1", "1", 0},
+		{"1", "2", -1},
+		{"2", "1", 1},
+		{"1", "1.1", -1}, // ancestor precedes descendant
+		{"1.1", "1", 1},
+		{"1.2", "1.10", -1},
+		{"1.2.3", "1.2.3", 0},
+		{"1.9.9", "2", -1},
+		{"", "1", -1}, // virtual root first
+	}
+	for _, c := range cases {
+		if got := Compare(MustParse(c.a), MustParse(c.b)); got != c.want {
+			t.Errorf("Compare(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestAncestry(t *testing.T) {
+	cases := []struct {
+		a, b             string
+		ancestor, parent bool
+	}{
+		{"1", "1.1", true, true},
+		{"1", "1.1.1", true, false},
+		{"1.1", "1.2", false, false},
+		{"1.1", "1.1", false, false},
+		{"1.2", "1.10.3", false, false},
+		{"", "1", true, true},
+	}
+	for _, c := range cases {
+		a, b := MustParse(c.a), MustParse(c.b)
+		if got := a.IsAncestorOf(b); got != c.ancestor {
+			t.Errorf("IsAncestorOf(%q,%q) = %v, want %v", c.a, c.b, got, c.ancestor)
+		}
+		if got := a.IsParentOf(b); got != c.parent {
+			t.Errorf("IsParentOf(%q,%q) = %v, want %v", c.a, c.b, got, c.parent)
+		}
+	}
+}
+
+func TestParentChild(t *testing.T) {
+	id := MustParse("1.2.3")
+	if got := id.Parent().String(); got != "1.2" {
+		t.Errorf("Parent = %q", got)
+	}
+	if got := id.Child(5).String(); got != "1.2.3.5" {
+		t.Errorf("Child = %q", got)
+	}
+	if MustParse("1").Parent().Depth() != 0 {
+		t.Errorf("Parent of depth-1 should be the virtual root")
+	}
+}
+
+func TestSuccessorBoundsSubtree(t *testing.T) {
+	id := MustParse("1.2")
+	inside := []string{"1.2", "1.2.1", "1.2.9.9"}
+	outside := []string{"1.3", "2", "1.1.9", "1"}
+	succ := id.Successor()
+	for _, s := range inside {
+		x := MustParse(s)
+		if Compare(x, id) < 0 || Compare(x, succ) >= 0 {
+			t.Errorf("%q should be within [%q,%q)", s, id, succ)
+		}
+	}
+	for _, s := range outside {
+		x := MustParse(s)
+		if !(Compare(x, id) < 0 || Compare(x, succ) >= 0) {
+			t.Errorf("%q should be outside [%q,%q)", s, id, succ)
+		}
+	}
+}
+
+func TestHasPrefix(t *testing.T) {
+	if !MustParse("1.2.3").HasPrefix(MustParse("1.2")) {
+		t.Error("1.2 should be a prefix of 1.2.3")
+	}
+	if !MustParse("1.2").HasPrefix(MustParse("1.2")) {
+		t.Error("equal IDs are prefixes")
+	}
+	if MustParse("1.2").HasPrefix(MustParse("1.2.3")) {
+		t.Error("longer IDs are not prefixes")
+	}
+}
+
+func TestCommonPrefixLen(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"1.2.3", "1.2.4", 2},
+		{"1.2.3", "1.2.3", 3},
+		{"1", "2", 0},
+		{"1.2", "1.2.3", 2},
+	}
+	for _, c := range cases {
+		if got := CommonPrefixLen(MustParse(c.a), MustParse(c.b)); got != c.want {
+			t.Errorf("CommonPrefixLen(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// randomID is a helper for property tests.
+func randomID(r *rand.Rand) ID {
+	n := 1 + r.Intn(6)
+	id := make(ID, n)
+	for i := range id {
+		id[i] = int32(r.Intn(8))
+	}
+	return id
+}
+
+func TestQuickCompareAntisymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomID(r), randomID(r)
+		return Compare(a, b) == -Compare(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCompareTransitive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ids := []ID{randomID(r), randomID(r), randomID(r)}
+		sort.Slice(ids, func(i, j int) bool { return Less(ids[i], ids[j]) })
+		return Compare(ids[0], ids[1]) <= 0 && Compare(ids[1], ids[2]) <= 0 &&
+			Compare(ids[0], ids[2]) <= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAncestorIffPrefixAndOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomID(r)
+		b := randomID(r)
+		if a.IsAncestorOf(b) {
+			// ancestor must precede descendant and be a proper prefix
+			if Compare(a, b) >= 0 || len(a) >= len(b) || !b.HasPrefix(a) {
+				return false
+			}
+		}
+		// extending a always yields a descendant
+		c := a.Child(int32(r.Intn(5)))
+		return a.IsAncestorOf(c) && a.IsParentOf(c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickStringRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		id := randomID(r)
+		back, err := Parse(id.String())
+		return err == nil && reflect.DeepEqual(back, id)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSuccessorTight(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		id := randomID(r)
+		succ := id.Successor()
+		// id < succ, and any descendant of id is < succ
+		d := id.Child(int32(r.Intn(100)))
+		return Less(id, succ) && Less(d, succ) && !id.IsAncestorOf(succ)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := MustParse("1.2.3")
+	b := a.Clone()
+	b[0] = 9
+	if a[0] != 1 {
+		t.Error("Clone shares storage")
+	}
+	if ID(nil).Clone() != nil {
+		t.Error("Clone of nil should be nil")
+	}
+}

@@ -1,0 +1,321 @@
+// Package gtp implements the "GTP" comparator of the paper's evaluation
+// (§5.1): Generalized Tree Patterns [Chen et al., VLDB'03] with TermJoin
+// [Al-Khalifa et al., SIGMOD'03], the state-of-the-art integration of
+// structure and keyword search the paper compares against.
+//
+// The pipeline derives the same pruned trees as the Efficient system, but
+// by the two mechanisms the paper identifies as GTP's cost sources:
+//
+//  1. structural joins over full per-tag element lists (instead of path
+//     index probes), and
+//  2. base-data access for join values and predicate evaluation (instead
+//     of value retrieval from the Path-Values table).
+//
+// Downstream evaluation and scoring are shared with the Efficient
+// pipeline, so GTP's results are identical and only its costs differ —
+// which is exactly how the paper frames the comparison.
+package gtp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"vxml/internal/core"
+	"vxml/internal/dewey"
+	"vxml/internal/pathindex"
+	"vxml/internal/pdt"
+	"vxml/internal/pred"
+	"vxml/internal/qpt"
+	"vxml/internal/scoring"
+	"vxml/internal/xmltree"
+	"vxml/internal/xqeval"
+)
+
+// Stats reports the GTP cost breakdown.
+type Stats struct {
+	StructJoinTime time.Duration // structural joins over tag lists
+	EvalTime       time.Duration // view evaluation over the joined trees
+	PostTime       time.Duration // scoring + materialization
+	// BaseValueFetches counts base-data accesses for join values and
+	// predicates — the cost Efficient avoids via the Path-Values table.
+	BaseValueFetches int
+	TagListEntries   int // total tag-list entries scanned
+	// IntermediatePairs counts the (ancestor, descendant) tuples the
+	// binary structural joins materialize.
+	IntermediatePairs int
+	ViewResults       int
+	Matched           int
+}
+
+// Total returns the end-to-end time.
+func (s *Stats) Total() time.Duration { return s.StructJoinTime + s.EvalTime + s.PostTime }
+
+// Search evaluates the ranked keyword query using GTP with TermJoin.
+func Search(e *core.Engine, v *core.View, keywords []string, opts core.Options) ([]core.Result, *Stats, error) {
+	stats := &Stats{}
+	kws := normalizeKeywords(keywords)
+
+	start := time.Now()
+	catalog := xqeval.MapCatalog{}
+	for _, q := range v.QPTs {
+		pix := e.Path[q.Doc]
+		if pix == nil {
+			continue
+		}
+		pruned := joinQPT(e, q, pix, kws, stats)
+		if pruned.Doc != nil {
+			catalog[q.Doc] = pruned.Doc
+		}
+	}
+	stats.StructJoinTime = time.Since(start)
+
+	start = time.Now()
+	ev := xqeval.New(catalog, v.Funcs)
+	ev.HashJoin = !opts.DisableHashJoin
+	items, err := ev.Eval(v.Expr, nil)
+	if err != nil {
+		return nil, nil, fmt.Errorf("gtp: evaluating view: %w", err)
+	}
+	var results []*xmltree.Node
+	for _, it := range items {
+		if n, ok := it.(*xmltree.Node); ok {
+			results = append(results, n)
+		}
+	}
+	stats.EvalTime = time.Since(start)
+	stats.ViewResults = len(results)
+
+	start = time.Now()
+	ranking := scoring.Rank(results, kws, !opts.Disjunctive, opts.K, scoring.FromPDT)
+	stats.Matched = ranking.Matched
+	out := make([]core.Result, 0, len(ranking.Results))
+	for i, sc := range ranking.Results {
+		elem := sc.Result
+		if !opts.SkipMaterialize {
+			elem = scoring.Materialize(sc.Result, e.Store)
+		}
+		out = append(out, core.Result{Rank: i + 1, Score: sc.Score, TFs: sc.Stats.TFs, Element: elem})
+	}
+	stats.PostTime = time.Since(start)
+	return out, stats, nil
+}
+
+// candSet is a Dewey-sorted candidate list for one QPT node.
+type candSet struct {
+	ids []dewey.ID
+}
+
+func (c *candSet) containsInRange(lo, hi dewey.ID) bool {
+	i := sort.Search(len(c.ids), func(i int) bool { return dewey.Compare(c.ids[i], lo) >= 0 })
+	return i < len(c.ids) && dewey.Compare(c.ids[i], hi) < 0
+}
+
+func (c *candSet) has(id dewey.ID) bool {
+	i := sort.Search(len(c.ids), func(i int) bool { return dewey.Compare(c.ids[i], id) >= 0 })
+	return i < len(c.ids) && dewey.Equal(c.ids[i], id)
+}
+
+// joinPair is one (ancestor, descendant) tuple materialized by a binary
+// structural join, as in Timber's stack-tree joins.
+type joinPair struct {
+	anc, desc dewey.ID
+}
+
+// structuralJoin materializes the (ancestor, descendant) pairs between a
+// sorted ancestor candidate list and a sorted descendant candidate list.
+func structuralJoin(ancs *candSet, descs *candSet, axis pathindex.Axis, stats *Stats) []joinPair {
+	var pairs []joinPair
+	for _, d := range descs.ids {
+		if axis == pathindex.Child {
+			if len(d) > 1 && ancs.has(d.Parent()) {
+				pairs = append(pairs, joinPair{anc: d.Parent(), desc: d})
+			}
+			continue
+		}
+		for a := d.Parent(); len(a) > 0; a = a.Parent() {
+			if ancs.has(a) {
+				pairs = append(pairs, joinPair{anc: a, desc: d})
+			}
+		}
+	}
+	stats.IntermediatePairs += len(pairs)
+	return pairs
+}
+
+// joinQPT computes the pruned tree for one QPT via structural joins over
+// tag lists, fetching predicate and join values from base data.
+func joinQPT(e *core.Engine, q *qpt.QPT, pix *pathindex.Index, kws []string, stats *Stats) *pdt.PDT {
+	iix := e.Inv[q.Doc]
+	// Bottom-up: candidate elements per QPT node (descendant constraints),
+	// computed with pair-producing binary structural joins.
+	ce := map[*qpt.Node]*candSet{}
+	var computeCE func(n *qpt.Node)
+	computeCE = func(n *qpt.Node) {
+		for _, edge := range n.Edges {
+			computeCE(edge.Child)
+		}
+		postings := pix.TagPostings(n.Tag)
+		stats.TagListEntries += len(postings)
+		set := &candSet{ids: make([]dewey.ID, 0, len(postings))}
+		for _, p := range postings {
+			// Predicates require the element value: GTP fetches it from
+			// base storage (counted).
+			if len(n.Preds) > 0 {
+				stats.BaseValueFetches++
+				sub := e.Store.Subtree(p.ID)
+				// predicates apply to leaf values only
+				if sub == nil || !sub.IsLeaf() || !pred.All(n.Preds, sub.Value) {
+					continue
+				}
+			}
+			set.ids = append(set.ids, p.ID)
+		}
+		// One binary structural join per mandatory edge; the surviving
+		// ancestors are the distinct ancestors of the pair list.
+		for _, edge := range n.Edges {
+			if !edge.Mandatory {
+				continue
+			}
+			pairs := structuralJoin(set, ce[edge.Child], edge.Axis, stats)
+			next := &candSet{ids: make([]dewey.ID, 0, len(pairs))}
+			for _, pr := range pairs {
+				next.ids = append(next.ids, pr.anc)
+			}
+			sortIDs(next.ids)
+			next.ids = dedupeSorted(next.ids)
+			set = next
+		}
+		// GTP extracts join values and keyword containment for every
+		// structural candidate from base data / inverted lists — it cannot
+		// defer this the way PDT generation does (§6: "GTP requires
+		// accessing the base data to support value joins").
+		if n.V {
+			for _, id := range set.ids {
+				stats.BaseValueFetches++
+				e.Store.Value(id) //nolint:errcheck
+			}
+		}
+		if n.C && iix != nil {
+			for _, id := range set.ids {
+				for _, k := range kws {
+					iix.Lookup(k).SubtreeTF(id) // TermJoin probe
+				}
+			}
+		}
+		ce[n] = set
+	}
+	for _, edge := range q.Root.Edges {
+		computeCE(edge.Child)
+	}
+
+	// Top-down: PDT elements (ancestor constraints).
+	pe := map[*qpt.Node]*candSet{}
+	var computePE func(n *qpt.Node)
+	computePE = func(n *qpt.Node) {
+		parentEdge := n.Parent
+		set := &candSet{}
+		for _, id := range ce[n].ids {
+			ok := false
+			if parentEdge.From == q.Root {
+				ok = parentEdge.Axis == pathindex.Descendant || len(id) == 1
+			} else {
+				parents := pe[parentEdge.From]
+				if parentEdge.Axis == pathindex.Child {
+					ok = len(id) > 1 && parents.has(id.Parent())
+				} else {
+					for p := id.Parent(); len(p) > 0; p = p.Parent() {
+						if parents.has(p) {
+							ok = true
+							break
+						}
+					}
+				}
+			}
+			if ok {
+				set.ids = append(set.ids, id)
+			}
+		}
+		pe[n] = set
+		for _, edge := range n.Edges {
+			computePE(edge.Child)
+		}
+	}
+	for _, edge := range q.Root.Edges {
+		computePE(edge.Child)
+	}
+
+	// Assemble the pruned tree; values and byte lengths come from base
+	// data (GTP has no Path-Values table), tf values from TermJoin over
+	// the inverted lists.
+	type annot struct{ needV, needC bool }
+	selected := map[string]*pdt.Element{}
+	anns := map[string]*annot{}
+	var collect func(n *qpt.Node)
+	collect = func(n *qpt.Node) {
+		for _, id := range pe[n].ids {
+			key := id.String()
+			el := selected[key]
+			if el == nil {
+				el = &pdt.Element{ID: id, Tag: n.Tag}
+				selected[key] = el
+				anns[key] = &annot{}
+			}
+			a := anns[key]
+			a.needV = a.needV || n.V
+			a.needC = a.needC || n.C
+		}
+		for _, edge := range n.Edges {
+			collect(edge.Child)
+		}
+	}
+	for _, edge := range q.Root.Edges {
+		collect(edge.Child)
+	}
+	elements := make([]*pdt.Element, 0, len(selected))
+	for key, el := range selected {
+		a := anns[key]
+		el.NeedV, el.NeedC = a.needV, a.needC
+		if a.needV || a.needC {
+			stats.BaseValueFetches++
+			if base := e.Store.Subtree(el.ID); base != nil {
+				el.ByteLen = base.ByteLen
+				if base.IsLeaf() {
+					el.Value = base.Value
+					el.HasValue = true
+				}
+			}
+		}
+		if a.needC {
+			el.TFs = make([]int, len(kws))
+			for i, k := range kws {
+				el.TFs[i] = iix.Lookup(k).SubtreeTF(el.ID) // TermJoin
+			}
+		}
+		elements = append(elements, el)
+	}
+	return pdt.BuildPruned(elements, q.Doc)
+}
+
+func sortIDs(ids []dewey.ID) {
+	sort.Slice(ids, func(i, j int) bool { return dewey.Less(ids[i], ids[j]) })
+}
+
+func dedupeSorted(ids []dewey.ID) []dewey.ID {
+	out := ids[:0]
+	for _, id := range ids {
+		if len(out) == 0 || !dewey.Equal(out[len(out)-1], id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func normalizeKeywords(keywords []string) []string {
+	out := make([]string, len(keywords))
+	for i, k := range keywords {
+		out[i] = strings.ToLower(strings.TrimSpace(k))
+	}
+	return out
+}

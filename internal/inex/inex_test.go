@@ -1,0 +1,186 @@
+package inex
+
+import (
+	"strings"
+	"testing"
+
+	"vxml/internal/xmltree"
+)
+
+func TestDeterministic(t *testing.T) {
+	a := Generate(Options{TargetBytes: 64 << 10, Seed: 1})
+	b := Generate(Options{TargetBytes: 64 << 10, Seed: 1})
+	finalize(a)
+	finalize(b)
+	if a.INEX.Root.XMLString("") != b.INEX.Root.XMLString("") {
+		t.Error("same seed must generate identical corpora")
+	}
+	c := Generate(Options{TargetBytes: 64 << 10, Seed: 2})
+	finalize(c)
+	if a.INEX.Root.XMLString("") == c.INEX.Root.XMLString("") {
+		t.Error("different seeds should differ")
+	}
+}
+
+func finalize(c *Corpus) {
+	for i, d := range c.Docs() {
+		d.DocID = int32(i + 1)
+		d.Finalize()
+	}
+}
+
+func TestSizeTargeting(t *testing.T) {
+	for _, target := range []int{32 << 10, 128 << 10, 512 << 10} {
+		c := Generate(Options{TargetBytes: target, Seed: 3})
+		finalize(c)
+		got := c.INEX.Root.ByteLen
+		if got < target/3 || got > target*3 {
+			t.Errorf("target %d produced %d bytes (off by >3x)", target, got)
+		}
+	}
+}
+
+func TestDTDShape(t *testing.T) {
+	c := Generate(Options{TargetBytes: 32 << 10, Seed: 4})
+	finalize(c)
+	root := c.INEX.Root
+	if root.Tag != "books" {
+		t.Fatalf("root = %s", root.Tag)
+	}
+	journals := 0
+	articles := 0
+	root.Walk(func(n *xmltree.Node) {
+		switch n.Tag {
+		case "journal":
+			journals++
+			if n.Children[0].Tag != "title" {
+				t.Errorf("journal first child = %s", n.Children[0].Tag)
+			}
+		case "article":
+			articles++
+			tags := map[string]bool{}
+			for _, ch := range n.Children {
+				tags[ch.Tag] = true
+			}
+			for _, want := range []string{"fno", "fm", "bdy"} {
+				if !tags[want] {
+					t.Errorf("article missing %s", want)
+				}
+			}
+		case "fm":
+			hasAu := false
+			for _, ch := range n.Children {
+				if ch.Tag == "au" {
+					hasAu = true
+				}
+			}
+			if !hasAu {
+				t.Error("fm missing au")
+			}
+		}
+	})
+	if journals == 0 || articles == 0 {
+		t.Errorf("journals=%d articles=%d", journals, articles)
+	}
+	if articles != c.ArticleCount {
+		// generator rounds article counts per journal; allow slack
+		diff := articles - c.ArticleCount
+		if diff < -articles/2 || diff > articles/2 {
+			t.Errorf("ArticleCount=%d but %d generated", c.ArticleCount, articles)
+		}
+	}
+}
+
+func TestSelectivityOrdering(t *testing.T) {
+	c := Generate(Options{TargetBytes: 512 << 10, Seed: 5})
+	finalize(c)
+	counts := map[string]int{}
+	count := func(words []string) int {
+		total := 0
+		for _, w := range words {
+			total += counts[w]
+		}
+		return total
+	}
+	c.INEX.Root.Walk(func(n *xmltree.Node) {
+		for _, tok := range xmltree.Tokenize(n.Value) {
+			counts[tok]++
+		}
+	})
+	low, med, high := count(LowSelectivity), count(MediumSelectivity), count(HighSelectivity)
+	if !(low > med && med > high) {
+		t.Errorf("selectivity ordering violated: low=%d med=%d high=%d", low, med, high)
+	}
+	if high == 0 {
+		t.Error("high-selectivity markers never planted; corpus too small for rare terms")
+	}
+}
+
+func TestJoinPartitioning(t *testing.T) {
+	c := Generate(Options{TargetBytes: 128 << 10, Seed: 6, Partitions: 4})
+	finalize(c)
+	// author names are namespaced per partition; articles in partition p
+	// reference only partition-p authors.
+	authorsByPartition := map[string]bool{}
+	c.Authors.Root.Walk(func(n *xmltree.Node) {
+		if n.Tag == "name" {
+			authorsByPartition[n.Value] = true
+		}
+	})
+	c.INEX.Root.Walk(func(n *xmltree.Node) {
+		if n.Tag == "au" {
+			if !authorsByPartition[n.Value] {
+				t.Fatalf("article references unknown author %q", n.Value)
+			}
+			if !strings.HasPrefix(n.Value, "author_p") {
+				t.Fatalf("author name %q not namespaced", n.Value)
+			}
+		}
+	})
+}
+
+func TestElemSizeScaling(t *testing.T) {
+	small := Generate(Options{TargetBytes: 64 << 10, Seed: 7, ElemSizeX: 1})
+	big := Generate(Options{TargetBytes: 64 << 10, Seed: 7, ElemSizeX: 4})
+	finalize(small)
+	finalize(big)
+	avg := func(c *Corpus) int {
+		total, n := 0, 0
+		c.INEX.Root.Walk(func(x *xmltree.Node) {
+			if x.Tag == "article" {
+				total += x.ByteLen
+				n++
+			}
+		})
+		if n == 0 {
+			return 0
+		}
+		return total / n
+	}
+	if a, b := avg(small), avg(big); b < a*2 {
+		t.Errorf("ElemSizeX=4 articles (%dB) not much larger than 1X (%dB)", b, a)
+	}
+}
+
+func TestBooksReviewsGenerator(t *testing.T) {
+	booksXML, reviewsXML := GenerateBooksReviews(25, 8)
+	books, err := xmltree.ParseString(booksXML, "books.xml", 1)
+	if err != nil {
+		t.Fatalf("books parse: %v", err)
+	}
+	reviews, err := xmltree.ParseString(reviewsXML, "reviews.xml", 2)
+	if err != nil {
+		t.Fatalf("reviews parse: %v", err)
+	}
+	if len(books.Root.Children) != 25 {
+		t.Errorf("books = %d", len(books.Root.Children))
+	}
+	if len(reviews.Root.Children) != 50 {
+		t.Errorf("reviews = %d", len(reviews.Root.Children))
+	}
+	// deterministic
+	b2, r2 := GenerateBooksReviews(25, 8)
+	if b2 != booksXML || r2 != reviewsXML {
+		t.Error("GenerateBooksReviews not deterministic")
+	}
+}

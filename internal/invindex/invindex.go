@@ -1,0 +1,145 @@
+// Package invindex implements XML inverted-list indices (paper §3.2,
+// Figure 4b): for each keyword, the Dewey-ordered list of elements that
+// directly contain the keyword, with term frequency and word positions.
+//
+// Because IDs are Dewey IDs, the aggregate term frequency of a keyword in
+// an element's whole subtree is the sum of tf over the ID range
+// [id, id.Successor()), which the posting list answers in O(log n) with a
+// prefix-sum array — this is how PDT generation obtains tf values for 'c'
+// nodes without touching base data.
+package invindex
+
+import (
+	"sort"
+
+	"vxml/internal/btree"
+	"vxml/internal/dewey"
+	"vxml/internal/xmltree"
+)
+
+// Posting records that one element directly contains a keyword TF times at
+// the given word offsets of its text content.
+type Posting struct {
+	ID        dewey.ID
+	TF        int
+	Positions []int32
+}
+
+// PostingList is the Dewey-ordered list of postings for one keyword.
+type PostingList struct {
+	Keyword  string
+	Postings []Posting
+	tfPrefix []int // tfPrefix[i] = sum of TF of Postings[:i]
+}
+
+// Index is the inverted index of a single document.
+type Index struct {
+	dict     *btree.Tree // keyword -> *PostingList
+	elements int         // number of elements in the document
+	Lookups  int         // number of keyword lookups served
+}
+
+// Build constructs the inverted index for doc in one walk.
+func Build(doc *xmltree.Document) *Index {
+	ix := &Index{dict: btree.New()}
+	doc.Root.Walk(func(n *xmltree.Node) {
+		ix.elements++
+		if n.Value == "" {
+			return
+		}
+		tokens := xmltree.Tokenize(n.Value)
+		byWord := map[string][]int32{}
+		for pos, tok := range tokens {
+			byWord[tok] = append(byWord[tok], int32(pos))
+		}
+		for word, positions := range byWord {
+			var pl *PostingList
+			if v, ok := ix.dict.Get([]byte(word)); ok {
+				pl = v.(*PostingList)
+			} else {
+				pl = &PostingList{Keyword: word}
+				ix.dict.Put([]byte(word), pl)
+			}
+			pl.Postings = append(pl.Postings, Posting{ID: n.ID, TF: len(positions), Positions: positions})
+		}
+	})
+	// Document-order walk appends postings already sorted; build prefix sums.
+	it := ix.dict.Min()
+	for ; it.Valid(); it.Next() {
+		it.Value().(*PostingList).buildPrefix()
+	}
+	return ix
+}
+
+func (pl *PostingList) buildPrefix() {
+	pl.tfPrefix = make([]int, len(pl.Postings)+1)
+	for i, p := range pl.Postings {
+		pl.tfPrefix[i+1] = pl.tfPrefix[i] + p.TF
+	}
+}
+
+// Lookup returns the posting list for keyword (lowercase), or an empty list
+// if the keyword does not occur.
+func (ix *Index) Lookup(keyword string) *PostingList {
+	ix.Lookups++
+	if v, ok := ix.dict.Get([]byte(keyword)); ok {
+		return v.(*PostingList)
+	}
+	return &PostingList{Keyword: keyword, tfPrefix: []int{0}}
+}
+
+// Keywords returns the number of distinct keywords indexed.
+func (ix *Index) Keywords() int { return ix.dict.Len() }
+
+// Elements returns the number of elements in the indexed document.
+func (ix *Index) Elements() int { return ix.elements }
+
+// Len returns the number of postings (elements directly containing the
+// keyword) — the document frequency at element granularity.
+func (pl *PostingList) Len() int { return len(pl.Postings) }
+
+// TotalTF returns the total occurrences of the keyword in the document.
+func (pl *PostingList) TotalTF() int {
+	if len(pl.tfPrefix) == 0 {
+		return 0
+	}
+	return pl.tfPrefix[len(pl.tfPrefix)-1]
+}
+
+// rangeBounds returns the posting index range covering the subtree of id.
+func (pl *PostingList) rangeBounds(id dewey.ID) (lo, hi int) {
+	succ := id.Successor()
+	lo = sort.Search(len(pl.Postings), func(i int) bool {
+		return dewey.Compare(pl.Postings[i].ID, id) >= 0
+	})
+	hi = sort.Search(len(pl.Postings), func(i int) bool {
+		return dewey.Compare(pl.Postings[i].ID, succ) >= 0
+	})
+	return lo, hi
+}
+
+// SubtreeTF returns the aggregate term frequency of the keyword within the
+// subtree rooted at id (the paper's tf(e, k)).
+func (pl *PostingList) SubtreeTF(id dewey.ID) int {
+	lo, hi := pl.rangeBounds(id)
+	return pl.tfPrefix[hi] - pl.tfPrefix[lo]
+}
+
+// ContainsSubtree reports whether the subtree rooted at id contains the
+// keyword (the paper's contains(e, k), answered from the index alone).
+func (pl *PostingList) ContainsSubtree(id dewey.ID) bool {
+	lo, hi := pl.rangeBounds(id)
+	return hi > lo
+}
+
+// DirectTF returns the term frequency of the keyword directly inside the
+// element with the given ID (0 if absent).
+func (pl *PostingList) DirectTF(id dewey.ID) int {
+	i := sort.Search(len(pl.Postings), func(i int) bool {
+		return dewey.Compare(pl.Postings[i].ID, id) >= 0
+	})
+	if i < len(pl.Postings) && dewey.Equal(pl.Postings[i].ID, id) {
+		return pl.Postings[i].TF
+	}
+	return 0
+}

@@ -1,0 +1,194 @@
+package invindex
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"vxml/internal/dewey"
+	"vxml/internal/xmltree"
+)
+
+const reviewsXML = `<reviews>
+  <review><isbn>111</isbn><content>all about XML search and XML views</content></review>
+  <review><isbn>222</isbn><content>easy to read</content></review>
+  <review><isbn>333</isbn><content>search engines explained</content></review>
+</reviews>`
+
+func buildReviews(t *testing.T) (*xmltree.Document, *Index) {
+	t.Helper()
+	doc, err := xmltree.ParseString(reviewsXML, "reviews.xml", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc, Build(doc)
+}
+
+func TestLookupDirectPostings(t *testing.T) {
+	_, ix := buildReviews(t)
+	pl := ix.Lookup("xml")
+	if pl.Len() != 1 {
+		t.Fatalf("xml postings = %d", pl.Len())
+	}
+	p := pl.Postings[0]
+	if p.ID.String() != "2.1.2" || p.TF != 2 {
+		t.Errorf("posting = %+v", p)
+	}
+	// positions: "all about xml search and xml views" -> xml at 2 and 5
+	if len(p.Positions) != 2 || p.Positions[0] != 2 || p.Positions[1] != 5 {
+		t.Errorf("positions = %v", p.Positions)
+	}
+}
+
+func TestLookupMissingKeyword(t *testing.T) {
+	_, ix := buildReviews(t)
+	pl := ix.Lookup("quantum")
+	if pl.Len() != 0 || pl.TotalTF() != 0 {
+		t.Errorf("missing keyword: %+v", pl)
+	}
+	if pl.SubtreeTF(dewey.MustParse("2")) != 0 {
+		t.Error("SubtreeTF of empty list should be 0")
+	}
+}
+
+func TestSubtreeTFAggregation(t *testing.T) {
+	doc, ix := buildReviews(t)
+	pl := ix.Lookup("search")
+	// whole document subtree
+	if got := pl.SubtreeTF(doc.Root.ID); got != 2 {
+		t.Errorf("SubtreeTF(root) = %d", got)
+	}
+	// first review only
+	if got := pl.SubtreeTF(dewey.MustParse("2.1")); got != 1 {
+		t.Errorf("SubtreeTF(2.1) = %d", got)
+	}
+	// second review has none
+	if got := pl.SubtreeTF(dewey.MustParse("2.2")); got != 0 {
+		t.Errorf("SubtreeTF(2.2) = %d", got)
+	}
+}
+
+func TestContainsSubtree(t *testing.T) {
+	_, ix := buildReviews(t)
+	pl := ix.Lookup("read")
+	if !pl.ContainsSubtree(dewey.MustParse("2.2")) {
+		t.Error("review 2 contains 'read'")
+	}
+	if pl.ContainsSubtree(dewey.MustParse("2.1")) {
+		t.Error("review 1 does not contain 'read'")
+	}
+}
+
+func TestDirectTF(t *testing.T) {
+	_, ix := buildReviews(t)
+	pl := ix.Lookup("xml")
+	if pl.DirectTF(dewey.MustParse("2.1.2")) != 2 {
+		t.Error("DirectTF(content) should be 2")
+	}
+	if pl.DirectTF(dewey.MustParse("2.1")) != 0 {
+		t.Error("review element does not directly contain 'xml'")
+	}
+}
+
+func TestCountsAndStats(t *testing.T) {
+	_, ix := buildReviews(t)
+	if ix.Elements() != 10 {
+		t.Errorf("Elements = %d", ix.Elements())
+	}
+	if ix.Keywords() == 0 {
+		t.Error("no keywords indexed")
+	}
+	before := ix.Lookups
+	ix.Lookup("xml")
+	if ix.Lookups != before+1 {
+		t.Error("Lookups not counted")
+	}
+	if got := ix.Lookup("xml").TotalTF(); got != 2 {
+		t.Errorf("TotalTF(xml) = %d", got)
+	}
+}
+
+// randomDoc builds a random doc with a small vocabulary for property tests.
+func randomDoc(r *rand.Rand) *xmltree.Document {
+	words := []string{"xml", "search", "view", "data"}
+	var build func(depth int) *xmltree.Node
+	build = func(depth int) *xmltree.Node {
+		n := xmltree.NewElement([]string{"a", "b"}[r.Intn(2)])
+		if depth <= 0 || r.Intn(3) == 0 {
+			k := r.Intn(4)
+			for i := 0; i < k; i++ {
+				if n.Value != "" {
+					n.Value += " "
+				}
+				n.Value += words[r.Intn(len(words))]
+			}
+			return n
+		}
+		for i := 0; i < 1+r.Intn(3); i++ {
+			n.AppendChild(build(depth - 1))
+		}
+		return n
+	}
+	doc := &xmltree.Document{Name: "t.xml", Root: build(3), DocID: 1}
+	doc.Finalize()
+	return doc
+}
+
+// TestQuickSubtreeTFEqualsWalk: index aggregation equals a naive subtree
+// token count for random documents, keywords and elements.
+func TestQuickSubtreeTFEqualsWalk(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		doc := randomDoc(r)
+		ix := Build(doc)
+		kw := []string{"xml", "search", "view", "data"}[r.Intn(4)]
+		pl := ix.Lookup(kw)
+		ok := true
+		doc.Root.Walk(func(n *xmltree.Node) {
+			want := xmltree.SubtreeTF(n, []string{kw})[0]
+			if pl.SubtreeTF(n.ID) != want {
+				ok = false
+			}
+			if pl.ContainsSubtree(n.ID) != (want > 0) {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickPostingsSortedWithPrefixSums: postings are in Dewey order and
+// prefix sums are consistent.
+func TestQuickPostingsSortedWithPrefixSums(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		doc := randomDoc(r)
+		ix := Build(doc)
+		for _, kw := range []string{"xml", "search", "view", "data"} {
+			pl := ix.Lookup(kw)
+			sum := 0
+			for i, p := range pl.Postings {
+				if i > 0 && dewey.Compare(pl.Postings[i-1].ID, p.ID) >= 0 {
+					return false
+				}
+				if pl.tfPrefix[i] != sum {
+					return false
+				}
+				sum += p.TF
+				if p.TF != len(p.Positions) {
+					return false
+				}
+			}
+			if pl.TotalTF() != sum {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

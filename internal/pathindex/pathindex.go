@@ -1,0 +1,238 @@
+// Package pathindex implements the Path-Values table of paper §3.2
+// (Figure 5): one row per distinct (root-to-element path, atomic value)
+// pair, each row holding the sorted list of Dewey IDs of the elements on
+// that path with that value, all indexed by a B+-tree on the composite
+// (Path, Value) key.
+//
+// Queries follow the paper exactly: a path query with an equality value
+// predicate probes the composite key; a path query without predicates scans
+// the Path prefix of the composite key and merges the rows' ID lists; a
+// path with descendant axes is first expanded against the path dictionary
+// into the matching full data paths, each of which is probed separately.
+//
+// The index additionally stores each element's subtree byte length in its
+// posting (needed by PDT generation for score normalization, §4.2.2.2) and
+// a tag index (element IDs per tag) used by the GTP baseline's structural
+// joins.
+package pathindex
+
+import (
+	"sort"
+	"strings"
+
+	"vxml/internal/btree"
+	"vxml/internal/dewey"
+	"vxml/internal/pred"
+	"vxml/internal/xmltree"
+)
+
+// Axis is an XPath axis in a path pattern.
+type Axis byte
+
+// The two axes of the supported grammar.
+const (
+	Child      Axis = iota // '/'
+	Descendant             // '//'
+)
+
+// String renders the axis as it appears in queries.
+func (a Axis) String() string {
+	if a == Descendant {
+		return "//"
+	}
+	return "/"
+}
+
+// Step is one step of a root-anchored path pattern: an axis followed by a
+// tag name test.
+type Step struct {
+	Axis Axis
+	Tag  string
+}
+
+// FormatSteps renders a pattern like "/books//book/isbn".
+func FormatSteps(steps []Step) string {
+	var b strings.Builder
+	for _, s := range steps {
+		b.WriteString(s.Axis.String())
+		b.WriteString(s.Tag)
+	}
+	return b.String()
+}
+
+// Posting is one element occurrence in a row of the Path-Values table.
+type Posting struct {
+	ID       dewey.ID
+	Value    string
+	HasValue bool // false for non-leaf elements (the paper's null value)
+	ByteLen  int
+}
+
+// PathPostings groups the postings of one full data path, in Dewey order.
+// PDT generation needs the full path to map ID prefixes back to QPT nodes.
+type PathPostings struct {
+	FullPath string // e.g. "/books/book/isbn"
+	Postings []Posting
+}
+
+// row is the value stored under one (path, value) composite key.
+type row struct {
+	postings []Posting // document order == ascending Dewey ID
+}
+
+// Index is the path index of a single document.
+type Index struct {
+	tree  *btree.Tree // (path \x00 value) -> *row
+	paths []string    // sorted dictionary of distinct element paths
+	tags  map[string][]Posting
+}
+
+// Build constructs the path index for doc in one document-order walk.
+func Build(doc *xmltree.Document) *Index {
+	ix := &Index{tree: btree.New(), tags: map[string][]Posting{}}
+	pathSet := map[string]bool{}
+	doc.Root.Walk(func(n *xmltree.Node) {
+		path := n.PathFromRoot()
+		pathSet[path] = true
+		p := Posting{ID: n.ID, ByteLen: n.ByteLen}
+		if n.IsLeaf() {
+			p.Value = n.Value
+			p.HasValue = true
+		}
+		key := compositeKey(path, p.Value, p.HasValue)
+		if v, ok := ix.tree.Get(key); ok {
+			r := v.(*row)
+			r.postings = append(r.postings, p)
+		} else {
+			ix.tree.Put(key, &row{postings: []Posting{p}})
+		}
+		ix.tags[n.Tag] = append(ix.tags[n.Tag], p)
+	})
+	ix.paths = make([]string, 0, len(pathSet))
+	for p := range pathSet {
+		ix.paths = append(ix.paths, p)
+	}
+	sort.Strings(ix.paths)
+	return ix
+}
+
+// compositeKey builds the (Path, Value) B+-tree key. Paths never contain
+// NUL, so "path\x00" is a proper prefix of every key for that path. Rows
+// without values (non-leaf elements) sort first under "\x00n\x00".
+func compositeKey(path, value string, hasValue bool) []byte {
+	marker := byte('n')
+	if hasValue {
+		marker = 'v'
+	}
+	k := make([]byte, 0, len(path)+len(value)+3)
+	k = append(k, path...)
+	k = append(k, 0, marker, 0)
+	k = append(k, value...)
+	return k
+}
+
+// Probes reports how many B+-tree probes the index has served.
+func (ix *Index) Probes() int { return ix.tree.Probes }
+
+// Paths returns the path dictionary (sorted distinct element paths).
+func (ix *Index) Paths() []string { return ix.paths }
+
+// MatchFullPaths expands a root-anchored pattern with child/descendant axes
+// into the full data paths of the dictionary it matches (paper §3.2: "for
+// path queries with descendant axes ... the index is probed for each full
+// data path").
+func (ix *Index) MatchFullPaths(steps []Step) []string {
+	var out []string
+	for _, p := range ix.paths {
+		if MatchPath(steps, p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// MatchPath reports whether the pattern matches the whole full path
+// (e.g. steps for "/books//book/isbn" match "/books/shelf/book/isbn").
+func MatchPath(steps []Step, fullPath string) bool {
+	segs := splitPath(fullPath)
+	return matchFrom(steps, segs, 0, 0)
+}
+
+func matchFrom(steps []Step, segs []string, si, pi int) bool {
+	if si == len(steps) {
+		return pi == len(segs)
+	}
+	st := steps[si]
+	if st.Axis == Child {
+		return pi < len(segs) && segs[pi] == st.Tag && matchFrom(steps, segs, si+1, pi+1)
+	}
+	for k := pi; k < len(segs); k++ {
+		if segs[k] == st.Tag && matchFrom(steps, segs, si+1, k+1) {
+			return true
+		}
+	}
+	return false
+}
+
+func splitPath(p string) []string {
+	p = strings.TrimPrefix(p, "/")
+	if p == "" {
+		return nil
+	}
+	return strings.Split(p, "/")
+}
+
+// LookupPath returns, for every full data path matching the pattern, that
+// path's postings merged across all its (path, value) rows in Dewey order.
+// Leaf predicates, if any, are applied to row values: equality predicates
+// become composite-key point probes; other comparisons scan the path's rows
+// and filter (both are index-only operations).
+func (ix *Index) LookupPath(steps []Step, preds []pred.Predicate) []PathPostings {
+	var out []PathPostings
+	for _, fp := range ix.MatchFullPaths(steps) {
+		postings := ix.lookupFullPath(fp, preds)
+		if len(postings) > 0 {
+			out = append(out, PathPostings{FullPath: fp, Postings: postings})
+		}
+	}
+	return out
+}
+
+// lookupFullPath probes one full data path.
+func (ix *Index) lookupFullPath(fullPath string, preds []pred.Predicate) []Posting {
+	// Single equality predicate: point probe on the composite key.
+	if len(preds) == 1 && preds[0].Op == pred.Eq {
+		if v, ok := ix.tree.Get(compositeKey(fullPath, preds[0].Lit, true)); ok {
+			return v.(*row).postings
+		}
+		// Numeric equality may not match textually (e.g. "07" vs "7");
+		// fall through to the scan so semantics stay value-based.
+	}
+	prefix := append([]byte(fullPath), 0)
+	var rows []*row
+	ix.tree.ScanPrefix(prefix, func(_ []byte, v any) bool {
+		rows = append(rows, v.(*row))
+		return true
+	})
+	var merged []Posting
+	for _, r := range rows {
+		for _, p := range r.postings {
+			if len(preds) > 0 {
+				if !p.HasValue || !pred.All(preds, p.Value) {
+					continue
+				}
+			}
+			merged = append(merged, p)
+		}
+	}
+	sort.Slice(merged, func(i, j int) bool { return dewey.Less(merged[i].ID, merged[j].ID) })
+	return merged
+}
+
+// TagPostings returns the postings of every element with the given tag, in
+// document order (the tag index used by structural joins).
+func (ix *Index) TagPostings(tag string) []Posting { return ix.tags[tag] }
+
+// DistinctRowCount reports the number of (path, value) rows; used by tests
+// and diagnostics.
+func (ix *Index) DistinctRowCount() int { return ix.tree.Len() }

@@ -1,0 +1,410 @@
+package pdt
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"vxml/internal/dewey"
+	"vxml/internal/invindex"
+	"vxml/internal/pathindex"
+	"vxml/internal/pred"
+	"vxml/internal/qpt"
+	"vxml/internal/xmltree"
+	"vxml/internal/xq"
+)
+
+const booksXML = `<books>
+  <book><isbn>111-11-1111</isbn><title>XML Web Services</title><year>1996</year></book>
+  <book><isbn>222-22-2222</isbn><title>Ancient History</title><year>1990</year></book>
+  <book><isbn>333-33-3333</isbn><title>Search Engines</title><year>2004</year></book>
+</books>`
+
+const reviewsXML = `<reviews>
+  <review><isbn>111-11-1111</isbn><content>all about search</content></review>
+  <review><content>orphan review with xml</content></review>
+  <review><isbn>333-33-3333</isbn><content>an xml search classic</content></review>
+</reviews>`
+
+const figure2View = `
+for $book in fn:doc(books.xml)/books//book
+where $book/year > 1995
+return <bookrevs>
+         <book> {$book/title} </book>,
+         {for $rev in fn:doc(reviews.xml)/reviews//review
+          where $rev/isbn = $book/isbn
+          return $rev/content}
+       </bookrevs>`
+
+func parseDoc(t *testing.T, xmlText, name string, docID int32) *xmltree.Document {
+	t.Helper()
+	doc, err := xmltree.ParseString(xmlText, name, docID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func generateFor(t *testing.T, doc *xmltree.Document, q *qpt.QPT, keywords []string) *PDT {
+	t.Helper()
+	pix := pathindex.Build(doc)
+	iix := invindex.Build(doc)
+	lists := PrepareLists(q, pix, iix, keywords)
+	return Generate(q, lists, doc.Name)
+}
+
+func viewQPTs(t *testing.T, view string) []*qpt.QPT {
+	t.Helper()
+	q, err := xq.Parse(view)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qpts, err := qpt.Generate(q.Body, q.Functions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return qpts
+}
+
+// TestFigure6bBooks mirrors the paper's Figure 6(b): the book PDT keeps
+// only books passing the year predicate, materializes isbn and year values,
+// and attaches tf payloads to title elements.
+func TestFigure6bBooks(t *testing.T) {
+	books := parseDoc(t, booksXML, "books.xml", 1)
+	qpts := viewQPTs(t, figure2View)
+	pdt := generateFor(t, books, qpts[0], []string{"xml", "search"})
+	if pdt.Doc == nil {
+		t.Fatal("empty PDT")
+	}
+	root := pdt.Doc.Root
+	if root.Tag != "books" || len(root.Children) != 2 {
+		t.Fatalf("root = %s with %d children", root.Tag, len(root.Children))
+	}
+	book1, book3 := root.Children[0], root.Children[1]
+	if book1.ID.String() != "1.1" || book3.ID.String() != "1.3" {
+		t.Fatalf("kept books %s, %s (year predicate should drop 1.2)", book1.ID, book3.ID)
+	}
+	// isbn ('v') has its value; year ('v') has its value; title ('c') has
+	// tf payload but no value.
+	byTag := map[string]*xmltree.Node{}
+	for _, c := range book1.Children {
+		byTag[c.Tag] = c
+	}
+	if byTag["isbn"] == nil || byTag["isbn"].Value != "111-11-1111" {
+		t.Errorf("isbn = %+v", byTag["isbn"])
+	}
+	if byTag["year"] == nil || byTag["year"].Value != "1996" {
+		t.Errorf("year = %+v", byTag["year"])
+	}
+	title := byTag["title"]
+	if title == nil || title.Meta == nil {
+		t.Fatalf("title = %+v", title)
+	}
+	if title.Value != "" {
+		t.Errorf("title value should be pruned, got %q", title.Value)
+	}
+	// "XML Web Services": tf(xml)=1, tf(search)=0
+	if title.Meta.TFs[0] != 1 || title.Meta.TFs[1] != 0 {
+		t.Errorf("title TFs = %v", title.Meta.TFs)
+	}
+	if title.Meta.SrcLen == 0 || !dewey.Equal(title.Meta.SrcID, title.ID) {
+		t.Errorf("title Meta = %+v", title.Meta)
+	}
+}
+
+// TestFigure6bReviews: reviews without an isbn fail the mandatory edge, and
+// their content is excluded by the ancestor constraint even though content
+// itself has no constraints.
+func TestFigure6bReviews(t *testing.T) {
+	reviews := parseDoc(t, reviewsXML, "reviews.xml", 2)
+	qpts := viewQPTs(t, figure2View)
+	pdt := generateFor(t, reviews, qpts[1], []string{"xml", "search"})
+	root := pdt.Doc.Root
+	if len(root.Children) != 2 {
+		t.Fatalf("kept %d reviews, want 2 (orphan must be pruned)", len(root.Children))
+	}
+	for _, rev := range root.Children {
+		if rev.ID.String() == "2.2" {
+			t.Error("review without isbn must not be in the PDT")
+		}
+		var hasIsbn, hasContent bool
+		for _, c := range rev.Children {
+			if c.Tag == "isbn" && c.Value != "" {
+				hasIsbn = true
+			}
+			if c.Tag == "content" && c.Meta != nil {
+				hasContent = true
+			}
+		}
+		if !hasIsbn || !hasContent {
+			t.Errorf("review %s missing isbn value or content meta", rev.ID)
+		}
+	}
+	// content of review 2.3: "an xml search classic" -> tf(xml)=1, tf(search)=1
+	last := root.Children[1]
+	for _, c := range last.Children {
+		if c.Tag == "content" {
+			if c.Meta.TFs[0] != 1 || c.Meta.TFs[1] != 1 {
+				t.Errorf("content TFs = %v", c.Meta.TFs)
+			}
+		}
+	}
+}
+
+func TestEmptyPDT(t *testing.T) {
+	books := parseDoc(t, booksXML, "books.xml", 1)
+	qpts := viewQPTs(t, `
+for $b in fn:doc(books.xml)/books//book
+where $b/year > 2100
+return $b/title`)
+	pdt := generateFor(t, books, qpts[0], nil)
+	if pdt.Doc != nil && pdt.Doc.Root != nil {
+		t.Errorf("expected empty PDT, got %d nodes", pdt.Nodes)
+	}
+}
+
+func TestPDTMuchSmallerThanDoc(t *testing.T) {
+	// The paper reports ~2MB PDTs from 500MB data; at small scale the PDT
+	// must still contain only QPT-relevant elements.
+	var b strings.Builder
+	b.WriteString("<books>")
+	for i := 0; i < 200; i++ {
+		year := 1980 + i%40
+		fmt.Fprintf(&b, "<book><isbn>i%d</isbn><title>t%d</title><year>%d</year>", i, i, year)
+		// noise subtree that no QPT node matches
+		for j := 0; j < 10; j++ {
+			fmt.Fprintf(&b, "<noise><deep><deeper>text %d %d</deeper></deep></noise>", i, j)
+		}
+		b.WriteString("</book>")
+	}
+	b.WriteString("</books>")
+	doc := parseDoc(t, b.String(), "books.xml", 1)
+	qpts := viewQPTs(t, figure2View)
+	pdt := generateFor(t, doc, qpts[0], []string{"xml"})
+	total := doc.ComputeStats().Elements
+	if pdt.Nodes >= total/3 {
+		t.Errorf("PDT has %d nodes of %d total; pruning ineffective", pdt.Nodes, total)
+	}
+}
+
+func TestRepeatedTagsDeepPath(t *testing.T) {
+	// QPT //a//a over /a/a/a: the middle element matches both QPT nodes.
+	doc := parseDoc(t, `<a><a><a><x>v</x></a></a></a>`, "r.xml", 1)
+	qpts := viewQPTs(t, `for $v in fn:doc(r.xml)//a//a return $v`)
+	pdt := generateFor(t, doc, qpts[0], nil)
+	ref := Reference(qpts[0], doc, nil)
+	if got, want := render(pdt), render(ref); got != want {
+		t.Errorf("repeated tags:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	// PE(//a, outer) = {1, 1.1} (must have an 'a' descendant); PE(//a,
+	// inner) = {1.1, 1.1.1} (must have an 'a' ancestor); the PDT is their
+	// union.
+	if pdt.Nodes != 3 {
+		t.Errorf("PDT nodes = %d:\n%s", pdt.Nodes, render(pdt))
+	}
+}
+
+func TestMandatoryDescendantAxis(t *testing.T) {
+	doc := parseDoc(t, `<r><g><b><c>x</c></b></g><g><b>no c</b></g></r>`, "r.xml", 1)
+	qpts := viewQPTs(t, `for $g in fn:doc(r.xml)/r/g where $g//c = 'x' return $g`)
+	pdt := generateFor(t, doc, qpts[0], nil)
+	ref := Reference(qpts[0], doc, nil)
+	if got, want := render(pdt), render(ref); got != want {
+		t.Errorf("got:\n%s\nwant:\n%s", got, want)
+	}
+	if pdt.Doc == nil || len(pdt.Doc.Root.Children) != 1 {
+		t.Fatalf("expected exactly one g:\n%s", render(pdt))
+	}
+}
+
+// render dumps a PDT deterministically for comparisons.
+func render(p *PDT) string {
+	if p.Doc == nil || p.Doc.Root == nil {
+		return "(empty)"
+	}
+	var b strings.Builder
+	var walk func(n *xmltree.Node, depth int)
+	walk = func(n *xmltree.Node, depth int) {
+		b.WriteString(strings.Repeat(" ", depth))
+		fmt.Fprintf(&b, "%s id=%s", n.Tag, n.ID)
+		if n.Value != "" {
+			fmt.Fprintf(&b, " val=%q", n.Value)
+		}
+		if n.Meta != nil {
+			fmt.Fprintf(&b, " tf=%v len=%d", n.Meta.TFs, n.Meta.SrcLen)
+		}
+		b.WriteString("\n")
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(p.Doc.Root, 0)
+	return b.String()
+}
+
+// ---------------------------------------------------------------- random --
+
+// randomDoc builds documents over a small tag alphabet with values drawn
+// from a tiny vocabulary, so predicates and keywords both hit.
+func randomDoc(r *rand.Rand, docID int32) *xmltree.Document {
+	tags := []string{"a", "b", "c", "d"}
+	words := []string{"xml", "search", "data", "1", "2", "3"}
+	var build func(depth int) *xmltree.Node
+	build = func(depth int) *xmltree.Node {
+		n := xmltree.NewElement(tags[r.Intn(len(tags))])
+		if depth <= 0 || r.Intn(3) == 0 {
+			n.Value = words[r.Intn(len(words))]
+			return n
+		}
+		for i := 0; i < 1+r.Intn(3); i++ {
+			n.AppendChild(build(depth - 1))
+		}
+		return n
+	}
+	root := xmltree.NewElement("r")
+	for i := 0; i < 2+r.Intn(3); i++ {
+		root.AppendChild(build(2 + r.Intn(2)))
+	}
+	doc := &xmltree.Document{Name: "r.xml", Root: root, DocID: docID}
+	doc.Finalize()
+	return doc
+}
+
+// randomQPT builds a random valid QPT: predicates only on leaves, root
+// anchored at the document.
+func randomQPT(r *rand.Rand) *qpt.QPT {
+	tags := []string{"a", "b", "c", "d"}
+	q := &qpt.QPT{Doc: "r.xml", Root: &qpt.Node{}}
+	rootElem := addQPTChild(q.Root, "r", pathindex.Child, true)
+	var grow func(n *qpt.Node, depth int)
+	grow = func(n *qpt.Node, depth int) {
+		kids := 1 + r.Intn(2)
+		for i := 0; i < kids; i++ {
+			axis := pathindex.Child
+			if r.Intn(2) == 0 {
+				axis = pathindex.Descendant
+			}
+			child := addQPTChild(n, tags[r.Intn(len(tags))], axis, r.Intn(2) == 0)
+			if depth > 0 && r.Intn(2) == 0 {
+				grow(child, depth-1)
+			} else {
+				// leaf: random annotations, sometimes a predicate
+				child.V = r.Intn(2) == 0
+				child.C = r.Intn(2) == 0
+				if r.Intn(3) == 0 {
+					child.Preds = []pred.Predicate{{Op: pred.Eq, Lit: []string{"xml", "1", "2"}[r.Intn(3)]}}
+					child.V = true
+				}
+			}
+		}
+	}
+	grow(rootElem, 2)
+	return q
+}
+
+func addQPTChild(n *qpt.Node, tag string, axis pathindex.Axis, mandatory bool) *qpt.Node {
+	child := &qpt.Node{Tag: tag}
+	e := &qpt.Edge{From: n, Child: child, Axis: axis, Mandatory: mandatory}
+	child.Parent = e
+	n.Edges = append(n.Edges, e)
+	return child
+}
+
+// TestQuickGenerateEqualsReference is the central correctness property:
+// the single-pass index-only merge produces exactly the PDT defined by
+// Definitions 1-3 over the materialized document.
+func TestQuickGenerateEqualsReference(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		doc := randomDoc(r, 1)
+		q := randomQPT(r)
+		keywords := []string{"xml", "search"}
+		pix := pathindex.Build(doc)
+		iix := invindex.Build(doc)
+		lists := PrepareLists(q, pix, iix, keywords)
+		got := render(Generate(q, lists, doc.Name))
+		want := render(Reference(q, doc, keywords))
+		if got != want {
+			t.Logf("seed %d\nQPT:\n%s\ndoc:\n%s\ngot:\n%s\nwant:\n%s",
+				seed, q, doc.Root.XMLString("  "), got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTFsMatchMaterialized: tf payloads of 'c' nodes equal term
+// frequencies computed over the materialized subtrees (Theorem 4.1(c)).
+func TestQuickTFsMatchMaterialized(t *testing.T) {
+	keywords := []string{"xml", "search", "data"}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		doc := randomDoc(r, 1)
+		q := randomQPT(r)
+		pix := pathindex.Build(doc)
+		iix := invindex.Build(doc)
+		pdt := Generate(q, PrepareLists(q, pix, iix, keywords), doc.Name)
+		if pdt.Doc == nil {
+			return true
+		}
+		ok := true
+		pdt.Doc.Root.Walk(func(n *xmltree.Node) {
+			if n.Meta == nil {
+				return
+			}
+			base := doc.FindByID(n.Meta.SrcID)
+			if base == nil {
+				ok = false
+				return
+			}
+			want := xmltree.SubtreeTF(base, keywords)
+			for i := range keywords {
+				if n.Meta.TFs[i] != want[i] {
+					ok = false
+				}
+			}
+			if n.Meta.SrcLen != base.ByteLen {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickPrepareListsProbeCountIndependentOfData: the number of path
+// index probes depends on the QPT, not on the document size.
+func TestQuickPrepareListsProbeCountIndependentOfData(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	q := randomQPT(r)
+	var counts []int
+	for _, size := range []int{1, 5, 25} {
+		root := xmltree.NewElement("r")
+		for i := 0; i < size; i++ {
+			sub := randomDoc(r, 1)
+			root.AppendChild(sub.Root)
+		}
+		doc := &xmltree.Document{Name: "r.xml", Root: root, DocID: 1}
+		doc.Finalize()
+		pix := pathindex.Build(doc)
+		iix := invindex.Build(doc)
+		before := pix.Probes()
+		PrepareLists(q, pix, iix, []string{"xml"})
+		counts = append(counts, pix.Probes()-before)
+	}
+	// Probe counts may differ slightly because larger documents can have
+	// more distinct full data paths for '//' expansion, but must stay tiny
+	// and must not scale with element count.
+	for _, c := range counts {
+		if c > 64 {
+			t.Errorf("probe counts %v scale with data size", counts)
+		}
+	}
+}

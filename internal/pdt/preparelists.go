@@ -1,0 +1,138 @@
+// Package pdt implements the PDT Generation Module, the paper's main
+// technical contribution (§4): constructing Pruned Document Trees from a
+// QPT using only the path index and the inverted-list index — the base
+// document is never touched. The PDT contains exactly the elements that
+// satisfy the QPT's mutual ancestor/descendant constraints (Definitions
+// 1-3), with values materialized for 'v' nodes and per-keyword term
+// frequencies plus byte lengths attached to 'c' nodes.
+//
+// GeneratePDT makes a single pass over the Dewey-ordered ID lists with a
+// Candidate Tree maintained as the root-to-cursor chain (the paper's
+// "left-most path"): ParentLists and DescendantMaps enforce the mutual
+// constraints, PdtCaches hold elements whose ancestor constraints are still
+// undecided, and CTQNodeSets handle repeated tag names where one element
+// matches several QPT nodes (Appendix E). Unlike the paper we defer the
+// InPdt fast-path emission and resolve all pending cache entries when their
+// ancestors finalize; this changes memory behaviour slightly (pending
+// candidates are held until their ancestors pop) but not the output, which
+// tests verify against a direct implementation of Definitions 1-3.
+package pdt
+
+import (
+	"strings"
+
+	"vxml/internal/invindex"
+	"vxml/internal/pathindex"
+	"vxml/internal/qpt"
+)
+
+// PathList is one ordered ID list produced by PrepareLists: the postings of
+// one full data path serving one QPT node, together with the per-depth QPT
+// match sets of that full path (used to map ID prefixes back to QPT nodes).
+type PathList struct {
+	QNode    *qpt.Node
+	FullPath string
+	Segs     []string
+	Postings []pathindex.Posting
+	// Matches[d] holds the QPT nodes matched by the prefix of depth d+1
+	// (Matches[len(Segs)-1] always contains QNode).
+	Matches [][]*qpt.Node
+}
+
+// Lists is the output of PrepareLists.
+type Lists struct {
+	Paths    []*PathList
+	Keywords []string
+	Inv      []*invindex.PostingList // one per keyword
+}
+
+// PrepareLists issues the fixed set of index probes of Figure 7: one path
+// lookup per QPT node that has no mandatory child edges (which includes all
+// leaves), plus lookups for 'v' nodes (retrieving values alongside IDs) and
+// for 'c' nodes (whose byte lengths ride in the postings), plus one
+// inverted-list lookup per query keyword. The number of probes depends only
+// on the query, never on the data size.
+func PrepareLists(q *qpt.QPT, pix *pathindex.Index, iix *invindex.Index, keywords []string) *Lists {
+	out := &Lists{Keywords: keywords}
+	for _, n := range q.Nodes() {
+		if n.HasMandatoryChild() && !n.V && !n.C {
+			continue // IDs arrive as prefixes of its mandatory descendants
+		}
+		steps := n.StepsFromRoot()
+		for _, pp := range pix.LookupPath(steps, n.Preds) {
+			pl := &PathList{
+				QNode:    n,
+				FullPath: pp.FullPath,
+				Segs:     splitPath(pp.FullPath),
+				Postings: pp.Postings,
+			}
+			pl.Matches = matchSets(q, pl.Segs)
+			out.Paths = append(out.Paths, pl)
+		}
+	}
+	for _, k := range keywords {
+		out.Inv = append(out.Inv, iix.Lookup(k))
+	}
+	return out
+}
+
+func splitPath(p string) []string {
+	p = strings.TrimPrefix(p, "/")
+	if p == "" {
+		return nil
+	}
+	return strings.Split(p, "/")
+}
+
+// matchSets computes, for each prefix depth d (1-based), the set of QPT
+// nodes whose root-to-node pattern matches the first d segments of the full
+// data path. Handles '//' edges and repeated tag names ("//a//a" over
+// "/a/a/a") by dynamic programming over the QPT.
+//
+// Predicate-bearing leaves are deliberately excluded: an element counts as
+// a candidate for such a node only if its value satisfies the predicates
+// (Definition 1), which is known only from that node's own filtered list —
+// GeneratePDT adds those items when the filtered posting arrives.
+func matchSets(q *qpt.QPT, segs []string) [][]*qpt.Node {
+	n := len(segs)
+	out := make([][]*qpt.Node, n)
+	// reach[node] = bitset over depths 0..n (depth 0 = virtual root)
+	reach := map[*qpt.Node][]bool{}
+	rootReach := make([]bool, n+1)
+	rootReach[0] = true
+	reach[q.Root] = rootReach
+
+	var walk func(node *qpt.Node)
+	walk = func(node *qpt.Node) {
+		for _, e := range node.Edges {
+			child := e.Child
+			parentReach := reach[node]
+			childReach := make([]bool, n+1)
+			// prefixAny[d] = parent reachable at any depth < d
+			any := false
+			for d := 1; d <= n; d++ {
+				anyBelow := any
+				any = any || parentReach[d-1]
+				if segs[d-1] != child.Tag {
+					continue
+				}
+				if e.Axis == pathindex.Child {
+					childReach[d] = parentReach[d-1]
+				} else {
+					childReach[d] = anyBelow || parentReach[d-1]
+				}
+			}
+			reach[child] = childReach
+			if len(child.Preds) == 0 {
+				for d := 1; d <= n; d++ {
+					if childReach[d] {
+						out[d-1] = append(out[d-1], child)
+					}
+				}
+			}
+			walk(child)
+		}
+	}
+	walk(q.Root)
+	return out
+}

@@ -1,0 +1,75 @@
+// Package pred implements leaf-value predicates shared by the query AST,
+// the QPT, the path index and the evaluator (paper §3.3: "nodes are
+// associated with tag names and (possibly) predicates", e.g. year > 1995).
+//
+// Comparison follows XQuery's untyped-atomic convention as restricted by the
+// supported grammar: if both operands parse as numbers they compare
+// numerically, otherwise they compare as strings.
+package pred
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Op is a comparison operator from the supported grammar (Comp ::= '=' |
+// '<' | '>').
+type Op byte
+
+// Supported comparison operators.
+const (
+	Eq Op = '='
+	Lt Op = '<'
+	Gt Op = '>'
+)
+
+// Predicate compares an element's atomic value against a literal.
+type Predicate struct {
+	Op  Op
+	Lit string
+}
+
+// String renders the predicate as it appears in queries, e.g. "> 1995".
+func (p Predicate) String() string { return fmt.Sprintf("%c %s", p.Op, p.Lit) }
+
+// Eval reports whether value satisfies the predicate.
+func (p Predicate) Eval(value string) bool {
+	return Compare(value, p.Lit, p.Op)
+}
+
+// Compare applies op to (a, b) with numeric comparison when both operands
+// are numeric, string comparison otherwise.
+func Compare(a, b string, op Op) bool {
+	fa, errA := strconv.ParseFloat(a, 64)
+	fb, errB := strconv.ParseFloat(b, 64)
+	if errA == nil && errB == nil {
+		switch op {
+		case Eq:
+			return fa == fb
+		case Lt:
+			return fa < fb
+		case Gt:
+			return fa > fb
+		}
+		return false
+	}
+	switch op {
+	case Eq:
+		return a == b
+	case Lt:
+		return a < b
+	case Gt:
+		return a > b
+	}
+	return false
+}
+
+// All reports whether value satisfies every predicate in preds.
+func All(preds []Predicate, value string) bool {
+	for _, p := range preds {
+		if !p.Eval(value) {
+			return false
+		}
+	}
+	return true
+}

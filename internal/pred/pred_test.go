@@ -1,0 +1,74 @@
+package pred
+
+import "testing"
+
+func TestNumericComparison(t *testing.T) {
+	cases := []struct {
+		a, b string
+		op   Op
+		want bool
+	}{
+		{"1996", "1995", Gt, true},
+		{"1995", "1995", Gt, false},
+		{"1994", "1995", Lt, true},
+		{"07", "7", Eq, true}, // numeric equality ignores formatting
+		{"1e3", "1000", Eq, true},
+		{"2", "10", Lt, true}, // numeric, not lexicographic
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b, c.op); got != c.want {
+			t.Errorf("Compare(%q,%q,%c) = %v, want %v", c.a, c.b, c.op, got, c.want)
+		}
+	}
+}
+
+func TestStringComparison(t *testing.T) {
+	cases := []struct {
+		a, b string
+		op   Op
+		want bool
+	}{
+		{"Jane", "Jane", Eq, true},
+		{"Jane", "John", Eq, false},
+		{"abc", "abd", Lt, true},
+		{"b", "a", Gt, true},
+		{"10x", "9", Lt, true}, // one non-numeric operand -> string compare
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b, c.op); got != c.want {
+			t.Errorf("Compare(%q,%q,%c) = %v, want %v", c.a, c.b, c.op, got, c.want)
+		}
+	}
+}
+
+func TestPredicateEvalAndString(t *testing.T) {
+	p := Predicate{Op: Gt, Lit: "1995"}
+	if !p.Eval("1996") || p.Eval("1995") {
+		t.Error("Eval(> 1995) wrong")
+	}
+	if p.String() != "> 1995" {
+		t.Errorf("String = %q", p.String())
+	}
+}
+
+func TestAll(t *testing.T) {
+	preds := []Predicate{{Op: Gt, Lit: "10"}, {Op: Lt, Lit: "20"}}
+	if !All(preds, "15") {
+		t.Error("15 satisfies both")
+	}
+	if All(preds, "25") || All(preds, "5") {
+		t.Error("out-of-range values should fail")
+	}
+	if !All(nil, "anything") {
+		t.Error("empty predicate list is vacuously true")
+	}
+}
+
+func TestUnknownOp(t *testing.T) {
+	if Compare("1", "1", Op('?')) {
+		t.Error("unknown op should be false")
+	}
+	if Compare("a", "a", Op('?')) {
+		t.Error("unknown op should be false (string path)")
+	}
+}

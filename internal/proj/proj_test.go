@@ -1,0 +1,102 @@
+package proj
+
+import (
+	"strings"
+	"testing"
+
+	"vxml/internal/qpt"
+	"vxml/internal/xmltree"
+	"vxml/internal/xq"
+)
+
+const booksXML = `<books>
+  <book><isbn>111</isbn><title>XML Basics</title><year>1996</year>
+    <noise><deep>irrelevant</deep></noise></book>
+  <book><isbn>222</isbn><title>Old Book</title><year>1990</year></book>
+</books>`
+
+const view = `
+for $b in fn:doc(books.xml)/books//book
+where $b/year > 1995
+return <e>{$b/title}</e>`
+
+func projected(t *testing.T) (*xmltree.Document, *xmltree.Document) {
+	t.Helper()
+	doc, err := xmltree.ParseString(booksXML, "books.xml", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := xq.MustParse(view)
+	qpts, err := qpt.Generate(q.Body, q.Functions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc, Project(doc, qpts[0])
+}
+
+func TestProjectKeepsPathMatches(t *testing.T) {
+	doc, out := projected(t)
+	if out.Root == nil {
+		t.Fatal("empty projection")
+	}
+	// PROJ uses isolated path semantics: BOTH books survive (no twig
+	// pruning by the year predicate), with title and year children.
+	if len(out.Root.Children) != 2 {
+		t.Fatalf("books kept = %d, want 2 (no twig semantics)", len(out.Root.Children))
+	}
+	text := out.Root.XMLString("")
+	if !strings.Contains(text, "XML Basics") || !strings.Contains(text, "1990") {
+		t.Errorf("projection lost matched values: %s", text)
+	}
+	if strings.Contains(text, "irrelevant") {
+		t.Errorf("projection kept non-matching subtree: %s", text)
+	}
+	if Size(out) >= doc.Root.NodeCount() {
+		t.Errorf("projection did not shrink: %d vs %d", Size(out), doc.Root.NodeCount())
+	}
+}
+
+func TestProjectValuesOnlyOnMatches(t *testing.T) {
+	_, out := projected(t)
+	// isbn is not referenced by the view: it must be pruned entirely.
+	found := false
+	out.Root.Walk(func(n *xmltree.Node) {
+		if n.Tag == "isbn" {
+			found = true
+		}
+	})
+	if found {
+		t.Error("isbn should not be projected (not on any QPT path)")
+	}
+}
+
+func TestProjectEmpty(t *testing.T) {
+	doc, err := xmltree.ParseString("<other><x>1</x></other>", "books.xml", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := xq.MustParse(view)
+	qpts, _ := qpt.Generate(q.Body, q.Functions)
+	out := Project(doc, qpts[0])
+	if out.Root != nil || Size(out) != 0 {
+		t.Errorf("projection of unrelated doc should be empty, got %d nodes", Size(out))
+	}
+}
+
+func TestProjectDescendantAxis(t *testing.T) {
+	doc, err := xmltree.ParseString(
+		`<books><shelf><book><title>Deep</title><year>2000</year></book></shelf></books>`,
+		"books.xml", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := xq.MustParse(view)
+	qpts, _ := qpt.Generate(q.Body, q.Functions)
+	out := Project(doc, qpts[0])
+	text := out.Root.XMLString("")
+	// //book matches through shelf; shelf is kept as a structural ancestor
+	// but contributes no value.
+	if !strings.Contains(text, "<shelf>") || !strings.Contains(text, "Deep") {
+		t.Errorf("descendant projection wrong: %s", text)
+	}
+}

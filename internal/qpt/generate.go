@@ -1,0 +1,351 @@
+package qpt
+
+import (
+	"fmt"
+
+	"vxml/internal/pred"
+	"vxml/internal/xq"
+)
+
+const maxExpandDepth = 32
+
+// analyzeReturn analyzes an expression in output position: its results
+// contribute content to the view. Element constructors and sequences
+// optional-ize the root edges of variable-anchored twigs, because a
+// constructed element exists even when an embedded sub-expression is empty
+// (Appendix B, Figure 24 lines 42-60).
+func (g *generator) analyzeReturn(e xq.Expr) ([]*twig, error) {
+	switch x := e.(type) {
+	case *xq.ElementExpr:
+		var out []*twig
+		for _, child := range x.Children {
+			ts, err := g.analyzeReturn(child)
+			if err != nil {
+				return nil, err
+			}
+			optionalizeVarRooted(ts)
+			out = append(out, ts...)
+		}
+		return out, nil
+	case *xq.SeqExpr:
+		var out []*twig
+		for _, item := range x.Items {
+			ts, err := g.analyzeReturn(item)
+			if err != nil {
+				return nil, err
+			}
+			optionalizeVarRooted(ts)
+			out = append(out, ts...)
+		}
+		return out, nil
+	default:
+		return g.analyze(e, true)
+	}
+}
+
+// optionalizeVarRooted marks the root edges of variable- and dot-anchored
+// twigs optional.
+func optionalizeVarRooted(ts []*twig) {
+	for _, t := range ts {
+		if t.anchor == "." || t.anchor[0] == '$' {
+			for _, edge := range t.root.Edges {
+				edge.Mandatory = false
+			}
+		}
+	}
+}
+
+// analyze derives twigs for an expression. content reports whether the
+// expression's value is propagated to the view output (sets 'c' on spine
+// leaves).
+func (g *generator) analyze(e xq.Expr, content bool) ([]*twig, error) {
+	switch x := e.(type) {
+	case *xq.DocExpr:
+		t := &twig{anchor: docAnchor(x.Name), root: &Node{}}
+		t.leaf = t.root
+		t.root.C = content
+		return []*twig{t}, nil
+	case *xq.VarExpr:
+		t := &twig{anchor: varAnchor(x.Name), root: &Node{}}
+		t.leaf = t.root
+		t.root.C = content
+		return []*twig{t}, nil
+	case *xq.DotExpr:
+		t := &twig{anchor: ".", root: &Node{}}
+		t.leaf = t.root
+		t.root.C = content
+		return []*twig{t}, nil
+	case *xq.LiteralExpr:
+		return nil, nil
+	case *xq.StepExpr:
+		ts, err := g.analyze(x.Base, false)
+		if err != nil {
+			return nil, err
+		}
+		if len(ts) == 0 {
+			return nil, fmt.Errorf("qpt: path steps applied to literal")
+		}
+		main := ts[0]
+		for _, st := range x.Steps {
+			main.leaf = main.leaf.addChild(st.Tag, st.Axis, true)
+		}
+		main.leaf.C = content
+		return ts, nil
+	case *xq.FilterExpr:
+		ts, err := g.analyze(x.Base, content)
+		if err != nil {
+			return nil, err
+		}
+		if len(ts) == 0 {
+			return nil, fmt.Errorf("qpt: filter applied to literal")
+		}
+		main := ts[0]
+		predTwigs, err := g.analyzePred(x.Pred)
+		if err != nil {
+			return nil, err
+		}
+		for _, pt := range predTwigs {
+			if pt.anchor == "." {
+				graft(main.leaf, pt, false)
+			} else {
+				ts = append(ts, pt)
+			}
+		}
+		return ts, nil
+	case *xq.CmpExpr, *xq.FTContainsExpr:
+		return g.analyzePred(e)
+	case *xq.CondExpr:
+		condTs, err := g.analyzePred(x.Cond)
+		if err != nil {
+			return nil, err
+		}
+		// Condition sub-expressions never contribute content (Figure 21
+		// lines 36-39).
+		for _, t := range condTs {
+			clearContent(t.root)
+		}
+		thenTs, err := g.analyze(x.Then, content)
+		if err != nil {
+			return nil, err
+		}
+		elseTs, err := g.analyze(x.Else, content)
+		if err != nil {
+			return nil, err
+		}
+		return append(condTs, append(thenTs, elseTs...)...), nil
+	case *xq.SeqExpr:
+		var out []*twig
+		for _, item := range x.Items {
+			ts, err := g.analyze(item, content)
+			if err != nil {
+				return nil, err
+			}
+			optionalizeVarRooted(ts)
+			out = append(out, ts...)
+		}
+		return out, nil
+	case *xq.ElementExpr:
+		return g.analyzeReturn(x)
+	case *xq.FLWORExpr:
+		return g.analyzeFLWOR(x, content)
+	case *xq.CallExpr:
+		return g.analyzeCall(x, content)
+	}
+	return nil, fmt.Errorf("qpt: unsupported expression %T in view", e)
+}
+
+// analyzePred analyzes a predicate expression (where clause, filter, if
+// condition): path existence, comparison to a literal (predicate pushed to
+// the leaf, 'v' set so the evaluator can re-check it over the PDT), or a
+// value join (both leaves 'v').
+func (g *generator) analyzePred(e xq.Expr) ([]*twig, error) {
+	switch x := e.(type) {
+	case *xq.CmpExpr:
+		if lit, ok := x.Right.(*xq.LiteralExpr); ok {
+			ts, err := g.analyze(x.Left, false)
+			if err != nil {
+				return nil, err
+			}
+			if len(ts) > 0 {
+				leaf := ts[0].leaf
+				leaf.Preds = append(leaf.Preds, pred.Predicate{Op: x.Op, Lit: lit.Value})
+				leaf.V = true
+			}
+			return ts, nil
+		}
+		if lit, ok := x.Left.(*xq.LiteralExpr); ok {
+			// literal Comp path: flip the comparison
+			ts, err := g.analyze(x.Right, false)
+			if err != nil {
+				return nil, err
+			}
+			if len(ts) > 0 {
+				leaf := ts[0].leaf
+				leaf.Preds = append(leaf.Preds, pred.Predicate{Op: flip(x.Op), Lit: lit.Value})
+				leaf.V = true
+			}
+			return ts, nil
+		}
+		left, err := g.analyze(x.Left, false)
+		if err != nil {
+			return nil, err
+		}
+		right, err := g.analyze(x.Right, false)
+		if err != nil {
+			return nil, err
+		}
+		ts := append(left, right...)
+		for _, t := range ts {
+			t.leaf.V = true
+		}
+		return ts, nil
+	case *xq.FTContainsExpr:
+		return nil, fmt.Errorf("qpt: ftcontains inside a view definition is not supported; pose keywords over the view")
+	default:
+		return g.analyze(e, false)
+	}
+}
+
+func flip(op pred.Op) pred.Op {
+	switch op {
+	case pred.Lt:
+		return pred.Gt
+	case pred.Gt:
+		return pred.Lt
+	}
+	return op
+}
+
+func clearContent(n *Node) {
+	n.C = false
+	for _, e := range n.Edges {
+		clearContent(e.Child)
+	}
+}
+
+// analyzeFLWOR implements Figure 24: analyze where and return, then bind
+// for/let clauses from the innermost to the outermost, grafting twigs
+// anchored at each clause variable onto the leaf of the clause's binding
+// path.
+func (g *generator) analyzeFLWOR(x *xq.FLWORExpr, content bool) ([]*twig, error) {
+	var pending []*twig
+	if x.Where != nil {
+		ts, err := g.analyzePred(x.Where)
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range ts {
+			clearContent(t.root)
+		}
+		pending = append(pending, ts...)
+	}
+	retTs, err := g.analyzeReturnExpr(x.Return, content)
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range retTs {
+		t.fromReturn = true
+	}
+	pending = append(pending, retTs...)
+
+	for i := len(x.Clauses) - 1; i >= 0; i-- {
+		cl := x.Clauses[i]
+		pathTs, err := g.analyze(cl.In, false)
+		if err != nil {
+			return nil, err
+		}
+		if len(pathTs) == 0 {
+			return nil, fmt.Errorf("qpt: clause $%s binds a literal", cl.Var)
+		}
+		main := pathTs[0]
+		anchor := varAnchor(cl.Var)
+		var remaining []*twig
+		for _, t := range pending {
+			if t.anchor != anchor {
+				remaining = append(remaining, t)
+				continue
+			}
+			isPlainVarReturn := t.fromReturn && len(t.root.Edges) == 0
+			graft(main.leaf, t, isPlainVarReturn)
+		}
+		pending = append(remaining, pathTs...)
+	}
+	return pending, nil
+}
+
+// analyzeReturnExpr dispatches return expressions with content=true unless
+// the FLWOR itself is in a non-content position.
+func (g *generator) analyzeReturnExpr(e xq.Expr, content bool) ([]*twig, error) {
+	if !content {
+		ts, err := g.analyzeReturn(e)
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range ts {
+			clearContent(t.root)
+		}
+		return ts, nil
+	}
+	return g.analyzeReturn(e)
+}
+
+// graft attaches twig t (anchored at a variable or '.') onto leaf: t's root
+// edges become leaf's edges, and the anchor's annotations fold into the
+// leaf. When the twig is a bare `return $var`, the leaf inherits the
+// content annotation (Figure 24 lines 21-27).
+func graft(leaf *Node, t *twig, inheritContent bool) {
+	for _, e := range t.root.Edges {
+		e.From = leaf
+		leaf.Edges = append(leaf.Edges, e)
+	}
+	leaf.V = leaf.V || t.root.V
+	leaf.Preds = append(leaf.Preds, t.root.Preds...)
+	if inheritContent {
+		leaf.C = leaf.C || t.root.C
+	}
+}
+
+// analyzeCall expands a non-recursive function call: the body is analyzed
+// and parameter-anchored twigs are grafted onto the argument paths
+// (Figure 21 lines 43-60).
+func (g *generator) analyzeCall(x *xq.CallExpr, content bool) ([]*twig, error) {
+	fd, ok := g.funcs[x.Name]
+	if !ok {
+		return nil, fmt.Errorf("qpt: unknown function %q", x.Name)
+	}
+	if len(x.Args) != len(fd.Params) {
+		return nil, fmt.Errorf("qpt: %s expects %d arguments, got %d", x.Name, len(fd.Params), len(x.Args))
+	}
+	if g.depth >= maxExpandDepth {
+		return nil, fmt.Errorf("qpt: function expansion too deep (recursion is not supported)")
+	}
+	g.depth++
+	defer func() { g.depth-- }()
+	bodyTs, err := g.analyze(fd.Body, content)
+	if err != nil {
+		return nil, err
+	}
+	pending := bodyTs
+	for i, arg := range x.Args {
+		argTs, err := g.analyze(arg, false)
+		if err != nil {
+			return nil, err
+		}
+		if len(argTs) == 0 {
+			continue // literal argument
+		}
+		main := argTs[0]
+		anchor := varAnchor(fd.Params[i])
+		var remaining []*twig
+		for _, t := range pending {
+			if t.anchor != anchor {
+				remaining = append(remaining, t)
+				continue
+			}
+			isPlainVarReturn := len(t.root.Edges) == 0
+			graft(main.leaf, t, isPlainVarReturn)
+		}
+		pending = append(remaining, argTs...)
+	}
+	return pending, nil
+}

@@ -1,0 +1,272 @@
+// Package qpt implements the Query Pattern Tree and its generation from a
+// view definition (paper §3.3 and Appendix B). The QPT generalizes the GTP
+// of Chen et al. with two node annotations: 'v' marks nodes whose values
+// are required during query evaluation (join keys, predicate operands) and
+// 'c' marks nodes whose content is propagated to the view output (needed
+// for scoring and final materialization). Edges carry an axis ('/' or '//')
+// and are mandatory or optional.
+//
+// One deliberate deviation from the appendix pseudocode: leaves compared to
+// literals (e.g. year > 1995) are annotated 'v' in addition to carrying the
+// predicate, matching the paper's Figure 6(b) where the PDT materializes
+// year values. This lets the unchanged evaluator re-check the predicate
+// over the PDT, which is how the architecture avoids modifying the
+// evaluator.
+package qpt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vxml/internal/pathindex"
+	"vxml/internal/pred"
+	"vxml/internal/xq"
+)
+
+// Node is one node of a QPT. The root of a finalized QPT is a virtual node
+// standing for the document itself (Tag == ""); all other nodes carry
+// element tag names.
+type Node struct {
+	Tag   string
+	Preds []pred.Predicate
+	V     bool // value required during evaluation
+	C     bool // content propagated to the view output
+	Edges []*Edge
+	// Parent is the edge leading to this node (nil for the root).
+	Parent *Edge
+}
+
+// Edge links a parent QPT node to a child.
+type Edge struct {
+	From      *Node
+	Child     *Node
+	Axis      pathindex.Axis
+	Mandatory bool
+}
+
+// QPT is a finalized query pattern tree for one document.
+type QPT struct {
+	Doc  string // document name from fn:doc
+	Root *Node  // virtual document node
+}
+
+// addChild appends a child node and returns it.
+func (n *Node) addChild(tag string, axis pathindex.Axis, mandatory bool) *Node {
+	c := &Node{Tag: tag}
+	e := &Edge{From: n, Child: c, Axis: axis, Mandatory: mandatory}
+	c.Parent = e
+	n.Edges = append(n.Edges, e)
+	return c
+}
+
+// HasMandatoryChild reports whether any child edge is mandatory.
+func (n *Node) HasMandatoryChild() bool {
+	for _, e := range n.Edges {
+		if e.Mandatory {
+			return true
+		}
+	}
+	return false
+}
+
+// IsLeaf reports whether the node has no child edges.
+func (n *Node) IsLeaf() bool { return len(n.Edges) == 0 }
+
+// StepsFromRoot returns the root-anchored path pattern leading to n,
+// suitable for path index lookups.
+func (n *Node) StepsFromRoot() []pathindex.Step {
+	var rev []pathindex.Step
+	for cur := n; cur.Parent != nil; cur = cur.Parent.From {
+		rev = append(rev, pathindex.Step{Axis: cur.Parent.Axis, Tag: cur.Tag})
+	}
+	steps := make([]pathindex.Step, len(rev))
+	for i := range rev {
+		steps[i] = rev[len(rev)-1-i]
+	}
+	return steps
+}
+
+// Nodes returns all non-virtual nodes in pre-order.
+func (q *QPT) Nodes() []*Node {
+	var out []*Node
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.Tag != "" {
+			out = append(out, n)
+		}
+		for _, e := range n.Edges {
+			walk(e.Child)
+		}
+	}
+	walk(q.Root)
+	return out
+}
+
+// Depth returns the maximum node depth (root element = 1).
+func (q *QPT) Depth() int {
+	var walk func(n *Node, d int) int
+	walk = func(n *Node, d int) int {
+		max := d
+		for _, e := range n.Edges {
+			if m := walk(e.Child, d+1); m > max {
+				max = m
+			}
+		}
+		return max
+	}
+	return walk(q.Root, 0)
+}
+
+// String renders the QPT in a stable indented form used by golden tests:
+//
+//	doc(books.xml)
+//	  /books m
+//	    //book m
+//	      /year m v pred(> 1995)
+//	      /title o c
+//	      /isbn o v
+func (q *QPT) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "doc(%s)\n", q.Doc)
+	var walk func(n *Node, depth int)
+	walk = func(n *Node, depth int) {
+		for _, e := range n.Edges {
+			b.WriteString(strings.Repeat("  ", depth))
+			b.WriteString(e.Axis.String())
+			b.WriteString(e.Child.Tag)
+			if e.Mandatory {
+				b.WriteString(" m")
+			} else {
+				b.WriteString(" o")
+			}
+			if e.Child.V {
+				b.WriteString(" v")
+			}
+			if e.Child.C {
+				b.WriteString(" c")
+			}
+			for _, p := range e.Child.Preds {
+				fmt.Fprintf(&b, " pred(%s)", p)
+			}
+			b.WriteString("\n")
+			walk(e.Child, depth+1)
+		}
+	}
+	walk(q.Root, 1)
+	return b.String()
+}
+
+// ----------------------------------------------------------- generation --
+
+// twig is an intermediate pattern tree rooted at an anchor: a document
+// (anchor "doc:name"), a variable ("$name"), or the context item (".").
+type twig struct {
+	anchor     string
+	root       *Node // virtual anchor node; Edges are real pattern steps
+	leaf       *Node // spine leaf for grafting further steps
+	fromReturn bool  // whether this twig came from a return expression
+}
+
+func docAnchor(name string) string { return "doc:" + name }
+func varAnchor(name string) string { return "$" + name }
+
+// generator carries the function environment during analysis.
+type generator struct {
+	funcs map[string]*xq.FuncDecl
+	depth int
+}
+
+// Generate derives the QPT set for a view definition: one QPT per document
+// referenced by the view. Every variable must be resolvable within the
+// expression (the engine extracts the view from the keyword query before
+// calling Generate).
+func Generate(view xq.Expr, funcs map[string]*xq.FuncDecl) ([]*QPT, error) {
+	g := &generator{funcs: funcs}
+	twigs, err := g.analyzeReturn(view)
+	if err != nil {
+		return nil, err
+	}
+	byDoc := map[string]*QPT{}
+	var order []string
+	for _, t := range twigs {
+		if !strings.HasPrefix(t.anchor, "doc:") {
+			return nil, fmt.Errorf("qpt: unresolved anchor %q in view (free variable or context item)", t.anchor)
+		}
+		name := strings.TrimPrefix(t.anchor, "doc:")
+		q := byDoc[name]
+		if q == nil {
+			q = &QPT{Doc: name, Root: &Node{}}
+			byDoc[name] = q
+			order = append(order, name)
+		}
+		mergeInto(q.Root, t.root)
+	}
+	sort.Strings(order)
+	qpts := make([]*QPT, 0, len(order))
+	for _, name := range order {
+		q := byDoc[name]
+		if err := validate(q); err != nil {
+			return nil, err
+		}
+		qpts = append(qpts, q)
+	}
+	if len(qpts) == 0 {
+		return nil, fmt.Errorf("qpt: view references no documents")
+	}
+	return qpts, nil
+}
+
+// validate rejects QPT shapes outside the supported grammar: predicates on
+// the string values of non-leaf elements (paper §3.1 lists these as
+// unsupported).
+func validate(q *QPT) error {
+	var err error
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if len(n.Preds) > 0 && len(n.Edges) > 0 && err == nil {
+			err = fmt.Errorf("qpt: predicate %s on non-leaf element <%s> is not supported", n.Preds[0], n.Tag)
+		}
+		for _, e := range n.Edges {
+			walk(e.Child)
+		}
+	}
+	walk(q.Root)
+	return err
+}
+
+// mergeInto merges src's children into dst, unifying structurally identical
+// chains (same tag, axis, annotation and predicates) so that several paths
+// into the same document form a single twig as in Figure 6(a).
+func mergeInto(dst, src *Node) {
+	dst.V = dst.V || src.V
+	dst.C = dst.C || src.C
+	for _, e := range src.Edges {
+		var match *Edge
+		for _, d := range dst.Edges {
+			if d.Child.Tag == e.Child.Tag && d.Axis == e.Axis &&
+				d.Mandatory == e.Mandatory && predsEqual(d.Child.Preds, e.Child.Preds) {
+				match = d
+				break
+			}
+		}
+		if match == nil {
+			e.From = dst
+			dst.Edges = append(dst.Edges, e)
+			continue
+		}
+		mergeInto(match.Child, e.Child)
+	}
+}
+
+func predsEqual(a, b []pred.Predicate) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,181 @@
+// Package scoring implements the Scoring & Materialization Module (paper
+// §2.2 and §4.2.2.2): it enforces conjunctive or disjunctive keyword
+// semantics over view results, computes element-level TF-IDF scores, and
+// materializes only the top-k winners from document storage.
+//
+// The same code scores both pipelines. For the Efficient pipeline the term
+// frequencies and byte lengths come from the NodeMeta payloads that PDT
+// generation attached to 'c' elements; for the Baseline pipeline they are
+// computed from the materialized base subtrees referenced by the result.
+// Theorem 4.1 guarantees — and the test suite verifies — that both modes
+// produce identical scores and rank order.
+package scoring
+
+import (
+	"math"
+	"sort"
+
+	"vxml/internal/store"
+	"vxml/internal/xmltree"
+)
+
+// Mode selects where Collect finds scoring payloads.
+type Mode int
+
+// Collection modes.
+const (
+	// FromPDT reads NodeMeta payloads attached by PDT generation.
+	FromPDT Mode = iota
+	// FromBase computes statistics from materialized base subtrees
+	// (elements that carry a Dewey ID).
+	FromBase
+)
+
+// Stats aggregates the scoring inputs of one view result element: the
+// per-keyword term frequencies and the total byte length of the base
+// content it contains.
+type Stats struct {
+	TFs     []int
+	ByteLen int
+}
+
+// Collect walks a view result tree and aggregates term frequencies and
+// byte lengths from its scoring payloads. Constructed wrapper elements
+// contribute nothing; each referenced base element contributes its whole
+// subtree exactly once.
+func Collect(result *xmltree.Node, keywords []string, mode Mode) Stats {
+	st := Stats{TFs: make([]int, len(keywords))}
+	var walk func(n *xmltree.Node)
+	walk = func(n *xmltree.Node) {
+		switch {
+		case mode == FromPDT && n.Meta != nil:
+			for i := range keywords {
+				if i < len(n.Meta.TFs) {
+					st.TFs[i] += n.Meta.TFs[i]
+				}
+			}
+			st.ByteLen += n.Meta.SrcLen
+			return // Meta covers the whole base subtree
+		case mode == FromBase && len(n.ID) > 0:
+			tf := xmltree.SubtreeTF(n, keywords)
+			for i := range keywords {
+				st.TFs[i] += tf[i]
+			}
+			st.ByteLen += n.ByteLen
+			return // the base subtree is counted wholesale
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(result)
+	return st
+}
+
+// Scored is one ranked view result.
+type Scored struct {
+	Result *xmltree.Node
+	Stats  Stats
+	Score  float64
+	Index  int // position of the result in the view output sequence
+}
+
+// Ranking is the output of Rank: the matching results ordered by
+// descending score, plus the corpus statistics used.
+type Ranking struct {
+	Results []Scored
+	IDFs    []float64
+	// ViewSize is |V(D)|, the total number of view results (the TF-IDF
+	// numerator of §2.2).
+	ViewSize int
+	// Matched counts the results that satisfied the keyword semantics.
+	Matched int
+}
+
+// Rank scores the view results for the keyword query and returns the top k
+// (k <= 0 means all matches), implementing Problem Ranked-KS. Results with
+// equal scores keep view order (ties broken deterministically).
+func Rank(results []*xmltree.Node, keywords []string, conjunctive bool, k int, mode Mode) *Ranking {
+	r := &Ranking{ViewSize: len(results)}
+	stats := make([]Stats, len(results))
+	contains := make([]int, len(keywords)) // # results containing keyword i
+	for i, res := range results {
+		stats[i] = Collect(res, keywords, mode)
+		for j := range keywords {
+			if stats[i].TFs[j] > 0 {
+				contains[j]++
+			}
+		}
+	}
+	// idf(k) = |V(D)| / |{e in V(D) : contains(e, k)}| (§2.2); keywords
+	// absent from the whole view contribute nothing.
+	r.IDFs = make([]float64, len(keywords))
+	for j := range keywords {
+		if contains[j] > 0 {
+			r.IDFs[j] = float64(len(results)) / float64(contains[j])
+		}
+	}
+	for i, res := range results {
+		if !satisfies(stats[i].TFs, conjunctive) {
+			continue
+		}
+		r.Matched++
+		score := 0.0
+		for j := range keywords {
+			score += float64(stats[i].TFs[j]) * r.IDFs[j]
+		}
+		// Normalize by aggregate byte length (§4.2.2.2). The exact form is
+		// immaterial as long as both pipelines share it; log damping is the
+		// convention of [40].
+		score /= math.Log2(2 + float64(stats[i].ByteLen))
+		r.Results = append(r.Results, Scored{Result: res, Stats: stats[i], Score: score, Index: i})
+	}
+	sort.SliceStable(r.Results, func(a, b int) bool {
+		if r.Results[a].Score != r.Results[b].Score {
+			return r.Results[a].Score > r.Results[b].Score
+		}
+		return r.Results[a].Index < r.Results[b].Index
+	})
+	if k > 0 && len(r.Results) > k {
+		r.Results = r.Results[:k]
+	}
+	return r
+}
+
+func satisfies(tfs []int, conjunctive bool) bool {
+	if len(tfs) == 0 {
+		return true
+	}
+	for _, tf := range tfs {
+		if conjunctive && tf == 0 {
+			return false
+		}
+		if !conjunctive && tf > 0 {
+			return true
+		}
+	}
+	return conjunctive
+}
+
+// Materialize expands a (possibly pruned) view result into a complete tree:
+// PDT elements are replaced by their full base subtrees fetched from
+// document storage — the only base-data access of the Efficient pipeline,
+// performed for top-k winners only.
+func Materialize(result *xmltree.Node, st *store.Store) *xmltree.Node {
+	if result.Meta != nil {
+		if full := st.Subtree(result.Meta.SrcID); full != nil {
+			return full.Clone()
+		}
+	}
+	if len(result.ID) > 0 && result.Meta == nil {
+		// Already a base subtree (Baseline pipeline): deep-copy it.
+		if full := st.Subtree(result.ID); full != nil {
+			return full.Clone()
+		}
+	}
+	out := &xmltree.Node{Tag: result.Tag, Value: result.Value, ID: result.ID.Clone()}
+	for _, c := range result.Children {
+		out.AppendChild(Materialize(c, st))
+	}
+	return out
+}

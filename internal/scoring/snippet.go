@@ -1,0 +1,84 @@
+package scoring
+
+import (
+	"strings"
+
+	"vxml/internal/xmltree"
+)
+
+// Snippet extracts a short keyword-in-context excerpt from a materialized
+// result: the first text value containing any query keyword, clipped to
+// about width bytes around the first hit. Returns "" when no keyword
+// occurs in text content.
+func Snippet(result *xmltree.Node, keywords []string, width int) string {
+	if width <= 0 {
+		width = 160
+	}
+	var found string
+	var hitPos int
+	result.Walk(func(n *xmltree.Node) {
+		if found != "" || n.Value == "" {
+			return
+		}
+		lower := strings.ToLower(n.Value)
+		for _, k := range keywords {
+			pos := indexToken(lower, k)
+			if pos >= 0 {
+				found = n.Value
+				hitPos = pos
+				return
+			}
+		}
+	})
+	if found == "" {
+		return ""
+	}
+	start := hitPos - width/2
+	if start < 0 {
+		start = 0
+	}
+	end := start + width
+	if end > len(found) {
+		end = len(found)
+		if start > end-width && end-width >= 0 {
+			start = end - width
+		}
+		if start < 0 {
+			start = 0
+		}
+	}
+	out := found[start:end]
+	if start > 0 {
+		out = "…" + out
+	}
+	if end < len(found) {
+		out += "…"
+	}
+	return out
+}
+
+// indexToken finds keyword k as a whole token inside lowercase text,
+// returning its byte offset or -1.
+func indexToken(lower, k string) int {
+	from := 0
+	for {
+		i := strings.Index(lower[from:], k)
+		if i < 0 {
+			return -1
+		}
+		pos := from + i
+		beforeOK := pos == 0 || !isAlnum(lower[pos-1])
+		afterOK := pos+len(k) >= len(lower) || !isAlnum(lower[pos+len(k)])
+		if beforeOK && afterOK {
+			return pos
+		}
+		from = pos + len(k)
+		if from >= len(lower) {
+			return -1
+		}
+	}
+}
+
+func isAlnum(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= '0' && c <= '9'
+}

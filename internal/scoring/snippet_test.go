@@ -1,0 +1,91 @@
+package scoring
+
+import (
+	"strings"
+	"testing"
+
+	"vxml/internal/xmltree"
+)
+
+func mkResult(texts ...string) *xmltree.Node {
+	root := xmltree.NewElement("r")
+	for _, t := range texts {
+		root.AppendLeaf("p", t)
+	}
+	return root
+}
+
+func TestSnippetFindsFirstHit(t *testing.T) {
+	res := mkResult("nothing here", "all about XML views", "also xml")
+	got := Snippet(res, []string{"xml"}, 160)
+	if got != "all about XML views" {
+		t.Errorf("Snippet = %q", got)
+	}
+}
+
+func TestSnippetWholeTokenOnly(t *testing.T) {
+	res := mkResult("the xmlification of things", "pure xml here")
+	got := Snippet(res, []string{"xml"}, 160)
+	if got != "pure xml here" {
+		t.Errorf("Snippet matched a partial token: %q", got)
+	}
+}
+
+func TestSnippetClipsLongText(t *testing.T) {
+	long := strings.Repeat("pad ", 100) + "needle" + strings.Repeat(" tail", 100)
+	res := mkResult(long)
+	got := Snippet(res, []string{"needle"}, 60)
+	if !strings.Contains(got, "needle") {
+		t.Fatalf("hit missing from %q", got)
+	}
+	if len(got) > 70+6 { // width + ellipses
+		t.Errorf("snippet too long: %d bytes", len(got))
+	}
+	if !strings.HasPrefix(got, "…") || !strings.HasSuffix(got, "…") {
+		t.Errorf("expected ellipses on both sides: %q", got)
+	}
+}
+
+func TestSnippetNoHit(t *testing.T) {
+	res := mkResult("nothing relevant")
+	if got := Snippet(res, []string{"absent"}, 160); got != "" {
+		t.Errorf("Snippet = %q, want empty", got)
+	}
+}
+
+func TestSnippetStartOfText(t *testing.T) {
+	res := mkResult("needle at the very start of a long long long text value here")
+	got := Snippet(res, []string{"needle"}, 30)
+	if !strings.HasPrefix(got, "needle") {
+		t.Errorf("Snippet = %q", got)
+	}
+	if !strings.HasSuffix(got, "…") {
+		t.Errorf("expected trailing ellipsis: %q", got)
+	}
+}
+
+func TestSnippetDefaultWidth(t *testing.T) {
+	res := mkResult("short hit")
+	if got := Snippet(res, []string{"hit"}, 0); got != "short hit" {
+		t.Errorf("Snippet = %q", got)
+	}
+}
+
+func TestIndexToken(t *testing.T) {
+	cases := []struct {
+		text, k string
+		want    int
+	}{
+		{"xml views", "xml", 0},
+		{"the xml", "xml", 4},
+		{"xmlish xml", "xml", 7},
+		{"prexml postxml", "xml", -1},
+		{"a-xml-b", "xml", 2},
+		{"", "xml", -1},
+	}
+	for _, c := range cases {
+		if got := indexToken(c.text, c.k); got != c.want {
+			t.Errorf("indexToken(%q,%q) = %d, want %d", c.text, c.k, got, c.want)
+		}
+	}
+}

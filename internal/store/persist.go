@@ -1,0 +1,93 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Save writes every document to dir as <name> plus a manifest recording
+// load order, so document IDs — and therefore every Dewey ID — are stable
+// across a save/load round trip. Indices are rebuilt on load; they are
+// deterministic functions of the documents.
+func (s *Store) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: save: %w", err)
+	}
+	var manifest []string
+	for _, doc := range s.Docs() {
+		if strings.ContainsAny(doc.Name, "/\\\n") {
+			return fmt.Errorf("store: save: document name %q is not a safe file name", doc.Name)
+		}
+		path := filepath.Join(dir, doc.Name)
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("store: save %s: %w", doc.Name, err)
+		}
+		if err := doc.Root.WriteXML(f, ""); err != nil {
+			f.Close() //nolint:errcheck
+			return fmt.Errorf("store: save %s: %w", doc.Name, err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("store: save %s: %w", doc.Name, err)
+		}
+		manifest = append(manifest, doc.Name)
+	}
+	data := strings.Join(manifest, "\n") + "\n"
+	if err := os.WriteFile(filepath.Join(dir, "MANIFEST"), []byte(data), 0o644); err != nil {
+		return fmt.Errorf("store: save manifest: %w", err)
+	}
+	return nil
+}
+
+// Load reads a directory written by Save into a fresh store, preserving
+// document order (and therefore Dewey IDs). Without a MANIFEST it loads
+// every .xml file in name order.
+func Load(dir string) (*Store, error) {
+	names, err := manifestNames(dir)
+	if err != nil {
+		return nil, err
+	}
+	s := New()
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("store: load %s: %w", name, err)
+		}
+		if _, err := s.AddXML(name, string(data)); err != nil {
+			return nil, fmt.Errorf("store: load %s: %w", name, err)
+		}
+	}
+	return s, nil
+}
+
+func manifestNames(dir string) ([]string, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "MANIFEST"))
+	if err == nil {
+		var names []string
+		for _, line := range strings.Split(string(data), "\n") {
+			line = strings.TrimSpace(line)
+			if line != "" {
+				names = append(names, line)
+			}
+		}
+		return names, nil
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: load: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".xml") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("store: load: no MANIFEST and no .xml files in %s", dir)
+	}
+	return names, nil
+}

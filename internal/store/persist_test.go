@@ -1,0 +1,76 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vxml/internal/dewey"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := newStore(t)
+	if err := s.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Docs()) != 2 {
+		t.Fatalf("loaded %d docs", len(loaded.Docs()))
+	}
+	// Document IDs — and content — survive the round trip.
+	for _, doc := range s.Docs() {
+		got := loaded.Doc(doc.Name)
+		if got == nil || got.DocID != doc.DocID {
+			t.Fatalf("doc %s: id %v vs %v", doc.Name, got, doc.DocID)
+		}
+		if got.Root.XMLString("") != doc.Root.XMLString("") {
+			t.Errorf("doc %s content changed", doc.Name)
+		}
+	}
+	// Dewey addressing still works.
+	n := loaded.Subtree(dewey.MustParse("2.1.2"))
+	if n == nil || n.Tag != "content" {
+		t.Errorf("Subtree after load = %v", n)
+	}
+}
+
+func TestLoadWithoutManifest(t *testing.T) {
+	dir := t.TempDir()
+	s := newStore(t)
+	if err := s.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, "MANIFEST")); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Docs()) != 2 {
+		t.Errorf("loaded %d docs without manifest", len(loaded.Docs()))
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(t.TempDir()); err == nil {
+		t.Error("empty dir should fail")
+	}
+	if _, err := Load("/nonexistent/path"); err == nil {
+		t.Error("missing dir should fail")
+	}
+}
+
+func TestSaveRejectsUnsafeNames(t *testing.T) {
+	s := New()
+	if _, err := s.AddXML("../evil.xml", "<a><b>x</b></a>"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(t.TempDir()); err == nil {
+		t.Error("path traversal in name should be rejected")
+	}
+}

@@ -1,0 +1,125 @@
+// Package store implements the document storage subsystem (paper Figure 3,
+// bottom box). It holds the base XML documents, assigns document IDs, and
+// serves subtree fetches by Dewey ID — the only operation the Efficient
+// pipeline performs against base data, and only for the final top-k results
+// (paper §4.2.2.2). Access counters make that claim measurable.
+package store
+
+import (
+	"fmt"
+	"sort"
+
+	"vxml/internal/dewey"
+	"vxml/internal/xmltree"
+)
+
+// Store is a collection of named documents.
+type Store struct {
+	byName map[string]*xmltree.Document
+	byID   map[int32]*xmltree.Document
+	nextID int32
+
+	// SubtreeFetches counts Subtree and Value calls; BytesFetched sums the
+	// serialized byte lengths returned. Benchmarks report these to show the
+	// Efficient pipeline touches base data only for top-k winners.
+	SubtreeFetches int
+	BytesFetched   int
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{byName: map[string]*xmltree.Document{}, byID: map[int32]*xmltree.Document{}, nextID: 1}
+}
+
+// NextDocID returns the document ID the next AddParsed/AddXML call will use.
+func (s *Store) NextDocID() int32 { return s.nextID }
+
+// AddXML parses the XML text and registers it under name. Documents receive
+// consecutive document IDs in insertion order.
+func (s *Store) AddXML(name, xmlText string) (*xmltree.Document, error) {
+	doc, err := xmltree.ParseString(xmlText, name, s.nextID)
+	if err != nil {
+		return nil, err
+	}
+	s.register(doc)
+	return doc, nil
+}
+
+// AddParsed registers a document built programmatically. The document's
+// DocID is overwritten with the store's next ID and the tree re-finalized.
+func (s *Store) AddParsed(doc *xmltree.Document) *xmltree.Document {
+	doc.DocID = s.nextID
+	doc.Finalize()
+	s.register(doc)
+	return doc
+}
+
+func (s *Store) register(doc *xmltree.Document) {
+	if _, dup := s.byName[doc.Name]; dup {
+		panic(fmt.Sprintf("store: duplicate document name %q", doc.Name))
+	}
+	s.byName[doc.Name] = doc
+	s.byID[doc.DocID] = doc
+	s.nextID++
+}
+
+// Doc returns the document registered under name, or nil.
+func (s *Store) Doc(name string) *xmltree.Document { return s.byName[name] }
+
+// DocByID returns the document whose Dewey IDs start with docID, or nil.
+func (s *Store) DocByID(docID int32) *xmltree.Document { return s.byID[docID] }
+
+// Docs returns all documents in insertion (document ID) order.
+func (s *Store) Docs() []*xmltree.Document {
+	docs := make([]*xmltree.Document, 0, len(s.byName))
+	for _, d := range s.byName {
+		docs = append(docs, d)
+	}
+	sort.Slice(docs, func(i, j int) bool { return docs[i].DocID < docs[j].DocID })
+	return docs
+}
+
+// Subtree fetches the element with the given Dewey ID from base storage.
+// This is the materialization primitive used for top-k results and for the
+// GTP baseline's join-value access; it is counted.
+func (s *Store) Subtree(id dewey.ID) *xmltree.Node {
+	if len(id) == 0 {
+		return nil
+	}
+	doc := s.byID[id[0]]
+	if doc == nil {
+		return nil
+	}
+	n := doc.FindByID(id)
+	if n != nil {
+		s.SubtreeFetches++
+		s.BytesFetched += n.ByteLen
+	}
+	return n
+}
+
+// Value fetches the atomic value of the element with the given ID from base
+// storage (used by the GTP baseline, which unlike the Efficient pipeline
+// must access base data for join values).
+func (s *Store) Value(id dewey.ID) (string, bool) {
+	n := s.Subtree(id)
+	if n == nil {
+		return "", false
+	}
+	return n.Value, true
+}
+
+// ResetCounters zeroes the access counters (between benchmark phases).
+func (s *Store) ResetCounters() {
+	s.SubtreeFetches = 0
+	s.BytesFetched = 0
+}
+
+// TotalBytes returns the summed serialized size of all documents.
+func (s *Store) TotalBytes() int {
+	total := 0
+	for _, d := range s.byName {
+		total += d.Root.ByteLen
+	}
+	return total
+}

@@ -1,0 +1,107 @@
+package store
+
+import (
+	"testing"
+
+	"vxml/internal/dewey"
+	"vxml/internal/xmltree"
+)
+
+const booksXML = `<books><book><isbn>111</isbn><title>XML Web Services</title></book></books>`
+const reviewsXML = `<reviews><review><isbn>111</isbn><content>about search</content></review></reviews>`
+
+func newStore(t *testing.T) *Store {
+	t.Helper()
+	s := New()
+	if _, err := s.AddXML("books.xml", booksXML); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddXML("reviews.xml", reviewsXML); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestDocIDsAssignedSequentially(t *testing.T) {
+	s := newStore(t)
+	if s.Doc("books.xml").DocID != 1 || s.Doc("reviews.xml").DocID != 2 {
+		t.Errorf("doc IDs: %d, %d", s.Doc("books.xml").DocID, s.Doc("reviews.xml").DocID)
+	}
+	if s.DocByID(2).Name != "reviews.xml" {
+		t.Error("DocByID(2) wrong")
+	}
+	if s.NextDocID() != 3 {
+		t.Errorf("NextDocID = %d", s.NextDocID())
+	}
+}
+
+func TestDocsOrdered(t *testing.T) {
+	s := newStore(t)
+	docs := s.Docs()
+	if len(docs) != 2 || docs[0].Name != "books.xml" || docs[1].Name != "reviews.xml" {
+		t.Errorf("Docs() = %v", docs)
+	}
+}
+
+func TestSubtreeFetchCounted(t *testing.T) {
+	s := newStore(t)
+	n := s.Subtree(dewey.MustParse("2.1.2"))
+	if n == nil || n.Tag != "content" {
+		t.Fatalf("Subtree = %v", n)
+	}
+	if s.SubtreeFetches != 1 || s.BytesFetched != n.ByteLen {
+		t.Errorf("counters: %d fetches, %d bytes", s.SubtreeFetches, s.BytesFetched)
+	}
+	if s.Subtree(dewey.MustParse("9.1")) != nil {
+		t.Error("unknown doc should return nil")
+	}
+	if s.Subtree(nil) != nil {
+		t.Error("empty ID should return nil")
+	}
+	s.ResetCounters()
+	if s.SubtreeFetches != 0 || s.BytesFetched != 0 {
+		t.Error("ResetCounters failed")
+	}
+}
+
+func TestValue(t *testing.T) {
+	s := newStore(t)
+	v, ok := s.Value(dewey.MustParse("1.1.1"))
+	if !ok || v != "111" {
+		t.Errorf("Value = %q, %v", v, ok)
+	}
+	if _, ok := s.Value(dewey.MustParse("1.1.9")); ok {
+		t.Error("missing element should not have a value")
+	}
+}
+
+func TestAddParsed(t *testing.T) {
+	s := newStore(t)
+	root := xmltree.NewElement("r")
+	root.AppendLeaf("x", "hello")
+	doc := s.AddParsed(&xmltree.Document{Name: "extra.xml", Root: root})
+	if doc.DocID != 3 {
+		t.Errorf("DocID = %d", doc.DocID)
+	}
+	if got := doc.Root.Children[0].ID.String(); got != "3.1" {
+		t.Errorf("child ID = %q", got)
+	}
+}
+
+func TestDuplicateNamePanics(t *testing.T) {
+	s := newStore(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on duplicate name")
+		}
+	}()
+	s.AddXML("books.xml", booksXML) //nolint:errcheck
+}
+
+func TestTotalBytes(t *testing.T) {
+	s := newStore(t)
+	want := s.Doc("books.xml").Root.ByteLen + s.Doc("reviews.xml").Root.ByteLen
+	if got := s.TotalBytes(); got != want {
+		t.Errorf("TotalBytes = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,377 @@
+// Package xmltree provides the XML document model used by the whole system:
+// element trees with Dewey IDs, an XML parser and serializer, a text
+// tokenizer, and subtree byte lengths (paper §2.1, §3.2).
+//
+// Following the paper, attributes are treated as though they were
+// subelements, and keyword containment is defined over element text content
+// (contains(u,k) holds iff k occurs in the text of u or of a descendant).
+package xmltree
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"vxml/internal/dewey"
+)
+
+// Node is an XML element. Text content directly inside the element is
+// concatenated into Value; attributes are converted to leading child
+// elements. Children are ordered, and the i-th child (0-based) carries the
+// Dewey component i+1.
+type Node struct {
+	Tag      string
+	Value    string
+	Children []*Node
+	Parent   *Node
+	ID       dewey.ID
+	// ByteLen is the serialized byte length of the subtree rooted here,
+	// computed once at load time (paper: len(e), used for score
+	// normalization and verified by Theorem 4.1(b)).
+	ByteLen int
+	// Meta carries PDT provenance for pruned elements whose content is
+	// propagated to the view output ('c'-annotated QPT nodes): the base
+	// element's ID, its full subtree byte length, and its per-query-keyword
+	// term frequencies (paper Figure 6b). Nil for ordinary nodes.
+	Meta *NodeMeta
+}
+
+// NodeMeta is the scoring payload attached to 'c'-annotated PDT elements.
+type NodeMeta struct {
+	SrcID  dewey.ID
+	SrcLen int
+	TFs    []int // aligned with the query keyword list
+}
+
+// Document is a parsed XML document. DocID is the first Dewey component of
+// every element in the document, so IDs from different documents interleave
+// correctly in a single global document order.
+type Document struct {
+	Name  string
+	Root  *Node
+	DocID int32
+}
+
+// NewElement creates a detached element node.
+func NewElement(tag string) *Node { return &Node{Tag: tag} }
+
+// AppendChild attaches c as the last child of n and returns c.
+func (n *Node) AppendChild(c *Node) *Node {
+	c.Parent = n
+	n.Children = append(n.Children, c)
+	return c
+}
+
+// AppendLeaf attaches a new leaf child with the given tag and value.
+func (n *Node) AppendLeaf(tag, value string) *Node {
+	return n.AppendChild(&Node{Tag: tag, Value: value})
+}
+
+// Parse reads an XML document from r, converts attributes to subelements,
+// assigns Dewey IDs rooted at docID, and computes subtree byte lengths.
+func Parse(r io.Reader, name string, docID int32) (*Document, error) {
+	dec := xml.NewDecoder(r)
+	var root *Node
+	var stack []*Node
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmltree: parse %s: %w", name, err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			n := NewElement(t.Name.Local)
+			for _, a := range t.Attr {
+				if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
+					continue
+				}
+				n.AppendLeaf(a.Name.Local, a.Value)
+			}
+			if len(stack) == 0 {
+				if root != nil {
+					return nil, fmt.Errorf("xmltree: parse %s: multiple roots", name)
+				}
+				root = n
+			} else {
+				stack[len(stack)-1].AppendChild(n)
+			}
+			stack = append(stack, n)
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("xmltree: parse %s: unbalanced end tag", name)
+			}
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			if len(stack) > 0 {
+				text := strings.TrimSpace(string(t))
+				if text != "" {
+					top := stack[len(stack)-1]
+					if top.Value != "" {
+						top.Value += " "
+					}
+					top.Value += text
+				}
+			}
+		}
+	}
+	if root == nil {
+		return nil, fmt.Errorf("xmltree: parse %s: empty document", name)
+	}
+	doc := &Document{Name: name, Root: root, DocID: docID}
+	doc.Finalize()
+	return doc, nil
+}
+
+// ParseString is Parse over a string.
+func ParseString(s, name string, docID int32) (*Document, error) {
+	return Parse(strings.NewReader(s), name, docID)
+}
+
+// Finalize (re)assigns Dewey IDs, parent pointers, and byte lengths for the
+// whole document. Call it after constructing or mutating a tree by hand.
+func (d *Document) Finalize() {
+	assignIDs(d.Root, dewey.ID{d.DocID})
+	computeLen(d.Root)
+}
+
+func assignIDs(n *Node, id dewey.ID) {
+	n.ID = id
+	for i, c := range n.Children {
+		c.Parent = n
+		assignIDs(c, id.Child(int32(i+1)))
+	}
+}
+
+// computeLen computes the serialized byte length of each subtree: tags cost
+// len(tag)*2+5 bytes ("<t>" + "</t>"), text costs its length. The same
+// formula is used by the scoring module when reconstructing lengths from
+// PDTs, so Theorem 4.1(b) is checkable exactly.
+func computeLen(n *Node) int {
+	total := 2*len(n.Tag) + 5 + len(n.Value)
+	for _, c := range n.Children {
+		total += computeLen(c)
+	}
+	n.ByteLen = total
+	return total
+}
+
+// Walk visits n and all descendants in document (pre-) order.
+func (n *Node) Walk(visit func(*Node)) {
+	visit(n)
+	for _, c := range n.Children {
+		c.Walk(visit)
+	}
+}
+
+// FindByID returns the descendant-or-self of the document root with the
+// given Dewey ID, or nil if it does not exist.
+func (d *Document) FindByID(id dewey.ID) *Node {
+	if len(id) == 0 || id[0] != d.DocID {
+		return nil
+	}
+	n := d.Root
+	for depth := 1; depth < len(id); depth++ {
+		ord := int(id[depth])
+		if ord < 1 || ord > len(n.Children) {
+			return nil
+		}
+		n = n.Children[ord-1]
+	}
+	return n
+}
+
+// PathFromRoot returns the slash-joined tag names from the document root to
+// n, e.g. "/books/book/isbn".
+func (n *Node) PathFromRoot() string {
+	var tags []string
+	for cur := n; cur != nil; cur = cur.Parent {
+		tags = append(tags, cur.Tag)
+	}
+	var b strings.Builder
+	for i := len(tags) - 1; i >= 0; i-- {
+		b.WriteByte('/')
+		b.WriteString(tags[i])
+	}
+	return b.String()
+}
+
+// IsLeaf reports whether n has no element children.
+func (n *Node) IsLeaf() bool { return len(n.Children) == 0 }
+
+// NodeCount returns the number of elements in the subtree rooted at n.
+func (n *Node) NodeCount() int {
+	count := 1
+	for _, c := range n.Children {
+		count += c.NodeCount()
+	}
+	return count
+}
+
+// Clone deep-copies the subtree rooted at n. The copy keeps IDs and byte
+// lengths but has a nil parent.
+func (n *Node) Clone() *Node {
+	c := &Node{Tag: n.Tag, Value: n.Value, ID: n.ID.Clone(), ByteLen: n.ByteLen}
+	for _, ch := range n.Children {
+		c.AppendChild(ch.Clone())
+	}
+	return c
+}
+
+// WriteXML serializes the subtree rooted at n to w with proper escaping.
+// indent enables human-readable output; an empty indent yields compact XML.
+func (n *Node) WriteXML(w io.Writer, indent string) error {
+	return writeXML(w, n, indent, 0)
+}
+
+func writeXML(w io.Writer, n *Node, indent string, depth int) error {
+	pad := ""
+	nl := ""
+	if indent != "" {
+		pad = strings.Repeat(indent, depth)
+		nl = "\n"
+	}
+	if n.IsLeaf() {
+		_, err := fmt.Fprintf(w, "%s<%s>%s</%s>%s", pad, n.Tag, escape(n.Value), n.Tag, nl)
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s<%s>%s", pad, n.Tag, nl); err != nil {
+		return err
+	}
+	if n.Value != "" {
+		if _, err := fmt.Fprintf(w, "%s%s%s", pad+indent, escape(n.Value), nl); err != nil {
+			return err
+		}
+	}
+	for _, c := range n.Children {
+		if err := writeXML(w, c, indent, depth+1); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s</%s>%s", pad, n.Tag, nl)
+	return err
+}
+
+// XMLString returns the serialized subtree as a string.
+func (n *Node) XMLString(indent string) string {
+	var b strings.Builder
+	n.WriteXML(&b, indent) //nolint:errcheck // strings.Builder cannot fail
+	return b.String()
+}
+
+func escape(s string) string {
+	if !strings.ContainsAny(s, "<>&") {
+		return s
+	}
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
+
+// Tokenize splits text into lowercase keyword tokens: maximal runs of
+// letters and digits. It is the single tokenizer used by indexing, scoring
+// and the baselines, so term frequencies agree across pipelines.
+func Tokenize(text string) []string {
+	var tokens []string
+	start := -1
+	lower := strings.ToLower(text)
+	for i, r := range lower {
+		alnum := r >= 'a' && r <= 'z' || r >= '0' && r <= '9'
+		if alnum && start < 0 {
+			start = i
+		}
+		if !alnum && start >= 0 {
+			tokens = append(tokens, lower[start:i])
+			start = -1
+		}
+	}
+	if start >= 0 {
+		tokens = append(tokens, lower[start:])
+	}
+	return tokens
+}
+
+// SubtreeTF counts occurrences of each query keyword in the text of n and
+// its descendants (the paper's tf(e,k)). Keywords must be lowercase.
+func SubtreeTF(n *Node, keywords []string) []int {
+	tf := make([]int, len(keywords))
+	n.Walk(func(x *Node) {
+		if x.Value == "" {
+			return
+		}
+		for _, tok := range Tokenize(x.Value) {
+			for i, k := range keywords {
+				if tok == k {
+					tf[i]++
+				}
+			}
+		}
+	})
+	return tf
+}
+
+// Contains reports whether the subtree rooted at n contains the lowercase
+// keyword k in its text content (the paper's contains(u,k) predicate).
+func Contains(n *Node, k string) bool {
+	found := false
+	n.Walk(func(x *Node) {
+		if found || x.Value == "" {
+			return
+		}
+		for _, tok := range Tokenize(x.Value) {
+			if tok == k {
+				found = true
+				return
+			}
+		}
+	})
+	return found
+}
+
+// LeafPaths returns the sorted set of distinct root-to-node label paths of
+// the document, one entry per distinct path that reaches any element (not
+// only leaves). The path index uses this as its path dictionary.
+func (d *Document) LeafPaths() []string {
+	set := map[string]bool{}
+	d.Root.Walk(func(n *Node) { set[n.PathFromRoot()] = true })
+	paths := make([]string, 0, len(set))
+	for p := range set {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+// Stats summarizes a document for diagnostics.
+type Stats struct {
+	Elements int
+	Bytes    int
+	MaxDepth int
+}
+
+// ComputeStats walks the document once and reports element count, byte
+// length and maximum depth.
+func (d *Document) ComputeStats() Stats {
+	var s Stats
+	var walk func(n *Node, depth int)
+	walk = func(n *Node, depth int) {
+		s.Elements++
+		if depth > s.MaxDepth {
+			s.MaxDepth = depth
+		}
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(d.Root, 1)
+	s.Bytes = d.Root.ByteLen
+	return s
+}
+
+// FormatDocID renders id prefixed with the document name for error messages.
+func (d *Document) FormatDocID(id dewey.ID) string {
+	return d.Name + "#" + id.String()
+}

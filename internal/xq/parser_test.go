@@ -1,0 +1,262 @@
+package xq
+
+import (
+	"strings"
+	"testing"
+
+	"vxml/internal/pathindex"
+	"vxml/internal/pred"
+)
+
+// figure2Query is the paper's running example (Figure 2).
+const figure2Query = `
+let $view :=
+  for $book in fn:doc(books.xml)/books//book
+  where $book/year > 1995
+  return <bookrevs>
+           <book> {$book/title} </book>,
+           {for $rev in fn:doc(reviews.xml)/reviews//review
+            where $rev/isbn = $book/isbn
+            return $rev/content}
+         </bookrevs>
+for $bookrev in $view
+where $bookrev ftcontains('XML' & 'Search')
+return $bookrev`
+
+func TestParseFigure2(t *testing.T) {
+	q, err := Parse(figure2Query)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fl, ok := q.Body.(*FLWORExpr)
+	if !ok {
+		t.Fatalf("body is %T", q.Body)
+	}
+	if len(fl.Clauses) != 2 {
+		t.Fatalf("clauses = %d", len(fl.Clauses))
+	}
+	if !fl.Clauses[0].IsLet || fl.Clauses[0].Var != "view" {
+		t.Errorf("first clause = %+v", fl.Clauses[0])
+	}
+	if fl.Clauses[1].IsLet || fl.Clauses[1].Var != "bookrev" {
+		t.Errorf("second clause = %+v", fl.Clauses[1])
+	}
+	ft, ok := fl.Where.(*FTContainsExpr)
+	if !ok {
+		t.Fatalf("where is %T", fl.Where)
+	}
+	if len(ft.Keywords) != 2 || ft.Keywords[0] != "xml" || ft.Keywords[1] != "search" {
+		t.Errorf("keywords = %v", ft.Keywords)
+	}
+	if !ft.Conjunctive {
+		t.Error("'&' should be conjunctive")
+	}
+	// inner view
+	view, ok := fl.Clauses[0].In.(*FLWORExpr)
+	if !ok {
+		t.Fatalf("view binding is %T", fl.Clauses[0].In)
+	}
+	cmp, ok := view.Where.(*CmpExpr)
+	if !ok || cmp.Op != pred.Gt {
+		t.Fatalf("view where = %+v", view.Where)
+	}
+	ctor, ok := view.Return.(*ElementExpr)
+	if !ok || ctor.Tag != "bookrevs" {
+		t.Fatalf("view return = %+v", view.Return)
+	}
+	if len(ctor.Children) != 2 {
+		t.Fatalf("bookrevs children = %d", len(ctor.Children))
+	}
+	if inner, ok := ctor.Children[1].(*FLWORExpr); !ok {
+		t.Errorf("second child should be the review FLWOR, got %T", ctor.Children[1])
+	} else if join, ok := inner.Where.(*CmpExpr); !ok || join.Op != pred.Eq {
+		t.Errorf("review where = %+v", inner.Where)
+	}
+}
+
+func TestParsePathForms(t *testing.T) {
+	cases := map[string]string{
+		"fn:doc(books.xml)/books//book/isbn": "fn:doc(books.xml)/books//book/isbn",
+		"$x/a/b":                             "$x/a/b",
+		"fn:doc('books.xml')//book":          "fn:doc(books.xml)//book",
+		".":                                  ".",
+		"./year":                             "./year",
+	}
+	for in, want := range cases {
+		q, err := Parse(in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", in, err)
+			continue
+		}
+		if got := q.Body.String(); got != want {
+			t.Errorf("Parse(%q).String() = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestParseFilterWithPredicates(t *testing.T) {
+	q := MustParse("fn:doc(b.xml)/books/book[year > 1995]/title")
+	// StepExpr(FilterExpr(StepExpr(doc)))
+	outer, ok := q.Body.(*StepExpr)
+	if !ok || len(outer.Steps) != 1 || outer.Steps[0].Tag != "title" {
+		t.Fatalf("outer = %+v", q.Body)
+	}
+	filter, ok := outer.Base.(*FilterExpr)
+	if !ok {
+		t.Fatalf("filter = %T", outer.Base)
+	}
+	cmp, ok := filter.Pred.(*CmpExpr)
+	if !ok || cmp.Op != pred.Gt {
+		t.Fatalf("pred = %+v", filter.Pred)
+	}
+	if lit, ok := cmp.Right.(*LiteralExpr); !ok || lit.Value != "1995" {
+		t.Errorf("literal = %+v", cmp.Right)
+	}
+	// bare tag in predicate means ./tag
+	step, ok := cmp.Left.(*StepExpr)
+	if !ok || len(step.Steps) != 1 || step.Steps[0].Tag != "year" {
+		t.Fatalf("pred left = %+v", cmp.Left)
+	}
+	if _, ok := step.Base.(*DotExpr); !ok {
+		t.Errorf("bare tag should be relative to '.'")
+	}
+}
+
+func TestParseExistencePredicate(t *testing.T) {
+	q := MustParse("fn:doc(b.xml)/books/book[isbn]")
+	filter := q.Body.(*FilterExpr)
+	if _, ok := filter.Pred.(*StepExpr); !ok {
+		t.Errorf("existence pred = %T", filter.Pred)
+	}
+}
+
+func TestParseFunctionDecl(t *testing.T) {
+	q := MustParse(`
+declare function reviewsFor($isbn) {
+  for $r in fn:doc(reviews.xml)/reviews//review
+  where $r/isbn = $isbn
+  return $r/content
+}
+for $b in fn:doc(books.xml)/books//book
+return <entry>{$b/title}{reviewsFor($b/isbn)}</entry>`)
+	fd := q.Functions["reviewsFor"]
+	if fd == nil {
+		t.Fatal("function not registered")
+	}
+	if len(fd.Params) != 1 || fd.Params[0] != "isbn" {
+		t.Errorf("params = %v", fd.Params)
+	}
+	fl := q.Body.(*FLWORExpr)
+	ctor := fl.Return.(*ElementExpr)
+	if call, ok := ctor.Children[1].(*CallExpr); !ok || call.Name != "reviewsFor" {
+		t.Errorf("call = %+v", ctor.Children[1])
+	}
+}
+
+func TestParseCondExpr(t *testing.T) {
+	q := MustParse("if $x/year > 2000 then $x/title else $x/isbn")
+	cond := q.Body.(*CondExpr)
+	if _, ok := cond.Cond.(*CmpExpr); !ok {
+		t.Errorf("cond = %T", cond.Cond)
+	}
+}
+
+func TestParseDisjunctiveFT(t *testing.T) {
+	q := MustParse("for $v in $view where $v ftcontains('a' | 'b' | 'c') return $v")
+	ft := q.Body.(*FLWORExpr).Where.(*FTContainsExpr)
+	if ft.Conjunctive {
+		t.Error("'|' should be disjunctive")
+	}
+	if len(ft.Keywords) != 3 {
+		t.Errorf("keywords = %v", ft.Keywords)
+	}
+}
+
+func TestParseSequenceReturn(t *testing.T) {
+	q := MustParse("for $b in fn:doc(b.xml)/books/book return $b/title, $b/year")
+	fl := q.Body.(*FLWORExpr)
+	seq, ok := fl.Return.(*SeqExpr)
+	if !ok || len(seq.Items) != 2 {
+		t.Fatalf("return = %+v", fl.Return)
+	}
+}
+
+func TestParseNestedConstructors(t *testing.T) {
+	q := MustParse("for $b in fn:doc(b.xml)/books/book return <a><b>{$b/title}</b><c>{$b/year}</c></a>")
+	ctor := q.Body.(*FLWORExpr).Return.(*ElementExpr)
+	if len(ctor.Children) != 2 {
+		t.Fatalf("children = %d", len(ctor.Children))
+	}
+	if inner, ok := ctor.Children[0].(*ElementExpr); !ok || inner.Tag != "b" {
+		t.Errorf("first child = %+v", ctor.Children[0])
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	q := MustParse("(: a comment (: nested :) :) fn:doc(b.xml)/books")
+	if _, ok := q.Body.(*StepExpr); !ok {
+		t.Errorf("body = %T", q.Body)
+	}
+}
+
+func TestParseLetIn(t *testing.T) {
+	// the paper's grammar writes LetClause with 'in'
+	q := MustParse("let $x in fn:doc(b.xml)/books return $x")
+	if !q.Body.(*FLWORExpr).Clauses[0].IsLet {
+		t.Error("let clause not recognized")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"for $x return $x",               // missing in
+		"for $x in fn:doc(a.xml)/a",      // missing return
+		"<a>{$x}</b>",                    // mismatched tags
+		"fn:doc(a.xml)/a[",               // unterminated filter
+		"$v ftcontains('a' & 'b' | 'c')", // mixed connectives
+		"declare function f($x) { $x } $y trailing", // trailing tokens
+		"fn:doc(a.xml)/for",                         // reserved word as tag
+		"for $x in fn:doc(a.xml)/a return $x extra",
+	}
+	for _, in := range bad {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q): expected error", in)
+		}
+	}
+}
+
+func TestStringRoundTripStable(t *testing.T) {
+	// String() output must reparse to the same String().
+	inputs := []string{
+		figure2Query,
+		"fn:doc(b.xml)/books/book[year > 1995]/title",
+		"for $b in fn:doc(b.xml)/books/book return <a><b>{$b/title}</b></a>",
+		"if $x/a > 3 then $x/b else $x/c",
+	}
+	for _, in := range inputs {
+		q1, err := Parse(in)
+		if err != nil {
+			t.Fatalf("parse %q: %v", in, err)
+		}
+		s1 := q1.Body.String()
+		q2, err := Parse(s1)
+		if err != nil {
+			t.Fatalf("reparse %q: %v", s1, err)
+		}
+		if s2 := q2.Body.String(); s1 != s2 {
+			t.Errorf("String round trip unstable:\n%s\nvs\n%s", s1, s2)
+		}
+	}
+}
+
+func TestStepsRendering(t *testing.T) {
+	q := MustParse("fn:doc(b.xml)/books//book")
+	se := q.Body.(*StepExpr)
+	if got := pathindex.FormatSteps(se.Steps); got != "/books//book" {
+		t.Errorf("steps = %q", got)
+	}
+	if !strings.Contains(q.Body.String(), "//book") {
+		t.Errorf("String = %q", q.Body.String())
+	}
+}

@@ -1,0 +1,120 @@
+package xqeval
+
+import (
+	"strings"
+	"testing"
+
+	"vxml/internal/xmltree"
+	"vxml/internal/xq"
+)
+
+func miniCatalog(t *testing.T, xmlText string) MapCatalog {
+	t.Helper()
+	doc, err := xmltree.ParseString(xmlText, "d.xml", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return MapCatalog{"d.xml": doc}
+}
+
+func TestLetBindsWholeSequence(t *testing.T) {
+	cat := miniCatalog(t, `<d><x>1</x><x>2</x><x>3</x></d>`)
+	out := eval(t, cat, `let $all := fn:doc(d.xml)/d/x return <w>{$all}</w>`)
+	if len(out) != 1 {
+		t.Fatalf("let should produce one wrapper, got %d", len(out))
+	}
+	if n := out[0].(*xmltree.Node); len(n.Children) != 3 {
+		t.Errorf("wrapper children = %d, want all 3", len(n.Children))
+	}
+}
+
+func TestNestedFunctionCalls(t *testing.T) {
+	cat := miniCatalog(t, `<d><x><v>7</v></x></d>`)
+	out := eval(t, cat, `
+declare function inner($n) { $n/v }
+declare function outer($n) { inner($n) }
+for $x in fn:doc(d.xml)/d/x return outer($x)`)
+	if len(out) != 1 || Atomize(out[0]) != "7" {
+		t.Errorf("nested calls = %v", values(out))
+	}
+}
+
+func TestRecursionDepthLimited(t *testing.T) {
+	cat := miniCatalog(t, `<d><x>1</x></d>`)
+	q, err := xq.Parse(`
+declare function loop($n) { loop($n) }
+for $x in fn:doc(d.xml)/d/x return loop($x)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := New(cat, q.Functions)
+	_, err = ev.EvalQuery(q)
+	if err == nil || !strings.Contains(err.Error(), "depth") {
+		t.Errorf("expected call depth error, got %v", err)
+	}
+}
+
+func TestEBVOfEmptyStringIsFalse(t *testing.T) {
+	cat := miniCatalog(t, `<d><x></x><x>v</x></d>`)
+	// if-condition over a leaf with empty value: ebv('') = false
+	out := eval(t, cat, `
+for $x in fn:doc(d.xml)/d/x
+return if $x then 'present' else 'absent'`)
+	// both x elements exist as nodes -> true both times
+	if len(out) != 2 || Atomize(out[0]) != "present" {
+		t.Errorf("node ebv = %v", values(out))
+	}
+}
+
+func TestComparisonExistentialSemantics(t *testing.T) {
+	cat := miniCatalog(t, `<d><x><k>1</k><k>2</k></x></d>`)
+	// existential: some k equals 2
+	out := eval(t, cat, `for $x in fn:doc(d.xml)/d/x where $x/k = 2 return 'yes'`)
+	if len(out) != 1 {
+		t.Errorf("existential eq failed: %v", values(out))
+	}
+	out = eval(t, cat, `for $x in fn:doc(d.xml)/d/x where $x/k = 3 return 'yes'`)
+	if len(out) != 0 {
+		t.Errorf("no k equals 3: %v", values(out))
+	}
+}
+
+func TestConstructedElementsNavigable(t *testing.T) {
+	cat := miniCatalog(t, `<d><x><v>7</v></x></d>`)
+	// navigate INTO a constructed element bound by let
+	out := eval(t, cat, `
+let $w := (for $x in fn:doc(d.xml)/d/x return <wrap>{$x/v}</wrap>)
+for $r in $w
+return $r/v`)
+	if len(out) != 1 || Atomize(out[0]) != "7" {
+		t.Errorf("navigation into constructed nodes = %v", values(out))
+	}
+}
+
+func TestEmptyDocumentCatalog(t *testing.T) {
+	cat := MapCatalog{"empty.xml": {Name: "empty.xml"}} // nil root
+	q := xq.MustParse(`fn:doc(empty.xml)/a/b`)
+	ev := New(cat, nil)
+	out, err := ev.Eval(q.Body, nil)
+	if err != nil || len(out) != 0 {
+		t.Errorf("empty doc: %v, %v", out, err)
+	}
+}
+
+func TestJoinCacheIsolationBetweenQueries(t *testing.T) {
+	// The same evaluator evaluating a different outer binding must not
+	// reuse stale probe results (only the loop-invariant index is cached).
+	cat := miniCatalog(t, `<d><a><k>1</k></a><a><k>2</k></a><b><k>1</k><v>x</v></b><b><k>2</k><v>y</v></b></d>`)
+	out := eval(t, cat, `
+for $a in fn:doc(d.xml)/d/a
+return <r>{for $b in fn:doc(d.xml)/d/b where $b/k = $a/k return $b/v}</r>`)
+	if len(out) != 2 {
+		t.Fatalf("results = %d", len(out))
+	}
+	r1 := out[0].(*xmltree.Node)
+	r2 := out[1].(*xmltree.Node)
+	if Atomize(r1.Children[0]) != "x" || Atomize(r2.Children[0]) != "y" {
+		t.Errorf("join cache leaked across bindings: %s / %s",
+			r1.XMLString(""), r2.XMLString(""))
+	}
+}

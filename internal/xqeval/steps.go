@@ -1,0 +1,59 @@
+package xqeval
+
+import (
+	"vxml/internal/pathindex"
+	"vxml/internal/xmltree"
+)
+
+// evalSteps applies a path step sequence to every node of the base
+// sequence, deduplicating nodes while preserving encounter order (which is
+// document order when the base sequence is in document order).
+func evalSteps(base []Item, steps []pathindex.Step) []Item {
+	current := base
+	for _, st := range steps {
+		var next []Item
+		seen := map[*xmltree.Node]bool{}
+		for _, item := range current {
+			n, ok := item.(*xmltree.Node)
+			if !ok {
+				continue // atomic values have no children
+			}
+			if st.Axis == pathindex.Child {
+				for _, c := range n.Children {
+					if c.Tag == st.Tag && !seen[c] {
+						seen[c] = true
+						next = append(next, c)
+					}
+				}
+			} else {
+				collectDescendants(n, st.Tag, seen, &next)
+			}
+		}
+		current = next
+	}
+	return current
+}
+
+func collectDescendants(n *xmltree.Node, tag string, seen map[*xmltree.Node]bool, out *[]Item) {
+	for _, c := range n.Children {
+		if c.Tag == tag && !seen[c] {
+			seen[c] = true
+			*out = append(*out, c)
+		}
+		collectDescendants(c, tag, seen, out)
+	}
+}
+
+// Atomize converts an item to its atomic string value: atomics are
+// themselves, nodes contribute their direct text content (the supported
+// grammar restricts value predicates to leaf elements, whose string value
+// is exactly their text).
+func Atomize(item Item) string {
+	switch x := item.(type) {
+	case string:
+		return x
+	case *xmltree.Node:
+		return x.Value
+	}
+	return ""
+}

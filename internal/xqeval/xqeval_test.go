@@ -1,0 +1,335 @@
+package xqeval
+
+import (
+	"strings"
+	"testing"
+
+	"vxml/internal/xmltree"
+	"vxml/internal/xq"
+)
+
+const booksXML = `<books>
+  <book><isbn>111-11-1111</isbn><title>XML Web Services</title><publisher>Prentice Hall</publisher><year>2004</year></book>
+  <book><isbn>222-22-2222</isbn><title>Artificial Intelligence</title><publisher>Prentice Hall</publisher><year>2002</year></book>
+  <book><isbn>333-33-3333</isbn><title>Old Compilers</title><publisher>Ancient Press</publisher><year>1990</year></book>
+</books>`
+
+const reviewsXML = `<reviews>
+  <review><isbn>111-11-1111</isbn><rate>Excellent</rate><content>all about search</content><reviewer>John</reviewer></review>
+  <review><isbn>111-11-1111</isbn><rate>Good</rate><content>easy to read</content><reviewer>Alex</reviewer></review>
+  <review><isbn>222-22-2222</isbn><rate>Fair</rate><content>dated but solid</content><reviewer>Mary</reviewer></review>
+  <review><isbn>999-99-9999</isbn><rate>Poor</rate><content>orphan review</content><reviewer>Sam</reviewer></review>
+</reviews>`
+
+func catalog(t *testing.T) MapCatalog {
+	t.Helper()
+	books, err := xmltree.ParseString(booksXML, "books.xml", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reviews, err := xmltree.ParseString(reviewsXML, "reviews.xml", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return MapCatalog{"books.xml": books, "reviews.xml": reviews}
+}
+
+func eval(t *testing.T, cat Catalog, query string) []Item {
+	t.Helper()
+	q, err := xq.Parse(query)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	ev := New(cat, q.Functions)
+	out, err := ev.EvalQuery(q)
+	if err != nil {
+		t.Fatalf("eval: %v", err)
+	}
+	return out
+}
+
+func values(items []Item) []string {
+	var out []string
+	for _, it := range items {
+		out = append(out, Atomize(it))
+	}
+	return out
+}
+
+func TestPathNavigation(t *testing.T) {
+	cat := catalog(t)
+	out := eval(t, cat, "fn:doc(books.xml)/books/book/title")
+	if len(out) != 3 {
+		t.Fatalf("titles = %v", values(out))
+	}
+	if Atomize(out[0]) != "XML Web Services" {
+		t.Errorf("first title = %q", Atomize(out[0]))
+	}
+	// descendant axis
+	out = eval(t, cat, "fn:doc(books.xml)//isbn")
+	if len(out) != 3 {
+		t.Errorf("//isbn = %v", values(out))
+	}
+	// missing path
+	if out := eval(t, cat, "fn:doc(books.xml)/books/missing"); len(out) != 0 {
+		t.Errorf("missing path = %v", values(out))
+	}
+	// unknown doc evaluates to empty
+	if out := eval(t, cat, "fn:doc(nope.xml)/a"); len(out) != 0 {
+		t.Errorf("unknown doc = %v", values(out))
+	}
+}
+
+func TestFilterPredicates(t *testing.T) {
+	cat := catalog(t)
+	out := eval(t, cat, "fn:doc(books.xml)/books/book[year > 1995]/title")
+	got := values(out)
+	if len(got) != 2 || got[0] != "XML Web Services" || got[1] != "Artificial Intelligence" {
+		t.Errorf("filtered titles = %v", got)
+	}
+	// existence predicate
+	out = eval(t, cat, "fn:doc(reviews.xml)/reviews/review[reviewer]/rate")
+	if len(out) != 4 {
+		t.Errorf("existence pred = %v", values(out))
+	}
+	// equality on string
+	out = eval(t, cat, "fn:doc(reviews.xml)/reviews/review[reviewer = 'John']/content")
+	if len(out) != 1 || Atomize(out[0]) != "all about search" {
+		t.Errorf("string eq = %v", values(out))
+	}
+}
+
+func TestFLWORWithWhere(t *testing.T) {
+	cat := catalog(t)
+	out := eval(t, cat, `
+for $b in fn:doc(books.xml)/books/book
+where $b/year > 1995
+return $b/isbn`)
+	got := values(out)
+	if len(got) != 2 || got[0] != "111-11-1111" {
+		t.Errorf("isbns = %v", got)
+	}
+}
+
+func TestLetClause(t *testing.T) {
+	cat := catalog(t)
+	out := eval(t, cat, `
+let $all := fn:doc(books.xml)/books/book
+for $b in $all
+where $b/year > 2003
+return $b/title`)
+	if len(out) != 1 || Atomize(out[0]) != "XML Web Services" {
+		t.Errorf("let = %v", values(out))
+	}
+}
+
+func TestJoinNestedFLWOR(t *testing.T) {
+	cat := catalog(t)
+	query := `
+for $b in fn:doc(books.xml)/books/book
+return <entry>
+  <t>{$b/title}</t>
+  {for $r in fn:doc(reviews.xml)/reviews/review
+   where $r/isbn = $b/isbn
+   return $r/content}
+</entry>`
+	for _, hashJoin := range []bool{true, false} {
+		q := xq.MustParse(query)
+		ev := New(cat, q.Functions)
+		ev.HashJoin = hashJoin
+		out, err := ev.EvalQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != 3 {
+			t.Fatalf("hashJoin=%v: %d entries", hashJoin, len(out))
+		}
+		first := out[0].(*xmltree.Node)
+		// title child + 2 joined review contents
+		if len(first.Children) != 3 {
+			t.Errorf("hashJoin=%v: first entry children = %d", hashJoin, len(first.Children))
+		}
+		third := out[2].(*xmltree.Node)
+		if len(third.Children) != 1 { // no reviews for book 3
+			t.Errorf("hashJoin=%v: third entry children = %d", hashJoin, len(third.Children))
+		}
+		if hashJoin && ev.JoinProbes == 0 {
+			t.Error("hash join was not exercised")
+		}
+	}
+}
+
+func TestJoinResultsIdenticalWithAndWithoutHashJoin(t *testing.T) {
+	cat := catalog(t)
+	query := `
+for $b in fn:doc(books.xml)/books/book
+return <e>{$b/isbn}
+  {for $r in fn:doc(reviews.xml)/reviews/review
+   where $b/isbn = $r/isbn
+   return $r/rate}
+</e>`
+	render := func(hash bool) string {
+		q := xq.MustParse(query)
+		ev := New(cat, q.Functions)
+		ev.HashJoin = hash
+		out, err := ev.EvalQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		for _, item := range out {
+			item.(*xmltree.Node).WriteXML(&b, "") //nolint:errcheck
+		}
+		return b.String()
+	}
+	if a, b := render(true), render(false); a != b {
+		t.Errorf("hash join changed results:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestElementConstructorReferencesNotCopies(t *testing.T) {
+	cat := catalog(t)
+	out := eval(t, cat, "for $b in fn:doc(books.xml)/books/book return <w>{$b/title}</w>")
+	w := out[0].(*xmltree.Node)
+	title := w.Children[0]
+	// The referenced node must be the base document node itself (provenance).
+	base := cat["books.xml"].FindByID(title.ID)
+	if base != title {
+		t.Error("constructor should reference base nodes, not copies")
+	}
+	// And the base node's parent pointer must be untouched.
+	if title.Parent == w {
+		t.Error("constructor must not rewrite parent pointers of base nodes")
+	}
+}
+
+func TestCondExpr(t *testing.T) {
+	cat := catalog(t)
+	out := eval(t, cat, `
+for $b in fn:doc(books.xml)/books/book
+return if $b/year > 2000 then $b/title else $b/isbn`)
+	got := values(out)
+	want := []string{"XML Web Services", "Artificial Intelligence", "333-33-3333"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("cond[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFunctionCall(t *testing.T) {
+	cat := catalog(t)
+	out := eval(t, cat, `
+declare function revsFor($isbn) {
+  for $r in fn:doc(reviews.xml)/reviews/review
+  where $r/isbn = $isbn
+  return $r/content
+}
+for $b in fn:doc(books.xml)/books/book
+where $b/year > 2003
+return revsFor($b/isbn)`)
+	got := values(out)
+	if len(got) != 2 || got[0] != "all about search" {
+		t.Errorf("function call = %v", got)
+	}
+}
+
+func TestFTContains(t *testing.T) {
+	cat := catalog(t)
+	// conjunctive over constructed view elements
+	out := eval(t, cat, `
+let $view := for $r in fn:doc(reviews.xml)/reviews/review return <rev>{$r/content}</rev>
+for $v in $view
+where $v ftcontains('about' & 'search')
+return $v`)
+	if len(out) != 1 {
+		t.Fatalf("conjunctive ftcontains = %d results", len(out))
+	}
+	out = eval(t, cat, `
+let $view := for $r in fn:doc(reviews.xml)/reviews/review return <rev>{$r/content}</rev>
+for $v in $view
+where $v ftcontains('search' | 'read')
+return $v`)
+	if len(out) != 2 {
+		t.Fatalf("disjunctive ftcontains = %d results", len(out))
+	}
+}
+
+func TestSequenceAndEmptySequence(t *testing.T) {
+	cat := catalog(t)
+	out := eval(t, cat, "for $b in fn:doc(books.xml)/books/book where $b/year > 2003 return $b/title, $b/year")
+	// sequence return yields title, year per binding
+	if got := values(out); len(got) != 2 || got[1] != "2004" {
+		t.Errorf("sequence return = %v", got)
+	}
+	if out := eval(t, cat, "()"); len(out) != 0 {
+		t.Errorf("() = %v", values(out))
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cat := catalog(t)
+	for _, bad := range []string{
+		"$undefined",
+		"unknownFn($x)",
+		"for $x in fn:doc(books.xml)/books return unknownFn($x)",
+	} {
+		q, err := xq.Parse(bad)
+		if err != nil {
+			continue // parse errors also acceptable
+		}
+		ev := New(cat, q.Functions)
+		if _, err := ev.EvalQuery(q); err == nil {
+			t.Errorf("eval(%q): expected error", bad)
+		}
+	}
+}
+
+func TestDescendantDedup(t *testing.T) {
+	doc, err := xmltree.ParseString(`<r><a><a><x>1</x></a><x>2</x></a></r>`, "r.xml", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := MapCatalog{"r.xml": doc}
+	out := eval(t, cat, "fn:doc(r.xml)//a//x")
+	// x=1 reachable from both a elements; must be deduplicated
+	if len(out) != 2 {
+		t.Errorf("//a//x = %v", values(out))
+	}
+}
+
+func TestFigure2EndToEnd(t *testing.T) {
+	cat := catalog(t)
+	out := eval(t, cat, `
+let $view :=
+  for $book in fn:doc(books.xml)/books//book
+  where $book/year > 1995
+  return <bookrevs>
+           <book> {$book/title} </book>,
+           {for $rev in fn:doc(reviews.xml)/reviews//review
+            where $rev/isbn = $book/isbn
+            return $rev/content}
+         </bookrevs>
+for $bookrev in $view
+where $bookrev ftcontains('XML' & 'Search')
+return $bookrev`)
+	// Only the first book's element contains both: "XML" (title) and
+	// "search" (review content).
+	if len(out) != 1 {
+		t.Fatalf("results = %d", len(out))
+	}
+	res := out[0].(*xmltree.Node)
+	if res.Tag != "bookrevs" {
+		t.Errorf("result tag = %q", res.Tag)
+	}
+	var text []string
+	res.Walk(func(n *xmltree.Node) {
+		if n.Value != "" {
+			text = append(text, n.Value)
+		}
+	})
+	joined := strings.Join(text, " ")
+	if !strings.Contains(joined, "XML Web Services") || !strings.Contains(joined, "all about search") {
+		t.Errorf("result text = %q", joined)
+	}
+}

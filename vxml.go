@@ -1,0 +1,241 @@
+// Package vxml implements efficient ranked keyword search over virtual
+// (unmaterialized) XML views, reproducing Shao et al., "Efficient Keyword
+// Search over Virtual XML Views", VLDB 2007.
+//
+// A Database holds XML documents with path and inverted-list indices. A
+// View is an XQuery expression (joins, nesting, predicates) over those
+// documents that is never materialized. Search evaluates a ranked keyword
+// query over the view by (1) deriving Query Pattern Trees from the view
+// definition, (2) building Pruned Document Trees from the indices alone,
+// (3) running the view over the PDTs, and (4) scoring with element-level
+// TF-IDF and materializing only the top-k winners — with scores and rank
+// order provably identical to materializing the whole view.
+//
+// Quick start:
+//
+//	db := vxml.Open()
+//	db.MustAdd("books.xml", booksXML)
+//	db.MustAdd("reviews.xml", reviewsXML)
+//	view, err := db.DefineView(`
+//	  for $book in fn:doc(books.xml)/books//book
+//	  where $book/year > 1995
+//	  return <bookrevs>
+//	           <book>{$book/title}</book>,
+//	           {for $rev in fn:doc(reviews.xml)/reviews//review
+//	            where $rev/isbn = $book/isbn
+//	            return $rev/content}
+//	         </bookrevs>`)
+//	results, stats, err := db.Search(view, []string{"xml", "search"}, nil)
+package vxml
+
+import (
+	"fmt"
+	"time"
+
+	"vxml/internal/baseline"
+	"vxml/internal/core"
+	"vxml/internal/gtp"
+	"vxml/internal/store"
+	"vxml/internal/xq"
+)
+
+// Database is a collection of XML documents with the indices required for
+// keyword search over virtual views.
+type Database struct {
+	engine *core.Engine
+}
+
+// Open creates an empty database.
+func Open() *Database {
+	return &Database{engine: core.New(store.New())}
+}
+
+// Add parses, stores and indexes an XML document under the given name
+// (referenced from views as fn:doc(name)).
+func (db *Database) Add(name, xmlText string) error {
+	return db.engine.AddXML(name, xmlText)
+}
+
+// MustAdd is Add that panics on error, for tests and examples.
+func (db *Database) MustAdd(name, xmlText string) {
+	if err := db.Add(name, xmlText); err != nil {
+		panic(err)
+	}
+}
+
+// DocumentNames returns the names of all loaded documents.
+func (db *Database) DocumentNames() []string {
+	docs := db.engine.Store.Docs()
+	names := make([]string, len(docs))
+	for i, d := range docs {
+		names[i] = d.Name
+	}
+	return names
+}
+
+// TotalBytes reports the summed serialized size of all documents.
+func (db *Database) TotalBytes() int { return db.engine.Store.TotalBytes() }
+
+// View is a compiled virtual view.
+type View struct {
+	inner *core.View
+}
+
+// Definition returns the view's XQuery text.
+func (v *View) Definition() string { return v.inner.Text }
+
+// DefineView compiles a view definition: an XQuery expression in the
+// supported grammar (FLWOR, child/descendant paths, leaf-value predicates,
+// element constructors, non-recursive functions).
+func (db *Database) DefineView(xquery string) (*View, error) {
+	v, err := db.engine.CompileView(xquery)
+	if err != nil {
+		return nil, err
+	}
+	return &View{inner: v}, nil
+}
+
+// Options configure a search. The zero value means conjunctive semantics
+// and all matching results.
+type Options struct {
+	// TopK limits the number of returned results (0 = all matches).
+	TopK int
+	// Disjunctive matches any keyword instead of all keywords.
+	Disjunctive bool
+	// Approach selects the pipeline; the default is Efficient. The
+	// comparators exist for benchmarking and produce identical results.
+	Approach Approach
+}
+
+// Approach selects the query processing pipeline.
+type Approach int
+
+// Available pipelines (paper §5.1).
+const (
+	// Efficient is the paper's contribution: index-only PDT generation
+	// with deferred materialization.
+	Efficient Approach = iota
+	// Baseline materializes the entire view at query time.
+	Baseline
+	// GTPTermJoin uses structural joins with TermJoin (Timber-style).
+	GTPTermJoin
+)
+
+// Result is one ranked search result.
+type Result struct {
+	Rank  int
+	Score float64
+	// TF maps each query keyword to its frequency in the result.
+	TF map[string]int
+	// XML is the fully materialized result element.
+	XML string
+	// Snippet is a keyword-in-context excerpt from the result.
+	Snippet string
+}
+
+// Stats reports the per-phase cost of a search (paper Figure 14).
+type Stats struct {
+	PDTTime  time.Duration // PDT generation (index-only)
+	EvalTime time.Duration // view evaluation over the PDTs
+	PostTime time.Duration // scoring + top-k materialization
+	Total    time.Duration
+	PDTNodes int // elements across all PDTs
+	ViewSize int // |V(D)|: number of view results
+	Matched  int // results satisfying the keyword semantics
+	BaseData int // base-data subtree fetches (top-k materialization only)
+}
+
+// Search evaluates a ranked keyword query over the view. Keywords are
+// case-insensitive. A nil opts means conjunctive semantics, all results,
+// Efficient pipeline.
+func (db *Database) Search(v *View, keywords []string, opts *Options) ([]Result, *Stats, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	copts := core.Options{K: opts.TopK, Disjunctive: opts.Disjunctive}
+	var (
+		results []core.Result
+		stats   = &Stats{}
+		err     error
+	)
+	switch opts.Approach {
+	case Efficient:
+		var cs *core.Stats
+		results, cs, err = db.engine.Search(v.inner, keywords, copts)
+		if err == nil {
+			stats.PDTTime, stats.EvalTime, stats.PostTime = cs.PDTTime, cs.EvalTime, cs.PostTime
+			stats.Total = cs.Total()
+			stats.PDTNodes = cs.PDTNodes
+			stats.ViewSize = cs.ViewResults
+			stats.Matched = cs.Matched
+			stats.BaseData = cs.SubtreeFetches
+		}
+	case Baseline:
+		var bs *baseline.Stats
+		results, bs, err = baseline.Search(db.engine, v.inner, keywords, copts)
+		if err == nil {
+			stats.EvalTime = bs.MaterializeTime
+			stats.PostTime = bs.SearchTime
+			stats.Total = bs.Total()
+			stats.ViewSize = bs.ViewResults
+			stats.Matched = bs.Matched
+		}
+	case GTPTermJoin:
+		var gs *gtp.Stats
+		results, gs, err = gtp.Search(db.engine, v.inner, keywords, copts)
+		if err == nil {
+			stats.PDTTime = gs.StructJoinTime
+			stats.EvalTime = gs.EvalTime
+			stats.PostTime = gs.PostTime
+			stats.Total = gs.Total()
+			stats.ViewSize = gs.ViewResults
+			stats.Matched = gs.Matched
+		}
+	default:
+		return nil, nil, fmt.Errorf("vxml: unknown approach %d", opts.Approach)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]Result, len(results))
+	for i, r := range results {
+		tf := map[string]int{}
+		for j, k := range keywords {
+			if j < len(r.TFs) {
+				tf[k] = r.TFs[j]
+			}
+		}
+		out[i] = Result{Rank: r.Rank, Score: r.Score, TF: tf, XML: r.Element.XMLString(""), Snippet: r.Snippet}
+	}
+	return out, stats, nil
+}
+
+// Explain renders the query plan for a keyword search over the view: the
+// QPTs derived from the view definition and the exact index probes PDT
+// generation will issue. Nothing is evaluated.
+func (db *Database) Explain(v *View, keywords []string) string {
+	return db.engine.Explain(v.inner, keywords)
+}
+
+// Query runs a complete Figure-2 style keyword query: a let-bound view
+// followed by `for $r in $view where $r ftcontains('k1' & 'k2') return $r`.
+func (db *Database) Query(fullQuery string, opts *Options) ([]Result, *Stats, error) {
+	parsed, err := xq.Parse(fullQuery)
+	if err != nil {
+		return nil, nil, err
+	}
+	kq, err := core.SplitKeywordQuery(parsed)
+	if err != nil {
+		return nil, nil, err
+	}
+	v, err := db.engine.CompileParsedView(fullQuery, kq.ViewExpr, kq.Funcs)
+	if err != nil {
+		return nil, nil, err
+	}
+	if opts == nil {
+		opts = &Options{}
+	}
+	effective := *opts
+	effective.Disjunctive = !kq.Conjunctive
+	return db.Search(&View{inner: v}, kq.Keywords, &effective)
+}
