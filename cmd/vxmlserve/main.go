@@ -1,0 +1,119 @@
+// Command vxmlserve serves ranked keyword search over virtual XML views as
+// a JSON HTTP API (see internal/server for the endpoint reference).
+//
+// Documents given with -doc are loaded at startup; -demo loads a generated
+// books & reviews corpus and registers a "demo" view over it. Further
+// documents and views arrive over POST /documents and POST /views. The
+// process drains in-flight requests and exits cleanly on SIGINT/SIGTERM.
+//
+// Examples:
+//
+//	vxmlserve -demo -addr :8344
+//	curl -s localhost:8344/search \
+//	  -d '{"view":"demo","keywords":["xml","search"],"top_k":3,"cache":true}'
+//	curl -s localhost:8344/stats
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"vxml"
+	"vxml/internal/inex"
+	"vxml/internal/server"
+)
+
+type stringList []string
+
+func (s *stringList) String() string     { return strings.Join(*s, ",") }
+func (s *stringList) Set(v string) error { *s = append(*s, v); return nil }
+
+// demoView is the view registered under the name "demo" by -demo.
+const demoView = `
+for $book in fn:doc(books.xml)/books//book
+return <bookrevs>
+         <book>{$book/title}</book>,
+         {for $rev in fn:doc(reviews.xml)/reviews//review
+          where $rev/isbn = $book/isbn
+          return $rev/content}
+       </bookrevs>`
+
+func main() {
+	var docs stringList
+	flag.Var(&docs, "doc", "XML document file to load at startup (repeatable); referenced in views by base name")
+	addr := flag.String("addr", ":8344", "listen address")
+	demo := flag.Bool("demo", false, "load a generated books/reviews corpus and register a 'demo' view")
+	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second, "maximum time to drain in-flight requests on shutdown")
+	flag.Parse()
+
+	db := vxml.Open()
+	if *demo {
+		booksXML, reviewsXML := inex.GenerateBooksReviews(200, 7)
+		db.MustAdd("books.xml", booksXML)
+		db.MustAdd("reviews.xml", reviewsXML)
+	}
+	for _, path := range docs {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			log.Fatalf("reading %s: %v", path, err)
+		}
+		if err := db.Add(filepath.Base(path), string(data)); err != nil {
+			log.Fatalf("loading %s: %v", path, err)
+		}
+	}
+
+	srv := server.New(db)
+	if *demo {
+		if err := srv.DefineView("demo", demoView); err != nil {
+			log.Fatalf("registering demo view: %v", err)
+		}
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		// Bound the whole request/response, not just the headers: a
+		// slow-trickling client must not pin a goroutine and connection
+		// forever. The read bound is sized so a document at the server's
+		// 64MB body cap still fits over a slow uplink (~2 Mbps).
+		ReadTimeout:  5 * time.Minute,
+		WriteTimeout: 60 * time.Second,
+		IdleTimeout:  2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("vxmlserve listening on %s (%d documents)", *addr, len(db.DocumentNames()))
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("serve: %v", err)
+		}
+	case <-ctx.Done():
+		log.Printf("shutting down, draining for up to %s", *shutdownGrace)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "shutdown: %v\n", err)
+			os.Exit(1)
+		}
+		log.Printf("bye")
+	}
+}

@@ -1,0 +1,3 @@
+module vxml
+
+go 1.24

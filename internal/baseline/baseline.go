@@ -8,7 +8,6 @@ package baseline
 
 import (
 	"fmt"
-	"strings"
 	"time"
 
 	"vxml/internal/core"
@@ -34,6 +33,8 @@ func (s *Stats) Total() time.Duration { return s.MaterializeTime + s.SearchTime 
 // Search materializes the view and evaluates the ranked keyword query over
 // the materialized results.
 func Search(e *core.Engine, v *core.View, keywords []string, opts core.Options) ([]core.Result, *Stats, error) {
+	e.RLock()
+	defer e.RUnlock()
 	stats := &Stats{}
 	kws := normalize(keywords)
 
@@ -82,7 +83,7 @@ func (c storeCatalog) Doc(name string) *xmltree.Document { return c.e.Store.Doc(
 func normalize(keywords []string) []string {
 	out := make([]string, len(keywords))
 	for i, k := range keywords {
-		out[i] = strings.ToLower(strings.TrimSpace(k))
+		out[i] = core.NormalizeKeyword(k)
 	}
 	return out
 }

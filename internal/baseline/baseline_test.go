@@ -103,12 +103,12 @@ func TestBaselineNoMatches(t *testing.T) {
 
 func TestBaselineSkipMaterialize(t *testing.T) {
 	e, v := engine(t)
-	fetchesBefore := e.Store.SubtreeFetches
+	fetchesBefore := e.Store.SubtreeFetches()
 	_, _, err := Search(e, v, []string{"xml"}, core.Options{SkipMaterialize: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if e.Store.SubtreeFetches != fetchesBefore {
+	if e.Store.SubtreeFetches() != fetchesBefore {
 		t.Error("SkipMaterialize should avoid top-k subtree fetches")
 	}
 }

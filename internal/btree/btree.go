@@ -7,7 +7,10 @@
 // Put on an existing key replaces its value.
 package btree
 
-import "bytes"
+import (
+	"bytes"
+	"sync/atomic"
+)
 
 // degree is the maximum number of keys in a node. Chosen so a leaf fits in a
 // couple of cache lines with typical short keys.
@@ -18,11 +21,16 @@ const degree = 32
 type Tree struct {
 	root   node
 	length int
-	// Probes counts point lookups and seeks, so callers can report index
+	// probes counts point lookups and seeks, so callers can report index
 	// access costs (the paper's "fixed number of index lookups" claim is
-	// assertable from this counter in tests).
-	Probes int
+	// assertable from this counter in tests). Atomic because read-only
+	// probes may run concurrently once the tree is built.
+	probes atomic.Int64
 }
+
+// Probes returns the number of point lookups and seeks served. Safe to call
+// concurrently with reads.
+func (t *Tree) Probes() int { return int(t.probes.Load()) }
 
 type node interface {
 	isLeaf() bool
@@ -136,7 +144,7 @@ func search(keys [][]byte, key []byte) int {
 
 // Get returns the value stored under key.
 func (t *Tree) Get(key []byte) (any, bool) {
-	t.Probes++
+	t.probes.Add(1)
 	n := t.root
 	for {
 		switch x := n.(type) {
@@ -164,7 +172,7 @@ type Iterator struct {
 
 // Seek positions an iterator at the first key >= key.
 func (t *Tree) Seek(key []byte) *Iterator {
-	t.Probes++
+	t.probes.Add(1)
 	n := t.root
 	for {
 		switch x := n.(type) {
@@ -184,7 +192,7 @@ func (t *Tree) Seek(key []byte) *Iterator {
 
 // Min positions an iterator at the smallest key.
 func (t *Tree) Min() *Iterator {
-	t.Probes++
+	t.probes.Add(1)
 	n := t.root
 	for {
 		switch x := n.(type) {

@@ -184,11 +184,11 @@ func TestEmptyTree(t *testing.T) {
 func TestProbesCounted(t *testing.T) {
 	tr := New()
 	tr.Put([]byte("a"), 1)
-	before := tr.Probes
+	before := tr.Probes()
 	tr.Get([]byte("a"))
 	tr.Seek([]byte("a"))
-	if tr.Probes != before+2 {
-		t.Errorf("Probes = %d, want %d", tr.Probes, before+2)
+	if tr.Probes() != before+2 {
+		t.Errorf("Probes = %d, want %d", tr.Probes(), before+2)
 	}
 }
 

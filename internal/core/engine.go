@@ -23,11 +23,27 @@ import (
 
 // Engine owns the document store and the per-document path and
 // inverted-list indices.
+//
+// The engine is safe for concurrent use: Search, Explain and view
+// compilation hold a read lock and proceed in parallel, while AddXML and
+// AddParsed take the write lock so a search never observes a document whose
+// indices are half-built. The Path and Inv maps must only be read while a
+// search is in flight (the comparator pipelines in internal/baseline and
+// internal/gtp do so under the read lock via RLock/RUnlock).
 type Engine struct {
+	mu    sync.RWMutex
 	Store *store.Store
 	Path  map[string]*pathindex.Index
 	Inv   map[string]*invindex.Index
 }
+
+// RLock takes the engine's read lock. Comparator pipelines that reach into
+// Path/Inv directly (baseline, gtp) bracket their run with RLock/RUnlock so
+// they serialize correctly against AddXML.
+func (e *Engine) RLock() { e.mu.RLock() }
+
+// RUnlock releases the read lock taken by RLock.
+func (e *Engine) RUnlock() { e.mu.RUnlock() }
 
 // New builds an engine over an existing store, indexing every document.
 func New(st *store.Store) *Engine {
@@ -37,29 +53,58 @@ func New(st *store.Store) *Engine {
 		Inv:   map[string]*invindex.Index{},
 	}
 	for _, doc := range st.Docs() {
-		e.index(doc)
+		e.Path[doc.Name], e.Inv[doc.Name] = buildIndices(doc)
 	}
 	return e
 }
 
-// AddXML parses, stores and indexes a document.
+// AddXML parses, stores and indexes a document. It takes the write lock, so
+// concurrent searches see either no trace of the document or its store entry
+// and both indices together.
 func (e *Engine) AddXML(name, xmlText string) error {
-	doc, err := e.Store.AddXML(name, xmlText)
+	// Parse and build both indices before taking the write lock: the
+	// document is private until registered, so only publication needs
+	// exclusion and concurrent searches stall for microseconds, not for
+	// the duration of a large ingest.
+	if e.Store.Doc(name) != nil {
+		return fmt.Errorf("core: %w: %q", store.ErrDuplicateName, name)
+	}
+	doc, err := xmltree.ParseString(xmlText, name, e.Store.ReserveID())
 	if err != nil {
 		return err
 	}
-	e.index(doc)
+	pix, iix := buildIndices(doc)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.Store.RegisterParsed(doc); err != nil {
+		return err
+	}
+	e.Path[name], e.Inv[name] = pix, iix
 	return nil
 }
 
-// AddParsed stores and indexes a programmatically built document.
+// AddParsed stores and indexes a programmatically built document. Like
+// AddXML it finalizes and indexes the document before taking the write
+// lock, so only publication excludes searches. It panics on a duplicate
+// name (programmatic corpora control their names, matching Store.AddParsed).
 func (e *Engine) AddParsed(doc *xmltree.Document) {
-	e.index(e.Store.AddParsed(doc))
+	doc.DocID = e.Store.ReserveID()
+	doc.Finalize()
+	pix, iix := buildIndices(doc)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.Store.RegisterParsed(doc); err != nil {
+		panic(err)
+	}
+	e.Path[doc.Name], e.Inv[doc.Name] = pix, iix
 }
 
-func (e *Engine) index(doc *xmltree.Document) {
-	e.Path[doc.Name] = pathindex.Build(doc)
-	e.Inv[doc.Name] = invindex.Build(doc)
+// buildIndices builds both indices for doc. Ingest paths call it before
+// taking the write lock (the document is private until published) and
+// assign the results under it; New calls it during single-threaded
+// construction.
+func buildIndices(doc *xmltree.Document) (*pathindex.Index, *invindex.Index) {
+	return pathindex.Build(doc), invindex.Build(doc)
 }
 
 // View is a compiled virtual view: the parsed definition plus one QPT per
@@ -81,12 +126,18 @@ func (e *Engine) CompileView(text string) (*View, error) {
 	return e.CompileParsedView(text, q.Body, q.Functions)
 }
 
-// CompileParsedView compiles an already-parsed view expression.
+// CompileParsedView compiles an already-parsed view expression. QPT
+// generation is corpus-independent and runs unlocked; only the
+// referenced-document check takes the read lock (a long compile must not
+// queue behind it and stall a pending ingest, which would in turn stall
+// every subsequent search).
 func (e *Engine) CompileParsedView(text string, expr xq.Expr, funcs map[string]*xq.FuncDecl) (*View, error) {
 	qpts, err := qpt.Generate(expr, funcs)
 	if err != nil {
 		return nil, err
 	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	for _, q := range qpts {
 		if e.Store.Doc(q.Doc) == nil {
 			return nil, fmt.Errorf("core: view references unknown document %q", q.Doc)
@@ -161,6 +212,8 @@ type Result struct {
 // Efficient pipeline of the paper. Scores and rank order are identical to
 // materializing the view and searching it (Theorem 4.1).
 func (e *Engine) Search(v *View, keywords []string, opts Options) ([]Result, *Stats, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	stats := &Stats{}
 	kws := normalizeKeywords(keywords)
 
@@ -224,8 +277,10 @@ func (e *Engine) Search(v *View, keywords []string, opts Options) ([]Result, *St
 	stats.ViewResults = len(results)
 
 	// Phase 4: score from PDT payloads, then materialize only the top-k.
+	// A per-search counting fetcher keeps the reported fetch count exact
+	// even while concurrent searches drive the store's shared counters.
 	start = time.Now()
-	fetchesBefore := e.Store.SubtreeFetches
+	fetcher := &scoring.CountingFetcher{Fetcher: e.Store}
 	ranking := scoring.Rank(results, kws, !opts.Disjunctive, opts.K, scoring.FromPDT)
 	stats.Matched = ranking.Matched
 	out := make([]Result, 0, len(ranking.Results))
@@ -233,13 +288,13 @@ func (e *Engine) Search(v *View, keywords []string, opts Options) ([]Result, *St
 		elem := sc.Result
 		snippet := ""
 		if !opts.SkipMaterialize {
-			elem = scoring.Materialize(sc.Result, e.Store)
+			elem = scoring.Materialize(sc.Result, fetcher)
 			snippet = scoring.Snippet(elem, kws, 160)
 		}
 		out = append(out, Result{Rank: i + 1, Score: sc.Score, TFs: sc.Stats.TFs, Element: elem, Snippet: snippet})
 	}
 	stats.PostTime = time.Since(start)
-	stats.SubtreeFetches = e.Store.SubtreeFetches - fetchesBefore
+	stats.SubtreeFetches = fetcher.Fetches
 	return out, stats, nil
 }
 
@@ -278,10 +333,15 @@ func selectionFilterNode(v *View) *qpt.Node {
 	return cnode
 }
 
+// NormalizeKeyword canonicalizes one query keyword the way every pipeline
+// matches it. The query-result cache keys and re-expresses TF maps through
+// this same definition, so any change here propagates everywhere at once.
+func NormalizeKeyword(k string) string { return strings.ToLower(strings.TrimSpace(k)) }
+
 func normalizeKeywords(keywords []string) []string {
 	out := make([]string, len(keywords))
 	for i, k := range keywords {
-		out[i] = strings.ToLower(strings.TrimSpace(k))
+		out[i] = NormalizeKeyword(k)
 	}
 	return out
 }

@@ -12,6 +12,8 @@ import (
 // '//' expansion against each document's path dictionary), and the
 // inverted-list probes for the keywords. No PDT is generated.
 func (e *Engine) Explain(v *View, keywords []string) string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	var b strings.Builder
 	b.WriteString("view:\n")
 	for _, line := range strings.Split(strings.TrimSpace(v.Text), "\n") {

@@ -19,7 +19,6 @@ package gtp
 import (
 	"fmt"
 	"sort"
-	"strings"
 	"time"
 
 	"vxml/internal/core"
@@ -54,6 +53,8 @@ func (s *Stats) Total() time.Duration { return s.StructJoinTime + s.EvalTime + s
 
 // Search evaluates the ranked keyword query using GTP with TermJoin.
 func Search(e *core.Engine, v *core.View, keywords []string, opts core.Options) ([]core.Result, *Stats, error) {
+	e.RLock()
+	defer e.RUnlock()
 	stats := &Stats{}
 	kws := normalizeKeywords(keywords)
 
@@ -315,7 +316,7 @@ func dedupeSorted(ids []dewey.ID) []dewey.ID {
 func normalizeKeywords(keywords []string) []string {
 	out := make([]string, len(keywords))
 	for i, k := range keywords {
-		out[i] = strings.ToLower(strings.TrimSpace(k))
+		out[i] = core.NormalizeKeyword(k)
 	}
 	return out
 }

@@ -11,6 +11,7 @@ package invindex
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"vxml/internal/btree"
 	"vxml/internal/dewey"
@@ -32,12 +33,18 @@ type PostingList struct {
 	tfPrefix []int // tfPrefix[i] = sum of TF of Postings[:i]
 }
 
-// Index is the inverted index of a single document.
+// Index is the inverted index of a single document. Once built it is
+// immutable apart from the atomic lookup counter, so concurrent searches
+// may probe it freely.
 type Index struct {
-	dict     *btree.Tree // keyword -> *PostingList
-	elements int         // number of elements in the document
-	Lookups  int         // number of keyword lookups served
+	dict     *btree.Tree  // keyword -> *PostingList
+	elements int          // number of elements in the document
+	lookups  atomic.Int64 // number of keyword lookups served
 }
+
+// Lookups returns the number of keyword lookups served. Safe to call
+// concurrently with reads.
+func (ix *Index) Lookups() int { return int(ix.lookups.Load()) }
 
 // Build constructs the inverted index for doc in one walk.
 func Build(doc *xmltree.Document) *Index {
@@ -81,7 +88,7 @@ func (pl *PostingList) buildPrefix() {
 // Lookup returns the posting list for keyword (lowercase), or an empty list
 // if the keyword does not occur.
 func (ix *Index) Lookup(keyword string) *PostingList {
-	ix.Lookups++
+	ix.lookups.Add(1)
 	if v, ok := ix.dict.Get([]byte(keyword)); ok {
 		return v.(*PostingList)
 	}

@@ -98,9 +98,9 @@ func TestCountsAndStats(t *testing.T) {
 	if ix.Keywords() == 0 {
 		t.Error("no keywords indexed")
 	}
-	before := ix.Lookups
+	before := ix.Lookups()
 	ix.Lookup("xml")
-	if ix.Lookups != before+1 {
+	if ix.Lookups() != before+1 {
 		t.Error("Lookups not counted")
 	}
 	if got := ix.Lookup("xml").TotalTF(); got != 2 {

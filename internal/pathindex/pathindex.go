@@ -132,7 +132,7 @@ func compositeKey(path, value string, hasValue bool) []byte {
 }
 
 // Probes reports how many B+-tree probes the index has served.
-func (ix *Index) Probes() int { return ix.tree.Probes }
+func (ix *Index) Probes() int { return ix.tree.Probes() }
 
 // Paths returns the path dictionary (sorted distinct element paths).
 func (ix *Index) Paths() []string { return ix.paths }

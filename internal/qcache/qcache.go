@@ -1,0 +1,214 @@
+// Package qcache implements a bounded, concurrency-safe LRU cache for
+// ranked query results over virtual views.
+//
+// Virtual views are never materialized, so the system cannot amortize work
+// the way materialized-view engines do; what it can do is avoid recomputing
+// an identical (view, keywords, options) query while the document collection
+// is unchanged. The cache key therefore captures the full query identity
+// (Key). Ingesting a document bumps a generation counter and drops all
+// resident entries (Invalidate); the counter protects against the remaining
+// race, a computation that started before the bump trying to insert after
+// it (PutAt refuses an insert stamped with the pre-bump generation).
+package qcache
+
+import (
+	"container/list"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"vxml/internal/core"
+)
+
+// Key builds the canonical cache key for a query: the view definition text,
+// the sorted normalized keyword set, and every option that can change the
+// response (top-k, semantics, pipeline). Keywords arrive from arbitrary
+// client input (e.g. JSON over HTTP), so every component is length-prefixed
+// — no keyword content can collide with a separator or with a differently
+// split keyword list.
+func Key(viewText string, keywords []string, parts ...string) string {
+	kws := make([]string, len(keywords))
+	for i, k := range keywords {
+		kws[i] = core.NormalizeKeyword(k)
+	}
+	sort.Strings(kws)
+	var b strings.Builder
+	writePart := func(p string) {
+		b.WriteString(strconv.Itoa(len(p)))
+		b.WriteByte(':')
+		b.WriteString(p)
+	}
+	writePart(viewText)
+	writePart(strconv.Itoa(len(kws)))
+	for _, k := range kws {
+		writePart(k)
+	}
+	for _, p := range parts {
+		writePart(p)
+	}
+	return b.String()
+}
+
+// BoolPart canonicalizes a boolean option for use as a Key part.
+func BoolPart(v bool) string { return strconv.FormatBool(v) }
+
+// IntPart canonicalizes an integer option for use as a Key part.
+func IntPart(v int) string { return strconv.Itoa(v) }
+
+// Stats is a point-in-time snapshot of cache effectiveness counters.
+type Stats struct {
+	Hits          int // lookups answered from the cache
+	Misses        int // lookups that fell through to evaluation
+	Evictions     int // entries dropped by the LRU or byte bound
+	Invalidations int // generation bumps (document ingests)
+	Entries       int // entries currently resident
+	Capacity      int // maximum resident entries
+	Bytes         int // caller-reported bytes currently resident
+	MaxBytes      int // maximum resident bytes
+	Generation    int // current store generation
+}
+
+// Cache is a bounded LRU from query key to a cached value, with
+// generation-based invalidation. All methods are safe for concurrent use.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	maxBytes int
+	curBytes int
+	gen      int
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+
+	hits, misses, evictions, invalidations int
+}
+
+type entry struct {
+	key   string
+	size  int
+	value any
+}
+
+// DefaultCapacity bounds the cache entry count when the caller does not
+// choose one.
+const DefaultCapacity = 128
+
+// DefaultMaxBytes bounds the total caller-reported size of resident entries.
+// Entry count alone is no bound at all: an unranked (top-k = 0) search over
+// a large corpus caches its complete materialized result set, so a handful
+// of such entries could otherwise hold arbitrary memory.
+const DefaultMaxBytes = 64 << 20
+
+// New returns an empty cache holding at most capacity entries and
+// DefaultMaxBytes of caller-reported entry size; capacity <= 0 selects
+// DefaultCapacity.
+func New(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Cache{capacity: capacity, maxBytes: DefaultMaxBytes, ll: list.New(), items: map[string]*list.Element{}}
+}
+
+// Get returns the value cached under key. Every resident entry is current:
+// Invalidate drops all entries under the same mutex that guards inserts, so
+// a lookup never needs a staleness check.
+func (c *Cache) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits++
+	return el.Value.(*entry).value, true
+}
+
+// PutAt inserts value under key only if gen is still the current generation,
+// and discards it otherwise. Callers that compute a value outside any lock
+// shared with Invalidate use the pattern: read Gen before computing, PutAt
+// with that generation after — a value whose computation spanned an
+// Invalidate is then never inserted, because the bump made its stamp stale.
+// size is the caller-reported footprint of value in bytes; a value larger
+// than the cache's byte bound is refused rather than evicting everything.
+func (c *Cache) PutAt(key string, value any, gen, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if gen != c.gen || size > c.maxBytes {
+		return
+	}
+	c.put(key, value, size)
+}
+
+// put inserts value under key at the current generation, evicting least
+// recently used entries while either bound (entry count, resident bytes) is
+// exceeded; the caller holds c.mu and has checked size <= maxBytes, so the
+// loop never evicts the entry it just inserted.
+func (c *Cache) put(key string, value any, size int) {
+	if el, ok := c.items[key]; ok {
+		ent := el.Value.(*entry)
+		c.curBytes += size - ent.size
+		ent.size, ent.value = size, value
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&entry{key: key, size: size, value: value})
+		c.curBytes += size
+	}
+	for c.ll.Len() > c.capacity || c.curBytes > c.maxBytes {
+		back := c.ll.Back()
+		ent := back.Value.(*entry)
+		c.ll.Remove(back)
+		delete(c.items, ent.key)
+		c.curBytes -= ent.size
+		c.evictions++
+	}
+}
+
+// Gen returns the current generation, for stamping PutAt calls.
+func (c *Cache) Gen() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gen
+}
+
+// Invalidate bumps the generation and drops every resident entry. Call it
+// whenever the underlying document collection changes. The bump (not the
+// drop) is what keeps in-flight computations out: a PutAt stamped with the
+// old generation is refused, so a result computed across the change can
+// never be inserted afterwards. Dropping eagerly releases the entries'
+// memory to the GC immediately — after a bump every resident entry is dead
+// weight, reachable only by an exact-key probe.
+func (c *Cache) Invalidate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gen++
+	c.invalidations++
+	c.ll.Init()
+	clear(c.items)
+	c.curBytes = 0
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Evictions:     c.evictions,
+		Invalidations: c.invalidations,
+		Entries:       c.ll.Len(),
+		Capacity:      c.capacity,
+		Bytes:         c.curBytes,
+		MaxBytes:      c.maxBytes,
+		Generation:    c.gen,
+	}
+}
+
+// Len returns the number of resident entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -15,7 +15,7 @@ import (
 	"math"
 	"sort"
 
-	"vxml/internal/store"
+	"vxml/internal/dewey"
 	"vxml/internal/xmltree"
 )
 
@@ -157,11 +157,35 @@ func satisfies(tfs []int, conjunctive bool) bool {
 	return conjunctive
 }
 
+// Fetcher serves base subtree fetches during materialization. *store.Store
+// implements it; callers that need an exact per-query fetch count wrap it
+// (see CountingFetcher).
+type Fetcher interface {
+	Subtree(id dewey.ID) *xmltree.Node
+}
+
+// CountingFetcher counts the fetches of one materialization pass, so a
+// search can report its own base-data accesses exactly even while other
+// searches drive the store's shared counters concurrently.
+type CountingFetcher struct {
+	Fetcher
+	Fetches int
+}
+
+// Subtree delegates and counts successful fetches.
+func (c *CountingFetcher) Subtree(id dewey.ID) *xmltree.Node {
+	n := c.Fetcher.Subtree(id)
+	if n != nil {
+		c.Fetches++
+	}
+	return n
+}
+
 // Materialize expands a (possibly pruned) view result into a complete tree:
 // PDT elements are replaced by their full base subtrees fetched from
 // document storage — the only base-data access of the Efficient pipeline,
 // performed for top-k winners only.
-func Materialize(result *xmltree.Node, st *store.Store) *xmltree.Node {
+func Materialize(result *xmltree.Node, st Fetcher) *xmltree.Node {
 	if result.Meta != nil {
 		if full := st.Subtree(result.Meta.SrcID); full != nil {
 			return full.Clone()

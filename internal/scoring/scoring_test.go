@@ -173,8 +173,8 @@ func TestMaterialize(t *testing.T) {
 	if out != "<res><book><title>XML Web Services</title><year>2004</year></book></res>" {
 		t.Errorf("materialized = %s", out)
 	}
-	if st.SubtreeFetches != 1 {
-		t.Errorf("fetches = %d", st.SubtreeFetches)
+	if st.SubtreeFetches() != 1 {
+		t.Errorf("fetches = %d", st.SubtreeFetches())
 	}
 	// the materialized tree is independent of the store's copy
 	full.Children[0].Children[0].Value = "mutated"

@@ -8,8 +8,12 @@ import (
 
 // Snippet extracts a short keyword-in-context excerpt from a materialized
 // result: the first text value containing any query keyword, clipped to
-// about width bytes around the first hit. Returns "" when no keyword
-// occurs in text content.
+// about width bytes around the earliest hit of any keyword. Picking the
+// earliest occurrence (rather than the first keyword in list order) makes
+// the snippet invariant under keyword permutation, so the query-result
+// cache — which shares one entry across keyword orderings — returns
+// exactly what the uncached path would. Returns "" when no keyword occurs
+// in text content.
 func Snippet(result *xmltree.Node, keywords []string, width int) string {
 	if width <= 0 {
 		width = 160
@@ -21,13 +25,15 @@ func Snippet(result *xmltree.Node, keywords []string, width int) string {
 			return
 		}
 		lower := strings.ToLower(n.Value)
+		best := -1
 		for _, k := range keywords {
-			pos := indexToken(lower, k)
-			if pos >= 0 {
-				found = n.Value
-				hitPos = pos
-				return
+			if pos := indexToken(lower, k); pos >= 0 && (best < 0 || pos < best) {
+				best = pos
 			}
+		}
+		if best >= 0 {
+			found = n.Value
+			hitPos = best
 		}
 	})
 	if found == "" {
@@ -58,8 +64,13 @@ func Snippet(result *xmltree.Node, keywords []string, width int) string {
 }
 
 // indexToken finds keyword k as a whole token inside lowercase text,
-// returning its byte offset or -1.
+// returning its byte offset or -1. An empty keyword (whitespace-only client
+// input normalizes to "") matches nothing — without this guard the scan
+// below would never advance.
 func indexToken(lower, k string) int {
+	if k == "" {
+		return -1
+	}
 	from := 0
 	for {
 		i := strings.Index(lower[from:], k)
@@ -72,7 +83,10 @@ func indexToken(lower, k string) int {
 		if beforeOK && afterOK {
 			return pos
 		}
-		from = pos + len(k)
+		// Advance by one byte, not len(k): a valid whole-token occurrence
+		// can overlap a rejected one (e.g. "a-a" in "aa-a-a" at offset 3,
+		// overlapping the rejected occurrence at offset 1).
+		from = pos + 1
 		if from >= len(lower) {
 			return -1
 		}

@@ -64,6 +64,22 @@ func TestSnippetStartOfText(t *testing.T) {
 	}
 }
 
+// TestSnippetEmptyKeyword: a whitespace-only client keyword normalizes to
+// "", which must match nothing rather than loop forever in indexToken
+// (reachable remotely via the HTTP server's disjunctive search).
+func TestSnippetEmptyKeyword(t *testing.T) {
+	res := mkResult("alphanumeric start so afterOK is false at offset zero")
+	if got := Snippet(res, []string{"", "start"}, 160); !strings.Contains(got, "start") {
+		t.Errorf("Snippet = %q, want the non-empty keyword's context", got)
+	}
+	if got := Snippet(res, []string{""}, 160); got != "" {
+		t.Errorf("Snippet with only an empty keyword = %q, want empty", got)
+	}
+	if got := indexToken("text", ""); got != -1 {
+		t.Errorf("indexToken(_, \"\") = %d, want -1", got)
+	}
+}
+
 func TestSnippetDefaultWidth(t *testing.T) {
 	res := mkResult("short hit")
 	if got := Snippet(res, []string{"hit"}, 0); got != "short hit" {
@@ -82,6 +98,10 @@ func TestIndexToken(t *testing.T) {
 		{"prexml postxml", "xml", -1},
 		{"a-xml-b", "xml", 2},
 		{"", "xml", -1},
+		// A valid occurrence overlapping a rejected one must still be found.
+		{"aa-a-a", "a-a", 3},
+		{"xe-come-commerce text", "e-com", -1},
+		{"xe-e-e", "e-e", 3},
 	}
 	for _, c := range cases {
 		if got := indexToken(c.text, c.k); got != c.want {

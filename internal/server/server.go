@@ -1,0 +1,333 @@
+// Package server exposes a vxml.Database as a JSON HTTP service. All
+// handlers share one Database; its internal locking makes concurrent
+// requests safe, so the server adds synchronization only for its own named
+// view registry.
+//
+// Endpoints:
+//
+//	POST /documents  {"name": "books.xml", "xml": "<books>...</books>"}
+//	POST /views      {"name": "recent", "xquery": "for $b in ..."}
+//	POST /search     {"view": "recent", "keywords": ["xml","search"],
+//	                  "top_k": 10, "disjunctive": false,
+//	                  "approach": "efficient", "cache": true}
+//	GET  /stats
+//
+// Malformed JSON or XQuery yields 400 with diagnostics, an unknown view
+// 404, a duplicate document or view name 409.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"vxml"
+)
+
+// Server routes HTTP requests to a shared Database and a named view
+// registry.
+type Server struct {
+	db      *vxml.Database
+	started time.Time
+
+	mu    sync.RWMutex
+	views map[string]*vxml.View
+}
+
+// New builds a server around db with an empty view registry.
+func New(db *vxml.Database) *Server {
+	return &Server{db: db, started: time.Now(), views: map[string]*vxml.View{}}
+}
+
+// DefineView compiles and registers a view under name (used by the binary
+// to pre-register views from the command line; the HTTP path is POST
+// /views). Registering an existing name replaces it.
+func (s *Server) DefineView(name, xquery string) error {
+	view, err := s.db.DefineView(xquery)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.views[name] = view
+	s.mu.Unlock()
+	return nil
+}
+
+// view returns the registered view, or nil.
+func (s *Server) view(name string) *vxml.View {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.views[name]
+}
+
+// viewCount returns the number of registered views.
+func (s *Server) viewCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.views)
+}
+
+// Handler returns the HTTP routing table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /documents", s.handleAddDocument)
+	mux.HandleFunc("POST /views", s.handleDefineView)
+	mux.HandleFunc("POST /search", s.handleSearch)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return mux
+}
+
+// errorBody is the JSON shape of every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// maxBodyBytes bounds request bodies (documents included) so a single
+// oversized POST cannot drive the process out of memory.
+const maxBodyBytes = 64 << 20
+
+func decodeBody(w http.ResponseWriter, r *http.Request, into any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		status := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, status, "decoding request body: %v", err)
+		return false
+	}
+	return true
+}
+
+type addDocumentRequest struct {
+	Name string `json:"name"`
+	XML  string `json:"xml"`
+}
+
+type addDocumentResponse struct {
+	Name      string   `json:"name"`
+	Documents []string `json:"documents"`
+}
+
+func (s *Server) handleAddDocument(w http.ResponseWriter, r *http.Request) {
+	var req addDocumentRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Name == "" || req.XML == "" {
+		writeError(w, http.StatusBadRequest, "both name and xml are required")
+		return
+	}
+	if err := s.db.Add(req.Name, req.XML); err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, vxml.ErrDuplicateDocument) {
+			status = http.StatusConflict
+		}
+		writeError(w, status, "adding document: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, addDocumentResponse{Name: req.Name, Documents: s.db.DocumentNames()})
+}
+
+type defineViewRequest struct {
+	Name   string `json:"name"`
+	XQuery string `json:"xquery"`
+}
+
+type defineViewResponse struct {
+	Name       string `json:"name"`
+	Definition string `json:"definition"`
+}
+
+func (s *Server) handleDefineView(w http.ResponseWriter, r *http.Request) {
+	var req defineViewRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Name == "" || req.XQuery == "" {
+		writeError(w, http.StatusBadRequest, "both name and xquery are required")
+		return
+	}
+	// Cheap name pre-check so a duplicate registration (e.g. a client
+	// retry) is rejected before paying for the compile; the registry is
+	// re-checked under the lock below, which stays authoritative.
+	if s.view(req.Name) != nil {
+		writeError(w, http.StatusConflict, "view %q already defined", req.Name)
+		return
+	}
+	view, err := s.db.DefineView(req.XQuery)
+	if err != nil {
+		// Parse and compile diagnostics go to the caller: this is the
+		// malformed-XQuery → 400 path.
+		writeError(w, http.StatusBadRequest, "compiling view: %v", err)
+		return
+	}
+	s.mu.Lock()
+	_, dup := s.views[req.Name]
+	if !dup {
+		s.views[req.Name] = view
+	}
+	s.mu.Unlock()
+	if dup {
+		writeError(w, http.StatusConflict, "view %q already defined", req.Name)
+		return
+	}
+	writeJSON(w, http.StatusCreated, defineViewResponse{Name: req.Name, Definition: view.Definition()})
+}
+
+type searchRequest struct {
+	View        string   `json:"view"`
+	Keywords    []string `json:"keywords"`
+	TopK        int      `json:"top_k"`
+	Disjunctive bool     `json:"disjunctive"`
+	Approach    string   `json:"approach"`
+	Cache       bool     `json:"cache"`
+}
+
+type searchResult struct {
+	Rank    int            `json:"rank"`
+	Score   float64        `json:"score"`
+	TF      map[string]int `json:"tf"`
+	XML     string         `json:"xml"`
+	Snippet string         `json:"snippet"`
+}
+
+type searchStats struct {
+	PDTTimeMicros  int64 `json:"pdt_time_us"`
+	EvalTimeMicros int64 `json:"eval_time_us"`
+	PostTimeMicros int64 `json:"post_time_us"`
+	TotalMicros    int64 `json:"total_us"`
+	PDTNodes       int   `json:"pdt_nodes"`
+	ViewSize       int   `json:"view_size"`
+	Matched        int   `json:"matched"`
+	BaseData       int   `json:"base_data"`
+	CacheHit       bool  `json:"cache_hit"`
+}
+
+type searchResponse struct {
+	Results []searchResult `json:"results"`
+	Stats   searchStats    `json:"stats"`
+}
+
+// parseApproach maps the wire name to the pipeline selector.
+func parseApproach(name string) (vxml.Approach, error) {
+	switch name {
+	case "", "efficient":
+		return vxml.Efficient, nil
+	case "baseline":
+		return vxml.Baseline, nil
+	case "gtp":
+		return vxml.GTPTermJoin, nil
+	}
+	return 0, fmt.Errorf("unknown approach %q (want efficient, baseline or gtp)", name)
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	var req searchRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Keywords) == 0 {
+		writeError(w, http.StatusBadRequest, "keywords are required")
+		return
+	}
+	if req.TopK < 0 {
+		writeError(w, http.StatusBadRequest, "top_k must be >= 0 (0 returns all results), got %d", req.TopK)
+		return
+	}
+	view := s.view(req.View)
+	if view == nil {
+		writeError(w, http.StatusNotFound, "unknown view %q", req.View)
+		return
+	}
+	approach, err := parseApproach(req.Approach)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	results, stats, err := s.db.Search(view, req.Keywords, &vxml.Options{
+		TopK:        req.TopK,
+		Disjunctive: req.Disjunctive,
+		Approach:    approach,
+		Cache:       req.Cache,
+	})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "search: %v", err)
+		return
+	}
+	resp := searchResponse{
+		Results: make([]searchResult, len(results)),
+		Stats: searchStats{
+			PDTTimeMicros:  stats.PDTTime.Microseconds(),
+			EvalTimeMicros: stats.EvalTime.Microseconds(),
+			PostTimeMicros: stats.PostTime.Microseconds(),
+			TotalMicros:    stats.Total.Microseconds(),
+			PDTNodes:       stats.PDTNodes,
+			ViewSize:       stats.ViewSize,
+			Matched:        stats.Matched,
+			BaseData:       stats.BaseData,
+			CacheHit:       stats.CacheHit,
+		},
+	}
+	for i, res := range results {
+		resp.Results[i] = searchResult{Rank: res.Rank, Score: res.Score, TF: res.TF, XML: res.XML, Snippet: res.Snippet}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type statsResponse struct {
+	Documents  []string   `json:"documents"`
+	TotalBytes int        `json:"total_bytes"`
+	Views      int        `json:"views"`
+	Cache      cacheStats `json:"cache"`
+	Uptime     string     `json:"uptime"`
+}
+
+type cacheStats struct {
+	Hits          int `json:"hits"`
+	Misses        int `json:"misses"`
+	Evictions     int `json:"evictions"`
+	Invalidations int `json:"invalidations"`
+	Entries       int `json:"entries"`
+	Capacity      int `json:"capacity"`
+	Bytes         int `json:"bytes"`
+	MaxBytes      int `json:"max_bytes"`
+	Generation    int `json:"generation"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	cs := s.db.CacheStats()
+	resp := statsResponse{
+		Documents:  s.db.DocumentNames(),
+		TotalBytes: s.db.TotalBytes(),
+		Views:      s.viewCount(),
+		Cache: cacheStats{
+			Hits:          cs.Hits,
+			Misses:        cs.Misses,
+			Evictions:     cs.Evictions,
+			Invalidations: cs.Invalidations,
+			Entries:       cs.Entries,
+			Capacity:      cs.Capacity,
+			Bytes:         cs.Bytes,
+			MaxBytes:      cs.MaxBytes,
+			Generation:    cs.Generation,
+		},
+	}
+	resp.Uptime = time.Since(s.started).Round(time.Millisecond).String()
+	writeJSON(w, http.StatusOK, resp)
+}

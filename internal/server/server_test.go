@@ -1,0 +1,309 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"vxml"
+)
+
+const booksXML = `<books>
+  <book><isbn>111</isbn><title>XML Web Services</title><year>2004</year></book>
+  <book><isbn>222</isbn><title>Search Systems</title><year>2001</year></book>
+</books>`
+
+const reviewsXML = `<reviews>
+  <review><isbn>111</isbn><content>all about search engines</content></review>
+  <review><isbn>222</isbn><content>great xml coverage</content></review>
+</reviews>`
+
+const bookrevsView = `
+for $book in fn:doc(books.xml)/books//book
+return <bookrevs>
+         <book>{$book/title}</book>,
+         {for $rev in fn:doc(reviews.xml)/reviews//review
+          where $rev/isbn = $book/isbn
+          return $rev/content}
+       </bookrevs>`
+
+// newTestServer stands up a Server over a fresh Database behind httptest.
+func newTestServer(t *testing.T) (*httptest.Server, *Server) {
+	t.Helper()
+	db := vxml.Open()
+	srv := New(db)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, srv
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close() //nolint:errcheck
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+// ingestCorpus loads the demo corpus and the bookrevs view over HTTP.
+func ingestCorpus(t *testing.T, base string) {
+	t.Helper()
+	for name, xml := range map[string]string{"books.xml": booksXML, "reviews.xml": reviewsXML} {
+		resp, body := postJSON(t, base+"/documents", map[string]string{"name": name, "xml": xml})
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("POST /documents %s: %d %s", name, resp.StatusCode, body)
+		}
+	}
+	resp, body := postJSON(t, base+"/views", map[string]string{"name": "bookrevs", "xquery": bookrevsView})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST /views: %d %s", resp.StatusCode, body)
+	}
+}
+
+func TestSearchHappyPath(t *testing.T) {
+	ts, _ := newTestServer(t)
+	ingestCorpus(t, ts.URL)
+
+	req := map[string]any{"view": "bookrevs", "keywords": []string{"xml", "search"}, "top_k": 10, "cache": true}
+	resp, body := postJSON(t, ts.URL+"/search", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /search: %d %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Results []struct {
+			Rank    int            `json:"rank"`
+			Score   float64        `json:"score"`
+			TF      map[string]int `json:"tf"`
+			XML     string         `json:"xml"`
+			Snippet string         `json:"snippet"`
+		} `json:"results"`
+		Stats struct {
+			CacheHit bool `json:"cache_hit"`
+			Matched  int  `json:"matched"`
+		} `json:"stats"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("decoding response: %v\n%s", err, body)
+	}
+	if len(out.Results) == 0 {
+		t.Fatal("no results for a matching query")
+	}
+	if out.Stats.CacheHit {
+		t.Error("first search reported a cache hit")
+	}
+	for i, r := range out.Results {
+		if r.Rank != i+1 || r.Score <= 0 || !strings.Contains(r.XML, "<bookrevs>") {
+			t.Errorf("result %d malformed: %+v", i, r)
+		}
+	}
+
+	// The identical repeated request is served from the cache.
+	resp, body = postJSON(t, ts.URL+"/search", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("repeat POST /search: %d %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Stats.CacheHit {
+		t.Error("repeated identical search missed the cache")
+	}
+}
+
+func TestMalformedXQueryReturns400WithDiagnostics(t *testing.T) {
+	ts, _ := newTestServer(t)
+	ingestCorpus(t, ts.URL)
+	resp, body := postJSON(t, ts.URL+"/views", map[string]string{
+		"name":   "broken",
+		"xquery": "for $x in fn:doc(books.xml)/books//book where return",
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400; body %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.Error, "compiling view") || len(out.Error) < len("compiling view: x") {
+		t.Errorf("missing parse diagnostics in %q", out.Error)
+	}
+}
+
+func TestUnknownViewReturns404(t *testing.T) {
+	ts, _ := newTestServer(t)
+	ingestCorpus(t, ts.URL)
+	resp, body := postJSON(t, ts.URL+"/search", map[string]any{"view": "nope", "keywords": []string{"xml"}})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404; body %s", resp.StatusCode, body)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	ts, _ := newTestServer(t)
+	ingestCorpus(t, ts.URL)
+	cases := []struct {
+		name   string
+		path   string
+		body   any
+		status int
+	}{
+		{"missing keywords", "/search", map[string]any{"view": "bookrevs"}, http.StatusBadRequest},
+		{"unknown approach", "/search", map[string]any{"view": "bookrevs", "keywords": []string{"x"}, "approach": "warp"}, http.StatusBadRequest},
+		{"negative top_k", "/search", map[string]any{"view": "bookrevs", "keywords": []string{"x"}, "top_k": -1}, http.StatusBadRequest},
+		{"unknown field", "/search", map[string]any{"view": "bookrevs", "keywords": []string{"x"}, "frobnicate": 1}, http.StatusBadRequest},
+		{"empty document", "/documents", map[string]string{"name": "", "xml": ""}, http.StatusBadRequest},
+		{"bad xml", "/documents", map[string]string{"name": "bad.xml", "xml": "<unclosed>"}, http.StatusBadRequest},
+		{"duplicate document", "/documents", map[string]string{"name": "books.xml", "xml": booksXML}, http.StatusConflict},
+		{"duplicate view", "/views", map[string]string{"name": "bookrevs", "xquery": bookrevsView}, http.StatusConflict},
+	}
+	for _, tc := range cases {
+		resp, body := postJSON(t, ts.URL+tc.path, tc.body)
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status = %d, want %d; body %s", tc.name, resp.StatusCode, tc.status, body)
+		}
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	ingestCorpus(t, ts.URL)
+	// One miss then one hit.
+	req := map[string]any{"view": "bookrevs", "keywords": []string{"xml"}, "cache": true}
+	postJSON(t, ts.URL+"/search", req)
+	postJSON(t, ts.URL+"/search", req)
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close() //nolint:errcheck
+	var out struct {
+		Documents  []string `json:"documents"`
+		TotalBytes int      `json:"total_bytes"`
+		Views      int      `json:"views"`
+		Cache      struct {
+			Hits          int `json:"hits"`
+			Misses        int `json:"misses"`
+			Invalidations int `json:"invalidations"`
+		} `json:"cache"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Documents) != 2 || out.Views != 1 || out.TotalBytes == 0 {
+		t.Errorf("stats = %+v", out)
+	}
+	if out.Cache.Hits == 0 || out.Cache.Misses == 0 {
+		t.Errorf("cache counters = %+v", out.Cache)
+	}
+	if out.Cache.Invalidations != 2 {
+		t.Errorf("invalidations = %d, want 2 (one per ingested document)", out.Cache.Invalidations)
+	}
+}
+
+// TestConcurrentRequestsShareOneDatabase mixes searches, view definitions
+// and document ingests from many goroutines against one server; run with
+// -race. Every search against the stable view must return the full result
+// set regardless of interleaved ingests.
+func TestConcurrentRequestsShareOneDatabase(t *testing.T) {
+	ts, srv := newTestServer(t)
+	ingestCorpus(t, ts.URL)
+
+	// Reference response computed before the storm.
+	ref, body := postJSON(t, ts.URL+"/search", map[string]any{"view": "bookrevs", "keywords": []string{"xml"}})
+	if ref.StatusCode != http.StatusOK {
+		t.Fatalf("reference search: %d %s", ref.StatusCode, body)
+	}
+	var refOut struct {
+		Results []json.RawMessage `json:"results"`
+	}
+	if err := json.Unmarshal(body, &refOut); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 12)
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			client := ts.Client()
+			for i := 0; i < 20; i++ {
+				payload, _ := json.Marshal(map[string]any{
+					"view": "bookrevs", "keywords": []string{"xml"}, "cache": i%2 == 0,
+				})
+				resp, err := client.Post(ts.URL+"/search", "application/json", bytes.NewReader(payload))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				var out struct {
+					Results []json.RawMessage `json:"results"`
+				}
+				err = json.NewDecoder(resp.Body).Decode(&out)
+				resp.Body.Close() //nolint:errcheck
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errCh <- fmt.Errorf("searcher %d: status %d", g, resp.StatusCode)
+					return
+				}
+				if len(out.Results) != len(refOut.Results) {
+					errCh <- fmt.Errorf("searcher %d: %d results, want %d", g, len(out.Results), len(refOut.Results))
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			client := ts.Client()
+			for i := 0; i < 10; i++ {
+				payload, _ := json.Marshal(map[string]string{
+					"name": fmt.Sprintf("extra-%d-%d.xml", g, i),
+					"xml":  fmt.Sprintf("<extra><n>doc %d %d</n></extra>", g, i),
+				})
+				resp, err := client.Post(ts.URL+"/documents", "application/json", bytes.NewReader(payload))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				resp.Body.Close() //nolint:errcheck
+				if resp.StatusCode != http.StatusCreated {
+					errCh <- fmt.Errorf("writer %d: status %d", g, resp.StatusCode)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	// All ingests landed in the one shared Database.
+	if got, want := len(srv.db.DocumentNames()), 2+3*10; got != want {
+		t.Errorf("documents = %d, want %d", got, want)
+	}
+}

@@ -3,27 +3,40 @@
 // serves subtree fetches by Dewey ID — the only operation the Efficient
 // pipeline performs against base data, and only for the final top-k results
 // (paper §4.2.2.2). Access counters make that claim measurable.
+//
+// The store is safe for concurrent use: reads (Doc, DocByID, Docs, Subtree,
+// Value, TotalBytes) proceed in parallel under a read lock, while AddXML and
+// AddParsed take the write lock. The access counters are atomic so counted
+// reads stay lock-free with respect to each other.
 package store
 
 import (
+	"errors"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"vxml/internal/dewey"
 	"vxml/internal/xmltree"
 )
 
+// ErrDuplicateName is returned (or wrapped) when a document is added under a
+// name that is already registered.
+var ErrDuplicateName = errors.New("duplicate document name")
+
 // Store is a collection of named documents.
 type Store struct {
+	mu     sync.RWMutex
 	byName map[string]*xmltree.Document
 	byID   map[int32]*xmltree.Document
 	nextID int32
 
-	// SubtreeFetches counts Subtree and Value calls; BytesFetched sums the
+	// subtreeFetches counts Subtree and Value calls; bytesFetched sums the
 	// serialized byte lengths returned. Benchmarks report these to show the
 	// Efficient pipeline touches base data only for top-k winners.
-	SubtreeFetches int
-	BytesFetched   int
+	subtreeFetches atomic.Int64
+	bytesFetched   atomic.Int64
 }
 
 // New returns an empty store.
@@ -32,49 +45,101 @@ func New() *Store {
 }
 
 // NextDocID returns the document ID the next AddParsed/AddXML call will use.
-func (s *Store) NextDocID() int32 { return s.nextID }
+func (s *Store) NextDocID() int32 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.nextID
+}
+
+// ReserveID atomically allocates the next document ID, so a caller can
+// parse and index a document outside any lock before registering it with
+// RegisterParsed. A reservation wasted on a failed parse leaves a gap in
+// the ID sequence, which is harmless.
+func (s *Store) ReserveID() int32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := s.nextID
+	s.nextID++
+	return id
+}
+
+// RegisterParsed registers a document whose DocID was allocated with
+// ReserveID. It returns an error wrapping ErrDuplicateName if the name is
+// already taken.
+func (s *Store) RegisterParsed(doc *xmltree.Document) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.publishLocked(doc)
+}
+
+// publishLocked makes doc visible under its name and DocID; the caller
+// holds the write lock and doc already owns a reserved DocID. This is the
+// single publication path — every registration goes through it so its
+// invariants cannot diverge.
+func (s *Store) publishLocked(doc *xmltree.Document) error {
+	if _, dup := s.byName[doc.Name]; dup {
+		return fmt.Errorf("store: %w: %q", ErrDuplicateName, doc.Name)
+	}
+	s.byName[doc.Name] = doc
+	s.byID[doc.DocID] = doc
+	return nil
+}
 
 // AddXML parses the XML text and registers it under name. Documents receive
-// consecutive document IDs in insertion order.
+// document IDs in reservation order. Adding a name that already exists
+// returns an error wrapping ErrDuplicateName. The parse runs outside the
+// store lock — only the registration excludes readers.
 func (s *Store) AddXML(name, xmlText string) (*xmltree.Document, error) {
-	doc, err := xmltree.ParseString(xmlText, name, s.nextID)
+	if s.Doc(name) != nil {
+		return nil, fmt.Errorf("store: %w: %q", ErrDuplicateName, name)
+	}
+	doc, err := xmltree.ParseString(xmlText, name, s.ReserveID())
 	if err != nil {
 		return nil, err
 	}
-	s.register(doc)
+	if err := s.RegisterParsed(doc); err != nil {
+		return nil, err
+	}
 	return doc, nil
 }
 
 // AddParsed registers a document built programmatically. The document's
 // DocID is overwritten with the store's next ID and the tree re-finalized.
+// It panics on a duplicate name (programmatic corpora control their names).
 func (s *Store) AddParsed(doc *xmltree.Document) *xmltree.Document {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	doc.DocID = s.nextID
+	s.nextID++
 	doc.Finalize()
-	s.register(doc)
+	if err := s.publishLocked(doc); err != nil {
+		panic(fmt.Sprintf("store: %v", err))
+	}
 	return doc
 }
 
-func (s *Store) register(doc *xmltree.Document) {
-	if _, dup := s.byName[doc.Name]; dup {
-		panic(fmt.Sprintf("store: duplicate document name %q", doc.Name))
-	}
-	s.byName[doc.Name] = doc
-	s.byID[doc.DocID] = doc
-	s.nextID++
+// Doc returns the document registered under name, or nil.
+func (s *Store) Doc(name string) *xmltree.Document {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.byName[name]
 }
 
-// Doc returns the document registered under name, or nil.
-func (s *Store) Doc(name string) *xmltree.Document { return s.byName[name] }
-
 // DocByID returns the document whose Dewey IDs start with docID, or nil.
-func (s *Store) DocByID(docID int32) *xmltree.Document { return s.byID[docID] }
+func (s *Store) DocByID(docID int32) *xmltree.Document {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.byID[docID]
+}
 
 // Docs returns all documents in insertion (document ID) order.
 func (s *Store) Docs() []*xmltree.Document {
+	s.mu.RLock()
 	docs := make([]*xmltree.Document, 0, len(s.byName))
 	for _, d := range s.byName {
 		docs = append(docs, d)
 	}
+	s.mu.RUnlock()
 	sort.Slice(docs, func(i, j int) bool { return docs[i].DocID < docs[j].DocID })
 	return docs
 }
@@ -86,14 +151,14 @@ func (s *Store) Subtree(id dewey.ID) *xmltree.Node {
 	if len(id) == 0 {
 		return nil
 	}
-	doc := s.byID[id[0]]
+	doc := s.DocByID(id[0])
 	if doc == nil {
 		return nil
 	}
 	n := doc.FindByID(id)
 	if n != nil {
-		s.SubtreeFetches++
-		s.BytesFetched += n.ByteLen
+		s.subtreeFetches.Add(1)
+		s.bytesFetched.Add(int64(n.ByteLen))
 	}
 	return n
 }
@@ -109,14 +174,23 @@ func (s *Store) Value(id dewey.ID) (string, bool) {
 	return n.Value, true
 }
 
+// SubtreeFetches returns the number of counted Subtree/Value calls.
+func (s *Store) SubtreeFetches() int { return int(s.subtreeFetches.Load()) }
+
+// BytesFetched returns the summed serialized byte length of fetched
+// subtrees.
+func (s *Store) BytesFetched() int { return int(s.bytesFetched.Load()) }
+
 // ResetCounters zeroes the access counters (between benchmark phases).
 func (s *Store) ResetCounters() {
-	s.SubtreeFetches = 0
-	s.BytesFetched = 0
+	s.subtreeFetches.Store(0)
+	s.bytesFetched.Store(0)
 }
 
 // TotalBytes returns the summed serialized size of all documents.
 func (s *Store) TotalBytes() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	total := 0
 	for _, d := range s.byName {
 		total += d.Root.ByteLen

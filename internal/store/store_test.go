@@ -1,6 +1,7 @@
 package store
 
 import (
+	"errors"
 	"testing"
 
 	"vxml/internal/dewey"
@@ -49,8 +50,8 @@ func TestSubtreeFetchCounted(t *testing.T) {
 	if n == nil || n.Tag != "content" {
 		t.Fatalf("Subtree = %v", n)
 	}
-	if s.SubtreeFetches != 1 || s.BytesFetched != n.ByteLen {
-		t.Errorf("counters: %d fetches, %d bytes", s.SubtreeFetches, s.BytesFetched)
+	if s.SubtreeFetches() != 1 || s.BytesFetched() != n.ByteLen {
+		t.Errorf("counters: %d fetches, %d bytes", s.SubtreeFetches(), s.BytesFetched())
 	}
 	if s.Subtree(dewey.MustParse("9.1")) != nil {
 		t.Error("unknown doc should return nil")
@@ -59,7 +60,7 @@ func TestSubtreeFetchCounted(t *testing.T) {
 		t.Error("empty ID should return nil")
 	}
 	s.ResetCounters()
-	if s.SubtreeFetches != 0 || s.BytesFetched != 0 {
+	if s.SubtreeFetches() != 0 || s.BytesFetched() != 0 {
 		t.Error("ResetCounters failed")
 	}
 }
@@ -88,14 +89,18 @@ func TestAddParsed(t *testing.T) {
 	}
 }
 
-func TestDuplicateNamePanics(t *testing.T) {
+func TestDuplicateName(t *testing.T) {
 	s := newStore(t)
+	if _, err := s.AddXML("books.xml", booksXML); !errors.Is(err, ErrDuplicateName) {
+		t.Errorf("AddXML duplicate: err = %v, want ErrDuplicateName", err)
+	}
 	defer func() {
 		if recover() == nil {
-			t.Error("expected panic on duplicate name")
+			t.Error("expected panic on duplicate AddParsed name")
 		}
 	}()
-	s.AddXML("books.xml", booksXML) //nolint:errcheck
+	root := xmltree.NewElement("r")
+	s.AddParsed(&xmltree.Document{Name: "books.xml", Root: root})
 }
 
 func TestTotalBytes(t *testing.T) {

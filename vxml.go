@@ -26,6 +26,44 @@
 //	            return $rev/content}
 //	         </bookrevs>`)
 //	results, stats, err := db.Search(view, []string{"xml", "search"}, nil)
+//
+// # Concurrency
+//
+// A Database is safe for concurrent use. Search, Query, Explain and
+// DefineView hold the engine's read lock and run in parallel with each
+// other; Add and MustAdd take its write lock only to publish an
+// already-parsed, already-indexed document, so a concurrent search observes
+// the document collection either entirely before or entirely after an
+// ingest — never a document whose indices are half-built — and stalls for
+// the publication, not for the parse. The same guarantee holds one layer
+// down for direct users of internal/core.Engine.
+//
+// # Result caching
+//
+// Setting Options.Cache serves repeated identical queries from an LRU of
+// ranked results bounded both by entry count and by resident bytes (so
+// unranked full-result entries cannot hold unbounded memory). The cache
+// key is the view definition text, the
+// sorted lowercase keyword set, and every result-affecting option (TopK,
+// Disjunctive, Approach), so two searches share an entry exactly when the
+// paper's pipeline would compute identical output for them. Every document
+// Add bumps a generation counter and drops all resident entries, so
+// a cached response is never served across an ingest. Hits are observable
+// via Stats.CacheHit and aggregate counters via CacheStats. Cached and
+// uncached paths return identical results, scores and rank order; cache
+// misses cost one map lookup. Query additionally caches on the verbatim
+// query text (the keywords and semantics are part of the text), so a
+// repeat Query skips parsing and QPT generation as well as evaluation.
+//
+// # HTTP service
+//
+// Package internal/server (binary: cmd/vxmlserve) exposes a Database over
+// JSON HTTP: POST /documents ingests XML, POST /views compiles named views,
+// POST /search runs ranked keyword queries, and GET /stats reports corpus
+// and cache counters. Example round trip:
+//
+//	vxmlserve -demo -addr :8344 &
+//	curl -s localhost:8344/search -d '{"view":"demo","keywords":["xml","search"],"top_k":3,"cache":true}'
 package vxml
 
 import (
@@ -35,25 +73,45 @@ import (
 	"vxml/internal/baseline"
 	"vxml/internal/core"
 	"vxml/internal/gtp"
+	"vxml/internal/qcache"
 	"vxml/internal/store"
 	"vxml/internal/xq"
 )
 
+// ErrDuplicateDocument reports an Add under an already-registered document
+// name (compare with errors.Is).
+var ErrDuplicateDocument = store.ErrDuplicateName
+
 // Database is a collection of XML documents with the indices required for
-// keyword search over virtual views.
+// keyword search over virtual views. It is safe for concurrent use; see the
+// package documentation for the locking discipline.
 type Database struct {
 	engine *core.Engine
+	cache  *qcache.Cache
 }
 
-// Open creates an empty database.
+// Open creates an empty database with a result cache of
+// qcache.DefaultCapacity entries.
 func Open() *Database {
-	return &Database{engine: core.New(store.New())}
+	return &Database{engine: core.New(store.New()), cache: qcache.New(0)}
 }
 
 // Add parses, stores and indexes an XML document under the given name
-// (referenced from views as fn:doc(name)).
+// (referenced from views as fn:doc(name)). It invalidates the query-result
+// cache: every subsequent Search recomputes against the grown collection.
+// Adding a duplicate name returns an error wrapping ErrDuplicateDocument.
+//
+// The publication order is load-bearing: the document is registered first
+// and the cache invalidated second, so any cache entry computed against the
+// pre-Add collection is stale by the time the post-Add generation exists
+// (Search stamps its insert with the generation read before computing; see
+// qcache.PutAt).
 func (db *Database) Add(name, xmlText string) error {
-	return db.engine.AddXML(name, xmlText)
+	if err := db.engine.AddXML(name, xmlText); err != nil {
+		return err
+	}
+	db.cache.Invalidate()
+	return nil
 }
 
 // MustAdd is Add that panics on error, for tests and examples.
@@ -74,7 +132,12 @@ func (db *Database) DocumentNames() []string {
 }
 
 // TotalBytes reports the summed serialized size of all documents.
-func (db *Database) TotalBytes() int { return db.engine.Store.TotalBytes() }
+func (db *Database) TotalBytes() int {
+	return db.engine.Store.TotalBytes()
+}
+
+// CacheStats returns a snapshot of the query-result cache counters.
+func (db *Database) CacheStats() qcache.Stats { return db.cache.Stats() }
 
 // View is a compiled virtual view.
 type View struct {
@@ -105,6 +168,15 @@ type Options struct {
 	// Approach selects the pipeline; the default is Efficient. The
 	// comparators exist for benchmarking and produce identical results.
 	Approach Approach
+	// Cache serves the search from the query-result cache when an entry
+	// for the same (view, keywords, options) exists at the current
+	// document generation, and populates the cache otherwise. Keyword
+	// order and casing do not affect the cache identity: permutations of
+	// one keyword set share an entry, and TF maps are re-expressed in each
+	// caller's keyword forms. Cached and uncached paths return identical
+	// results; a hit sets Stats.CacheHit and reports the timings of the
+	// original computation.
+	Cache bool
 }
 
 // Approach selects the query processing pipeline.
@@ -143,15 +215,83 @@ type Stats struct {
 	ViewSize int // |V(D)|: number of view results
 	Matched  int // results satisfying the keyword semantics
 	BaseData int // base-data subtree fetches (top-k materialization only)
+	// CacheHit reports that the response was served from the query-result
+	// cache; the timing fields then describe the original computation.
+	CacheHit bool
+}
+
+// cachedSearch is the value held by one query-result cache entry.
+type cachedSearch struct {
+	results []Result
+	stats   Stats
 }
 
 // Search evaluates a ranked keyword query over the view. Keywords are
 // case-insensitive. A nil opts means conjunctive semantics, all results,
-// Efficient pipeline.
+// Efficient pipeline, no caching.
 func (db *Database) Search(v *View, keywords []string, opts *Options) ([]Result, *Stats, error) {
-	if opts == nil {
-		opts = &Options{}
+	opts = normalizeOptions(opts)
+	// No lock spans the lookup-compute-insert sequence; instead the
+	// generation is read before computing and the insert is discarded if
+	// an Add bumped it in between (qcache.PutAt), so a result computed
+	// here can never be inserted at a generation newer than its data.
+	var key string
+	var gen int
+	if opts.Cache {
+		key = qcache.Key(v.inner.Text, keywords,
+			qcache.IntPart(opts.TopK),
+			qcache.BoolPart(opts.Disjunctive),
+			qcache.IntPart(int(opts.Approach)))
+		gen = db.cache.Gen()
+		if val, ok := db.cache.Get(key); ok {
+			hit := val.(*cachedSearch)
+			stats := hit.stats
+			stats.CacheHit = true
+			return remapTF(hit.results, keywords), &stats, nil
+		}
 	}
+	out, stats, err := db.searchUncached(v, keywords, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	if opts.Cache {
+		stored := storedResults(out)
+		db.cache.PutAt(key, &cachedSearch{results: stored, stats: *stats}, gen, resultsFootprint(stored))
+	}
+	return out, stats, nil
+}
+
+// normalizeOptions maps a nil or out-of-range Options to its canonical
+// form. Every negative TopK means the same thing as 0 (all results), so
+// normalizing before the cache key is built keeps them one cache entry.
+func normalizeOptions(opts *Options) *Options {
+	if opts == nil {
+		return &Options{}
+	}
+	if opts.TopK < 0 {
+		o := *opts
+		o.TopK = 0
+		return &o
+	}
+	return opts
+}
+
+// resultsFootprint approximates the resident bytes of a cached entry for
+// the cache's byte bound: the dominant XML and snippet strings plus a small
+// per-result and per-TF-key allowance.
+func resultsFootprint(in []Result) int {
+	n := 0
+	for _, r := range in {
+		n += len(r.XML) + len(r.Snippet) + 64
+		for k := range r.TF {
+			n += len(k) + 16
+		}
+	}
+	return n
+}
+
+// searchUncached runs the full pipeline; the engine takes its own read lock.
+func (db *Database) searchUncached(v *View, keywords []string, opts *Options) ([]Result, *Stats, error) {
 	copts := core.Options{K: opts.TopK, Disjunctive: opts.Disjunctive}
 	var (
 		results []core.Result
@@ -210,6 +350,53 @@ func (db *Database) Search(v *View, keywords []string, opts *Options) ([]Result,
 	return out, stats, nil
 }
 
+// storedResults deep-copies a result slice for insertion into the cache,
+// rekeying the TF maps by normalized keyword so a hit can be re-expressed
+// in any caller's keyword forms. The copy also keeps cache entries immutable
+// no matter what callers do with the originally returned values.
+func storedResults(in []Result) []Result {
+	return copyResultsKeyed(in, core.NormalizeKeyword)
+}
+
+// copyResultsKeyed deep-copies a result slice, rewriting each TF key
+// through keyFn; the copy keeps cache entries immutable no matter what
+// callers do with the values they were handed.
+func copyResultsKeyed(in []Result, keyFn func(string) string) []Result {
+	out := make([]Result, len(in))
+	for i, r := range in {
+		tf := make(map[string]int, len(r.TF))
+		for k, v := range r.TF {
+			tf[keyFn(k)] = v
+		}
+		r.TF = tf
+		out[i] = r
+	}
+	return out
+}
+
+// copyResults deep-copies a result slice (including TF maps) without
+// rekeying, for Query's text-keyed cache entries whose TF maps are already
+// in the query's own keyword forms.
+func copyResults(in []Result) []Result {
+	return copyResultsKeyed(in, func(k string) string { return k })
+}
+
+// remapTF copies cached results for return to a caller, keying each TF map
+// by the caller's own keyword forms — exactly what the uncached path would
+// have produced for them.
+func remapTF(in []Result, keywords []string) []Result {
+	out := make([]Result, len(in))
+	for i, r := range in {
+		tf := make(map[string]int, len(keywords))
+		for _, k := range keywords {
+			tf[k] = r.TF[core.NormalizeKeyword(k)]
+		}
+		r.TF = tf
+		out[i] = r
+	}
+	return out
+}
+
 // Explain renders the query plan for a keyword search over the view: the
 // QPTs derived from the view definition and the exact index probes PDT
 // generation will issue. Nothing is evaluated.
@@ -220,6 +407,27 @@ func (db *Database) Explain(v *View, keywords []string) string {
 // Query runs a complete Figure-2 style keyword query: a let-bound view
 // followed by `for $r in $view where $r ftcontains('k1' & 'k2') return $r`.
 func (db *Database) Query(fullQuery string, opts *Options) ([]Result, *Stats, error) {
+	opts = normalizeOptions(opts)
+	// The keywords and the conjunctive/disjunctive flag are part of the
+	// query text itself, so the cache is consulted on the verbatim text
+	// before any parsing: a repeat Query skips xq.Parse and QPT
+	// generation (which grows with the corpus's path dictionary), not
+	// just evaluation. Entries here store the final caller-facing
+	// results, already keyed by the query's own keyword forms.
+	var key string
+	var gen int
+	if opts.Cache {
+		key = qcache.Key("query:"+fullQuery, nil,
+			qcache.IntPart(opts.TopK),
+			qcache.IntPart(int(opts.Approach)))
+		gen = db.cache.Gen()
+		if val, ok := db.cache.Get(key); ok {
+			hit := val.(*cachedSearch)
+			stats := hit.stats
+			stats.CacheHit = true
+			return copyResults(hit.results), &stats, nil
+		}
+	}
 	parsed, err := xq.Parse(fullQuery)
 	if err != nil {
 		return nil, nil, err
@@ -232,10 +440,19 @@ func (db *Database) Query(fullQuery string, opts *Options) ([]Result, *Stats, er
 	if err != nil {
 		return nil, nil, err
 	}
-	if opts == nil {
-		opts = &Options{}
-	}
 	effective := *opts
 	effective.Disjunctive = !kq.Conjunctive
-	return db.Search(&View{inner: v}, kq.Keywords, &effective)
+	// The text-keyed entry below is the one a repeat Query hits, and no
+	// caller can reach the inner Search with this synthetic view; leaving
+	// Search's own caching on would just burn a second LRU slot per query.
+	effective.Cache = false
+	out, stats, err := db.Search(&View{inner: v}, kq.Keywords, &effective)
+	if err != nil {
+		return nil, nil, err
+	}
+	if opts.Cache {
+		stored := copyResults(out)
+		db.cache.PutAt(key, &cachedSearch{results: stored, stats: *stats}, gen, resultsFootprint(stored))
+	}
+	return out, stats, nil
 }
