@@ -38,6 +38,7 @@ func main() {
 	keywords := flag.String("q", "", "comma-separated keywords")
 	topK := flag.Int("k", 10, "number of results (0 = all)")
 	disjunctive := flag.Bool("any", false, "match any keyword instead of all")
+	parallel := flag.Int("parallel", 0, "search worker pool size (0 = all CPUs, 1 = sequential)")
 	approach := flag.String("approach", "efficient", "pipeline: efficient, baseline, gtp")
 	demo := flag.Bool("demo", false, "load a generated books/reviews demo corpus")
 	showStats := flag.Bool("stats", true, "print per-phase statistics")
@@ -63,7 +64,7 @@ func main() {
 		fatalf("no documents loaded; use -doc or -demo")
 	}
 
-	opts := &vxml.Options{TopK: *topK, Disjunctive: *disjunctive}
+	opts := &vxml.Options{TopK: *topK, Disjunctive: *disjunctive, Parallelism: *parallel}
 	switch strings.ToLower(*approach) {
 	case "efficient":
 		opts.Approach = vxml.Efficient

@@ -76,9 +76,15 @@ func Search(e *core.Engine, v *core.View, keywords []string, opts core.Options) 
 	return out, stats, nil
 }
 
+// storeCatalog evaluates the view directly over base documents; patterns
+// resolve against the whole registered corpus in document ID order.
 type storeCatalog struct{ e *core.Engine }
 
 func (c storeCatalog) Doc(name string) *xmltree.Document { return c.e.Store.Doc(name) }
+
+func (c storeCatalog) DocsMatching(pattern string) []*xmltree.Document {
+	return c.e.Store.DocsMatching(pattern)
+}
 
 func normalize(keywords []string) []string {
 	out := make([]string, len(keywords))

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"vxml/internal/store"
+)
+
+// newCollectionEngine loads n small part documents whose bodies embed the
+// doc index, so result provenance is visible in the output.
+func newCollectionEngine(t *testing.T, n int) *Engine {
+	t.Helper()
+	e := New(store.New())
+	for i := 0; i < n; i++ {
+		xml := fmt.Sprintf("<books><article><tl>study %d</tl><bdy>xml search doc%d</bdy></article></books>", i, i)
+		if err := e.AddXML(fmt.Sprintf("part-%d.xml", i), xml); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return e
+}
+
+const collectionView = `for $a in fn:collection("part-*")/books//article
+return <art>{$a/tl}, {$a/bdy}</art>`
+
+func TestCollectionViewExpandsInDocumentOrder(t *testing.T) {
+	e := newCollectionEngine(t, 5)
+	v, err := e.CompileView(collectionView)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, stats, err := e.Search(v, []string{"xml"}, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 5 {
+		t.Fatalf("results = %d, want 5", len(results))
+	}
+	if stats.Candidates != 5 {
+		t.Errorf("Candidates = %d, want 5", stats.Candidates)
+	}
+	// Identical scores everywhere: rank order must be ingest order.
+	for i, r := range results {
+		if want := fmt.Sprintf("doc%d", i); !strings.Contains(r.Element.XMLString(""), want) {
+			t.Errorf("result %d is not from %s: %s", i, want, r.Element.XMLString(""))
+		}
+	}
+}
+
+func TestCollectionPatternCompilesAgainstEmptyCorpus(t *testing.T) {
+	e := New(store.New())
+	v, err := e.CompileView(collectionView)
+	if err != nil {
+		t.Fatalf("pattern view must compile with no matching documents: %v", err)
+	}
+	results, _, err := e.Search(v, []string{"xml"}, Options{})
+	if err != nil || len(results) != 0 {
+		t.Fatalf("search over empty collection = %v results, err %v", len(results), err)
+	}
+	// A literal reference to a missing document still fails at compile.
+	if _, err := e.CompileView(`for $a in fn:doc(missing.xml)/books//article return $a`); err == nil {
+		t.Fatal("literal unknown document must not compile")
+	}
+}
+
+func TestOverlappingDocReferencesRejected(t *testing.T) {
+	e := newCollectionEngine(t, 3)
+	v, err := e.CompileView(`for $a in fn:collection("part-*")/books//article
+	 for $b in fn:doc(part-0.xml)/books//article
+	 return <pair>{$a/tl}, {$b/tl}</pair>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = e.Search(v, []string{"xml"}, Options{})
+	if err == nil || !strings.Contains(err.Error(), "matches both") {
+		t.Fatalf("overlapping pattern/literal references must be rejected, got %v", err)
+	}
+}
+
+func TestExplainMentionsCollectionPattern(t *testing.T) {
+	e := newCollectionEngine(t, 4)
+	v, err := e.CompileView(collectionView)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := e.Explain(v, []string{"xml"})
+	if !strings.Contains(out, "collection pattern: 4 matching document(s)") {
+		t.Errorf("Explain missing pattern note:\n%s", out)
+	}
+}

@@ -111,11 +111,13 @@ func TestConcurrentSearchAndIngest(t *testing.T) {
 	if len(docs) != wantDocs {
 		t.Errorf("documents = %d, want %d", len(docs), wantDocs)
 	}
+	e.RLock()
 	for _, d := range docs {
-		if e.Path[d.Name] == nil || e.Inv[d.Name] == nil {
+		if e.PathIndex(d.Name) == nil || e.InvIndex(d.Name) == nil {
 			t.Errorf("document %q missing an index", d.Name)
 		}
 	}
+	e.RUnlock()
 }
 
 // TestConcurrentStatsMonotonic checks that the shared access counters only

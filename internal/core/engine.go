@@ -2,14 +2,26 @@
 // generation, index-only PDT generation, evaluation of the unchanged view
 // query over the PDTs, and scoring with deferred top-k materialization.
 // This is the "Efficient" system of the experimental section.
+//
+// The engine partitions the corpus into shards (mirroring its
+// store.Store): each shard owns the path and inverted-list indices of the
+// documents hash-assigned to it, guarded by its own RWMutex, and a search
+// locks only the shards its view touches — so an ingest into one shard
+// never contends with a search over another. With Options.Parallelism > 1
+// the per-document pipeline (keyword lookup, QPT matching, PDT generation,
+// evaluation, scoring) fans out over a bounded worker pool and merges into
+// a top-k heap; results are byte-identical to the sequential path.
 package core
 
 import (
 	"fmt"
+	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"time"
 
+	"vxml/internal/docname"
 	"vxml/internal/invindex"
 	"vxml/internal/pathindex"
 	"vxml/internal/pdt"
@@ -21,46 +33,80 @@ import (
 	"vxml/internal/xqeval"
 )
 
-// Engine owns the document store and the per-document path and
-// inverted-list indices.
-//
-// The engine is safe for concurrent use: Search, Explain and view
-// compilation hold a read lock and proceed in parallel, while AddXML and
-// AddParsed take the write lock so a search never observes a document whose
-// indices are half-built. The Path and Inv maps must only be read while a
-// search is in flight (the comparator pipelines in internal/baseline and
-// internal/gtp do so under the read lock via RLock/RUnlock).
-type Engine struct {
-	mu    sync.RWMutex
-	Store *store.Store
-	Path  map[string]*pathindex.Index
-	Inv   map[string]*invindex.Index
+// engineShard guards the per-document indices of one corpus shard. The
+// shard boundaries coincide with the store's (same name hash, same count),
+// so one write lock covers the publication of a document's store entry and
+// both its indices.
+type engineShard struct {
+	mu   sync.RWMutex
+	path map[string]*pathindex.Index
+	inv  map[string]*invindex.Index
 }
 
-// RLock takes the engine's read lock. Comparator pipelines that reach into
-// Path/Inv directly (baseline, gtp) bracket their run with RLock/RUnlock so
-// they serialize correctly against AddXML.
-func (e *Engine) RLock() { e.mu.RLock() }
+// Engine owns the document store and the per-document path and
+// inverted-list indices, partitioned into shards aligned with the store's.
+//
+// The engine is safe for concurrent use: Search, Explain and view
+// compilation hold read locks on the shards they touch and proceed in
+// parallel, while AddXML and AddParsed take one shard's write lock, so a
+// search never observes a document whose indices are half-built and an
+// ingest stalls only the searches that touch its shard.
+type Engine struct {
+	Store  *store.Store
+	shards []*engineShard
+}
 
-// RUnlock releases the read lock taken by RLock.
-func (e *Engine) RUnlock() { e.mu.RUnlock() }
+// RLock takes every shard's read lock, in shard order. Comparator
+// pipelines that reach into the indices directly (baseline, gtp) bracket
+// their run with RLock/RUnlock so they serialize correctly against AddXML
+// regardless of which shards their view touches.
+func (e *Engine) RLock() {
+	for _, sh := range e.shards {
+		sh.mu.RLock()
+	}
+}
+
+// RUnlock releases the read locks taken by RLock.
+func (e *Engine) RUnlock() {
+	for _, sh := range e.shards {
+		sh.mu.RUnlock()
+	}
+}
+
+// PathIndex returns the path index of the named document, or nil. The
+// caller must hold the engine's read lock (RLock, or the shard locks a
+// running Search holds) — the maps are written only under shard write
+// locks, so any read lock makes the plain map read safe.
+func (e *Engine) PathIndex(name string) *pathindex.Index {
+	return e.shards[e.Store.ShardOf(name)].path[name]
+}
+
+// InvIndex returns the inverted index of the named document, or nil. The
+// same locking requirement as PathIndex applies.
+func (e *Engine) InvIndex(name string) *invindex.Index {
+	return e.shards[e.Store.ShardOf(name)].inv[name]
+}
 
 // New builds an engine over an existing store, indexing every document.
 func New(st *store.Store) *Engine {
 	e := &Engine{
-		Store: st,
-		Path:  map[string]*pathindex.Index{},
-		Inv:   map[string]*invindex.Index{},
+		Store:  st,
+		shards: make([]*engineShard, st.ShardCount()),
+	}
+	for i := range e.shards {
+		e.shards[i] = &engineShard{path: map[string]*pathindex.Index{}, inv: map[string]*invindex.Index{}}
 	}
 	for _, doc := range st.Docs() {
-		e.Path[doc.Name], e.Inv[doc.Name] = buildIndices(doc)
+		sh := e.shards[st.ShardOf(doc.Name)]
+		sh.path[doc.Name], sh.inv[doc.Name] = buildIndices(doc)
 	}
 	return e
 }
 
-// AddXML parses, stores and indexes a document. It takes the write lock, so
-// concurrent searches see either no trace of the document or its store entry
-// and both indices together.
+// AddXML parses, stores and indexes a document. It takes the home shard's
+// write lock, so concurrent searches see either no trace of the document
+// or its store entry and both indices together — and searches over other
+// shards are not disturbed at all.
 func (e *Engine) AddXML(name, xmlText string) error {
 	// Parse and build both indices before taking the write lock: the
 	// document is private until registered, so only publication needs
@@ -74,12 +120,13 @@ func (e *Engine) AddXML(name, xmlText string) error {
 		return err
 	}
 	pix, iix := buildIndices(doc)
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	sh := e.shards[e.Store.ShardOf(name)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	if err := e.Store.RegisterParsed(doc); err != nil {
 		return err
 	}
-	e.Path[name], e.Inv[name] = pix, iix
+	sh.path[name], sh.inv[name] = pix, iix
 	return nil
 }
 
@@ -91,12 +138,13 @@ func (e *Engine) AddParsed(doc *xmltree.Document) {
 	doc.DocID = e.Store.ReserveID()
 	doc.Finalize()
 	pix, iix := buildIndices(doc)
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	sh := e.shards[e.Store.ShardOf(doc.Name)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	if err := e.Store.RegisterParsed(doc); err != nil {
 		panic(err)
 	}
-	e.Path[doc.Name], e.Inv[doc.Name] = pix, iix
+	sh.path[doc.Name], sh.inv[doc.Name] = pix, iix
 }
 
 // buildIndices builds both indices for doc. Ingest paths call it before
@@ -108,7 +156,7 @@ func buildIndices(doc *xmltree.Document) (*pathindex.Index, *invindex.Index) {
 }
 
 // View is a compiled virtual view: the parsed definition plus one QPT per
-// referenced document.
+// referenced document or collection pattern.
 type View struct {
 	Text  string
 	Expr  xq.Expr
@@ -128,17 +176,20 @@ func (e *Engine) CompileView(text string) (*View, error) {
 
 // CompileParsedView compiles an already-parsed view expression. QPT
 // generation is corpus-independent and runs unlocked; only the
-// referenced-document check takes the read lock (a long compile must not
-// queue behind it and stall a pending ingest, which would in turn stall
-// every subsequent search).
+// referenced-document check takes read locks (a long compile must not
+// queue behind them and stall a pending ingest, which would in turn stall
+// every subsequent search). Collection patterns (fn:collection("part-*"))
+// are not checked against the corpus: a pattern may legitimately match
+// nothing today and many documents after the next ingest.
 func (e *Engine) CompileParsedView(text string, expr xq.Expr, funcs map[string]*xq.FuncDecl) (*View, error) {
 	qpts, err := qpt.Generate(expr, funcs)
 	if err != nil {
 		return nil, err
 	}
-	e.mu.RLock()
-	defer e.mu.RUnlock()
 	for _, q := range qpts {
+		if docname.IsPattern(q.Doc) {
+			continue
+		}
 		if e.Store.Doc(q.Doc) == nil {
 			return nil, fmt.Errorf("core: view references unknown document %q", q.Doc)
 		}
@@ -153,6 +204,12 @@ type Options struct {
 	// Disjunctive switches from conjunctive (all keywords) to disjunctive
 	// (any keyword) semantics.
 	Disjunctive bool
+	// Parallelism bounds the worker pool the Efficient pipeline fans the
+	// per-document work (keyword lookup, QPT matching, PDT generation),
+	// view evaluation and scoring out over. 0 (the default) uses
+	// GOMAXPROCS; 1 (or any negative value) selects the sequential legacy
+	// path. Results are byte-identical at every setting.
+	Parallelism int
 	// DisableHashJoin turns off the evaluator's equality-join fast path
 	// (used by ablation benchmarks).
 	DisableHashJoin bool
@@ -168,10 +225,23 @@ type Options struct {
 	// the rank order can differ from the exact TF-IDF order. Ignored for
 	// views where it would be unsound (joins, nesting, constructors).
 	KeywordPruning bool
-	// ParallelPDT generates the per-document PDTs concurrently. Safe
-	// because each PDT touches only its own document's indices; off by
-	// default so phase timings stay comparable to the paper's.
+	// ParallelPDT generates the per-document PDTs concurrently even when
+	// Parallelism is 1. Subsumed by Parallelism (which also parallelizes
+	// evaluation and scoring); kept so phase-timing benchmarks can isolate
+	// the PDT module.
 	ParallelPDT bool
+}
+
+// workers resolves the Parallelism setting to a pool size.
+func (o Options) workers() int {
+	switch {
+	case o.Parallelism > 1:
+		return o.Parallelism
+	case o.Parallelism == 0:
+		return runtime.GOMAXPROCS(0)
+	default: // 1 or negative: the sequential legacy path
+		return 1
+	}
 }
 
 // Stats reports the per-module cost breakdown of Figure 14 plus size
@@ -191,6 +261,13 @@ type Stats struct {
 	KeywordPruned bool
 	// SubtreeFetches counts base-data accesses during materialization.
 	SubtreeFetches int
+	// Workers is the resolved worker-pool size the search ran with (1 =
+	// sequential path). Candidates counts the documents the view's QPTs
+	// resolved to, and ShardsSearched the corpus shards whose read locks
+	// the search held. These describe the execution, never the results.
+	Workers        int
+	Candidates     int
+	ShardsSearched int
 }
 
 // Total returns the end-to-end time.
@@ -208,13 +285,132 @@ type Result struct {
 	Snippet string
 }
 
+// unit is one candidate-document work item of a search: a QPT paired with
+// one document it resolved to and that document's indices, snapshotted
+// under the shard read locks the search holds.
+type unit struct {
+	q   *qpt.QPT
+	doc *xmltree.Document
+	pix *pathindex.Index
+	iix *invindex.Index
+}
+
+// plan is a search's locked view of the corpus: the candidate units in
+// deterministic order (QPT order, then document ID order within a QPT)
+// and the set of shards whose read locks are held.
+type plan struct {
+	units  []unit
+	shards []*engineShard // locked, in shard order
+}
+
+func (p *plan) unlock() {
+	for _, sh := range p.shards {
+		sh.mu.RUnlock()
+	}
+}
+
+// lockAndPlan acquires the read locks of every shard the view touches (all
+// shards for collection patterns) in shard order, then resolves each QPT to
+// its candidate documents. Two QPTs resolving to the same document — a
+// literal reference shadowed by an overlapping pattern — would make the
+// document's PDT ambiguous and is rejected.
+func (e *Engine) lockAndPlan(v *View) (*plan, error) {
+	needed := map[int]bool{}
+	all := false
+	for _, q := range v.QPTs {
+		if docname.IsPattern(q.Doc) {
+			all = true
+			break
+		}
+		needed[e.Store.ShardOf(q.Doc)] = true
+	}
+	p := &plan{}
+	for i, sh := range e.shards {
+		if all || needed[i] {
+			sh.mu.RLock()
+			p.shards = append(p.shards, sh)
+		}
+	}
+	seen := map[string]string{} // doc name -> QPT reference that claimed it
+	for _, q := range v.QPTs {
+		for _, doc := range e.Store.DocsMatching(q.Doc) {
+			if prev, dup := seen[doc.Name]; dup {
+				p.unlock()
+				return nil, fmt.Errorf("core: document %q matches both %q and %q in one view", doc.Name, prev, q.Doc)
+			}
+			seen[doc.Name] = q.Doc
+			sh := e.shards[e.Store.ShardOf(doc.Name)]
+			p.units = append(p.units, unit{q: q, doc: doc, pix: sh.path[doc.Name], iix: sh.inv[doc.Name]})
+		}
+	}
+	return p, nil
+}
+
+// generatePDT runs the per-document index pipeline for one unit: inverted-
+// list keyword lookup, path-index probes and QPT (pattern) matching inside
+// PrepareLists, then PDT construction.
+func (u unit) generatePDT(kws []string, filter *pdt.KeywordFilter) *pdt.PDT {
+	if u.pix == nil || u.iix == nil {
+		return nil // unindexed document: empty PDT
+	}
+	lists := pdt.PrepareLists(u.q, u.pix, u.iix, kws)
+	return pdt.GenerateFiltered(u.q, lists, u.doc.Name, filter)
+}
+
+// evalCatalog resolves fn:doc and fn:collection references against the
+// generated PDTs. ordered holds the candidate PDTs in corpus (source
+// document ID) order, which DocsMatching preserves — making pattern
+// expansion order identical in every pipeline and at every parallelism.
+type evalCatalog struct {
+	byName  map[string]*xmltree.Document
+	ordered []*xmltree.Document
+}
+
+func (c *evalCatalog) Doc(name string) *xmltree.Document { return c.byName[name] }
+
+func (c *evalCatalog) DocsMatching(pattern string) []*xmltree.Document {
+	var out []*xmltree.Document
+	for _, d := range c.ordered {
+		if docname.Match(pattern, d.Name) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// catalogOf assembles the evaluation catalog from the generated PDTs (a
+// nil PDT or a PDT with no qualifying elements contributes nothing,
+// exactly like an unknown document).
+func catalogOf(pdts []*pdt.PDT) *evalCatalog {
+	c := &evalCatalog{byName: map[string]*xmltree.Document{}}
+	for _, p := range pdts {
+		if p == nil || p.Doc == nil {
+			continue
+		}
+		c.byName[p.SourceName] = p.Doc
+		c.ordered = append(c.ordered, p.Doc)
+	}
+	// Units are ordered QPT-major; pattern expansion must follow corpus
+	// order across the whole catalog.
+	sortDocsByID(c.ordered)
+	return c
+}
+
+func sortDocsByID(docs []*xmltree.Document) {
+	sort.Slice(docs, func(i, j int) bool { return docs[i].DocID < docs[j].DocID })
+}
+
 // Search evaluates a ranked keyword query over the virtual view: the
 // Efficient pipeline of the paper. Scores and rank order are identical to
-// materializing the view and searching it (Theorem 4.1).
+// materializing the view and searching it (Theorem 4.1), and identical at
+// every Parallelism setting.
 func (e *Engine) Search(v *View, keywords []string, opts Options) ([]Result, *Stats, error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	stats := &Stats{}
+	p, err := e.lockAndPlan(v)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer p.unlock()
+	stats := &Stats{Workers: opts.workers(), Candidates: len(p.units), ShardsSearched: len(p.shards)}
 	kws := normalizeKeywords(keywords)
 
 	// Phase 1+2: QPTs are compile-time; generate the PDTs from indices.
@@ -226,53 +422,32 @@ func (e *Engine) Search(v *View, keywords []string, opts Options) ([]Result, *St
 			stats.KeywordPruned = true
 		}
 	}
-	catalog := xqeval.MapCatalog{}
-	pdts := make([]*pdt.PDT, len(v.QPTs))
-	generateOne := func(i int) {
-		q := v.QPTs[i]
-		pix, iix := e.Path[q.Doc], e.Inv[q.Doc]
-		if pix == nil || iix == nil {
-			return // unknown doc: empty PDT
-		}
-		lists := pdt.PrepareLists(q, pix, iix, kws)
-		pdts[i] = pdt.GenerateFiltered(q, lists, q.Doc, filter)
+	pdts := make([]*pdt.PDT, len(p.units))
+	pdtWorkers := stats.Workers
+	if opts.ParallelPDT && pdtWorkers < len(p.units) {
+		pdtWorkers = len(p.units)
 	}
-	if opts.ParallelPDT && len(v.QPTs) > 1 {
-		var wg sync.WaitGroup
-		for i := range v.QPTs {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				generateOne(i)
-			}(i)
-		}
-		wg.Wait()
-	} else {
-		for i := range v.QPTs {
-			generateOne(i)
-		}
-	}
-	for _, p := range pdts {
-		if p == nil {
+	forEach(pdtWorkers, len(p.units), func(i int) {
+		pdts[i] = p.units[i].generatePDT(kws, filter)
+	})
+	for _, pd := range pdts {
+		if pd == nil {
 			continue
 		}
-		stats.PDTNodes += p.Nodes
-		stats.PDTBytes += p.Bytes
-		if p.Doc != nil {
-			catalog[p.SourceName] = p.Doc
-		}
+		stats.PDTNodes += pd.Nodes
+		stats.PDTBytes += pd.Bytes
 	}
+	catalog := catalogOf(pdts)
 	stats.PDTTime = time.Since(start)
 
-	// Phase 3: the unchanged evaluator runs the view over the PDTs.
+	// Phase 3: the unchanged evaluator runs the view over the PDTs —
+	// partitioned over the outer FLWOR bindings when a worker pool is
+	// available.
 	start = time.Now()
-	ev := xqeval.New(catalog, v.Funcs)
-	ev.HashJoin = !opts.DisableHashJoin
-	items, err := ev.Eval(v.Expr, nil)
+	results, err := e.evalView(v, catalog, opts, stats.Workers)
 	if err != nil {
-		return nil, nil, fmt.Errorf("core: evaluating view over PDTs: %w", err)
+		return nil, nil, err
 	}
-	results := nodesOf(items)
 	stats.EvalTime = time.Since(start)
 	stats.ViewResults = len(results)
 
@@ -281,7 +456,7 @@ func (e *Engine) Search(v *View, keywords []string, opts Options) ([]Result, *St
 	// even while concurrent searches drive the store's shared counters.
 	start = time.Now()
 	fetcher := &scoring.CountingFetcher{Fetcher: e.Store}
-	ranking := scoring.Rank(results, kws, !opts.Disjunctive, opts.K, scoring.FromPDT)
+	ranking := e.rank(results, kws, opts, stats.Workers)
 	stats.Matched = ranking.Matched
 	out := make([]Result, 0, len(ranking.Results))
 	for i, sc := range ranking.Results {

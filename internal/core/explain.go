@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"vxml/internal/docname"
 	"vxml/internal/pathindex"
 )
 
@@ -12,8 +13,8 @@ import (
 // '//' expansion against each document's path dictionary), and the
 // inverted-list probes for the keywords. No PDT is generated.
 func (e *Engine) Explain(v *View, keywords []string) string {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
+	e.RLock()
+	defer e.RUnlock()
 	var b strings.Builder
 	b.WriteString("view:\n")
 	for _, line := range strings.Split(strings.TrimSpace(v.Text), "\n") {
@@ -28,8 +29,15 @@ func (e *Engine) Explain(v *View, keywords []string) string {
 			b.WriteString(line)
 			b.WriteString("\n")
 		}
+		if docname.IsPattern(q.Doc) {
+			docs := e.Store.DocsMatching(q.Doc)
+			fmt.Fprintf(&b, "  collection pattern: %d matching document(s)\n", len(docs))
+		}
 		b.WriteString("  path index probes:\n")
-		pix := e.Path[q.Doc]
+		var pix *pathindex.Index
+		if !docname.IsPattern(q.Doc) {
+			pix = e.PathIndex(q.Doc)
+		}
 		for _, n := range q.Nodes() {
 			if n.HasMandatoryChild() && !n.V && !n.C {
 				continue

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"vxml/internal/scoring"
+	"vxml/internal/xmltree"
+	"vxml/internal/xq"
+	"vxml/internal/xqeval"
+)
+
+// forEach runs fn(0..n-1) on a pool of at most `workers` goroutines
+// (inline when the pool would be pointless). Workers pull indices from an
+// atomic counter, so uneven per-item cost still balances.
+func forEach(workers, n int, fn func(i int)) {
+	forEachWorker(workers, n, func() func(int) { return fn })
+}
+
+// forEachWorker is forEach for work that needs per-worker state (e.g. a
+// single-threaded evaluator): newWorker runs once per pool goroutine and
+// returns that worker's item function.
+func forEachWorker(workers, n int, newWorker func() func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n <= 1 {
+		fn := newWorker()
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fn := newWorker()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// chunkBounds splits n items into at most `chunks` contiguous [lo, hi)
+// ranges. Chunk boundaries never affect results — outputs are concatenated
+// back in index order — only load balance.
+func chunkBounds(n, chunks int) [][2]int {
+	if chunks > n {
+		chunks = n
+	}
+	if chunks < 1 {
+		chunks = 1
+	}
+	out := make([][2]int, 0, chunks)
+	for i := 0; i < chunks; i++ {
+		lo, hi := i*n/chunks, (i+1)*n/chunks
+		if lo < hi {
+			out = append(out, [2]int{lo, hi})
+		}
+	}
+	return out
+}
+
+// evalView runs the view expression over the PDT catalog. With one worker
+// it is a single evaluator pass (the legacy path). With more, and a
+// top-level FLWOR to partition, the outer for-clause's binding sequence is
+// split into contiguous chunks and each worker evaluates the remaining
+// clauses for its chunk with its own evaluator over the shared immutable
+// catalog; concatenating the chunk outputs in order reproduces the
+// single-evaluator result exactly (FLWOR evaluates bindings independently).
+func (e *Engine) evalView(v *View, catalog xqeval.Catalog, opts Options, workers int) ([]*xmltree.Node, error) {
+	newEval := func() *xqeval.Evaluator {
+		ev := xqeval.New(catalog, v.Funcs)
+		ev.HashJoin = !opts.DisableHashJoin
+		return ev
+	}
+	fl, isFLWOR := v.Expr.(*xq.FLWORExpr)
+	if workers <= 1 || !isFLWOR {
+		return evalWhole(newEval(), v.Expr)
+	}
+	primary := newEval()
+	bindings, ok, err := primary.OuterBindings(fl)
+	if err != nil {
+		return nil, wrapEvalErr(err)
+	}
+	if !ok || len(bindings) < 2 {
+		// A leading let clause, or nothing to partition: evaluate whole.
+		return evalWhole(primary, v.Expr)
+	}
+	// More chunks than workers lets fast workers steal from slow ones;
+	// outputs are stitched back in chunk order so the partition is
+	// invisible in the result.
+	chunks := chunkBounds(len(bindings), workers*4)
+	outs := make([][]xqeval.Item, len(chunks))
+	errs := make([]error, len(chunks))
+	forEachWorker(workers, len(chunks), func() func(int) {
+		ev := newEval() // evaluators are single-threaded; one per worker
+		return func(c int) {
+			for _, b := range bindings[chunks[c][0]:chunks[c][1]] {
+				items, err := ev.EvalTail(fl, b)
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				outs[c] = append(outs[c], items...)
+			}
+		}
+	})
+	var items []xqeval.Item
+	for c := range chunks {
+		if errs[c] != nil {
+			return nil, wrapEvalErr(errs[c])
+		}
+		items = append(items, outs[c]...)
+	}
+	return nodesOf(items), nil
+}
+
+func evalWhole(ev *xqeval.Evaluator, expr xq.Expr) ([]*xmltree.Node, error) {
+	items, err := ev.Eval(expr, nil)
+	if err != nil {
+		return nil, wrapEvalErr(err)
+	}
+	return nodesOf(items), nil
+}
+
+func wrapEvalErr(err error) error {
+	return &evalError{err}
+}
+
+// evalError marks an evaluation failure so Search can report its phase.
+type evalError struct{ err error }
+
+func (e *evalError) Error() string { return "core: evaluating view over PDTs: " + e.err.Error() }
+func (e *evalError) Unwrap() error { return e.err }
+
+// rank scores the view results and selects the top k. With one worker it
+// is scoring.Rank (the legacy path). With more, stats collection fans out
+// over the pool, then each worker scores its chunk against the globally
+// computed IDFs and streams the scored results into a shared concurrent
+// top-k heap; the heap's total order (score desc, view position asc) makes
+// the merged selection independent of push interleaving.
+func (e *Engine) rank(results []*xmltree.Node, kws []string, opts Options, workers int) *scoring.Ranking {
+	if workers <= 1 || len(results) < 2 {
+		return scoring.Rank(results, kws, !opts.Disjunctive, opts.K, scoring.FromPDT)
+	}
+	stats := make([]scoring.Stats, len(results))
+	chunks := chunkBounds(len(results), workers*4)
+	forEach(workers, len(chunks), func(c int) {
+		for i := chunks[c][0]; i < chunks[c][1]; i++ {
+			stats[i] = scoring.Collect(results[i], kws, scoring.FromPDT)
+		}
+	})
+	r := &scoring.Ranking{ViewSize: len(results)}
+	r.IDFs = scoring.IDFs(stats, len(kws))
+	top := scoring.NewTopK(opts.K)
+	var matched atomic.Int64
+	forEach(workers, len(chunks), func(c int) {
+		for i := chunks[c][0]; i < chunks[c][1]; i++ {
+			if !scoring.Satisfies(stats[i].TFs, !opts.Disjunctive) {
+				continue
+			}
+			matched.Add(1)
+			top.Push(scoring.Scored{Result: results[i], Stats: stats[i], Score: scoring.Score(stats[i], r.IDFs), Index: i})
+		}
+	})
+	r.Matched = int(matched.Load())
+	r.Results = top.Sorted()
+	return r
+}

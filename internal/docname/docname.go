@@ -1,0 +1,40 @@
+// Package docname defines the document-name pattern language used by
+// collection views: fn:collection("part-*") ranges over every document
+// whose name matches the pattern, turning a corpus of many documents into
+// one logical input sequence. A pattern is a document name in which each
+// '*' matches any (possibly empty) run of characters; a name without '*'
+// is an exact reference. The language is deliberately tiny — patterns are
+// compared against registered document names, never against file systems.
+package docname
+
+import "strings"
+
+// IsPattern reports whether s contains a wildcard and therefore names a
+// collection of documents rather than a single document.
+func IsPattern(s string) bool { return strings.Contains(s, "*") }
+
+// Match reports whether name matches pattern, where each '*' in pattern
+// matches any (possibly empty) substring. A pattern without '*' matches
+// only the identical name.
+func Match(pattern, name string) bool {
+	parts := strings.Split(pattern, "*")
+	if len(parts) == 1 {
+		return pattern == name
+	}
+	if !strings.HasPrefix(name, parts[0]) {
+		return false
+	}
+	name = name[len(parts[0]):]
+	last := parts[len(parts)-1]
+	for _, part := range parts[1 : len(parts)-1] {
+		if part == "" {
+			continue
+		}
+		i := strings.Index(name, part)
+		if i < 0 {
+			return false
+		}
+		name = name[i+len(part):]
+	}
+	return strings.HasSuffix(name, last) && len(name) >= len(last)
+}

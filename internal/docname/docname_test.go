@@ -1,0 +1,39 @@
+package docname
+
+import "testing"
+
+func TestMatch(t *testing.T) {
+	cases := []struct {
+		pattern, name string
+		want          bool
+	}{
+		{"books.xml", "books.xml", true},
+		{"books.xml", "books2.xml", false},
+		{"*", "anything", true},
+		{"*", "", true},
+		{"part-*", "part-007.xml", true},
+		{"part-*", "part-", true},
+		{"part-*", "par", false},
+		{"*.xml", "books.xml", true},
+		{"*.xml", "books.json", false},
+		{"part-*.xml", "part-3.xml", true},
+		{"part-*.xml", "part-3.json", false},
+		{"a*b*c", "abc", true},
+		{"a*b*c", "aXXbYYc", true},
+		{"a*b*c", "acb", false},
+		{"a*b*c", "ab", false},
+		// overlapping middle/suffix must not double-count characters
+		{"a*bb", "abb", true},
+		{"a*bb", "ab", false},
+		{"ab*ab", "abab", true},
+		{"ab*ab", "aba", false},
+	}
+	for _, c := range cases {
+		if got := Match(c.pattern, c.name); got != c.want {
+			t.Errorf("Match(%q, %q) = %v, want %v", c.pattern, c.name, got, c.want)
+		}
+	}
+	if IsPattern("books.xml") || !IsPattern("part-*") {
+		t.Errorf("IsPattern misclassified")
+	}
+}

@@ -61,13 +61,18 @@ func Search(e *core.Engine, v *core.View, keywords []string, opts core.Options) 
 	start := time.Now()
 	catalog := xqeval.MapCatalog{}
 	for _, q := range v.QPTs {
-		pix := e.Path[q.Doc]
-		if pix == nil {
-			continue
-		}
-		pruned := joinQPT(e, q, pix, kws, stats)
-		if pruned.Doc != nil {
-			catalog[q.Doc] = pruned.Doc
+		// A collection pattern expands to one structural-join pass per
+		// matching document; the catalog resolves the pattern back to the
+		// pruned documents in corpus order.
+		for _, doc := range e.Store.DocsMatching(q.Doc) {
+			pix := e.PathIndex(doc.Name)
+			if pix == nil {
+				continue
+			}
+			pruned := joinQPT(e, q, doc.Name, pix, kws, stats)
+			if pruned.Doc != nil {
+				catalog[doc.Name] = pruned.Doc
+			}
 		}
 	}
 	stats.StructJoinTime = time.Since(start)
@@ -145,10 +150,11 @@ func structuralJoin(ancs *candSet, descs *candSet, axis pathindex.Axis, stats *S
 	return pairs
 }
 
-// joinQPT computes the pruned tree for one QPT via structural joins over
-// tag lists, fetching predicate and join values from base data.
-func joinQPT(e *core.Engine, q *qpt.QPT, pix *pathindex.Index, kws []string, stats *Stats) *pdt.PDT {
-	iix := e.Inv[q.Doc]
+// joinQPT computes the pruned tree for one QPT against one document it
+// resolved to, via structural joins over tag lists, fetching predicate and
+// join values from base data.
+func joinQPT(e *core.Engine, q *qpt.QPT, docName string, pix *pathindex.Index, kws []string, stats *Stats) *pdt.PDT {
+	iix := e.InvIndex(docName)
 	// Bottom-up: candidate elements per QPT node (descendant constraints),
 	// computed with pair-producing binary structural joins.
 	ce := map[*qpt.Node]*candSet{}
@@ -296,7 +302,7 @@ func joinQPT(e *core.Engine, q *qpt.QPT, pix *pathindex.Index, kws []string, sta
 		}
 		elements = append(elements, el)
 	}
-	return pdt.BuildPruned(elements, q.Doc)
+	return pdt.BuildPruned(elements, docName)
 }
 
 func sortIDs(ids []dewey.ID) {

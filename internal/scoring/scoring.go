@@ -14,6 +14,7 @@ package scoring
 import (
 	"math"
 	"sort"
+	"sync"
 
 	"vxml/internal/dewey"
 	"vxml/internal/xmltree"
@@ -94,55 +95,157 @@ type Ranking struct {
 
 // Rank scores the view results for the keyword query and returns the top k
 // (k <= 0 means all matches), implementing Problem Ranked-KS. Results with
-// equal scores keep view order (ties broken deterministically).
+// equal scores keep view order (ties broken deterministically by view
+// position).
 func Rank(results []*xmltree.Node, keywords []string, conjunctive bool, k int, mode Mode) *Ranking {
-	r := &Ranking{ViewSize: len(results)}
 	stats := make([]Stats, len(results))
-	contains := make([]int, len(keywords)) // # results containing keyword i
 	for i, res := range results {
 		stats[i] = Collect(res, keywords, mode)
-		for j := range keywords {
+	}
+	return RankWithStats(results, stats, keywords, conjunctive, k)
+}
+
+// IDFs computes the inverse document frequencies over precollected result
+// stats: idf(k) = |V(D)| / |{e in V(D) : contains(e, k)}| (§2.2). Keywords
+// absent from the whole view contribute nothing (idf 0).
+func IDFs(stats []Stats, nKeywords int) []float64 {
+	contains := make([]int, nKeywords) // # results containing keyword i
+	for i := range stats {
+		for j := 0; j < nKeywords && j < len(stats[i].TFs); j++ {
 			if stats[i].TFs[j] > 0 {
 				contains[j]++
 			}
 		}
 	}
-	// idf(k) = |V(D)| / |{e in V(D) : contains(e, k)}| (§2.2); keywords
-	// absent from the whole view contribute nothing.
-	r.IDFs = make([]float64, len(keywords))
-	for j := range keywords {
+	idfs := make([]float64, nKeywords)
+	for j := range idfs {
 		if contains[j] > 0 {
-			r.IDFs[j] = float64(len(results)) / float64(contains[j])
+			idfs[j] = float64(len(stats)) / float64(contains[j])
 		}
 	}
+	return idfs
+}
+
+// Score computes one result's TF-IDF score from its stats and the view's
+// IDFs: sum of tf·idf, normalized by aggregate byte length (§4.2.2.2). The
+// exact normalization form is immaterial as long as every pipeline shares
+// it; log damping is the convention of [40].
+func Score(st Stats, idfs []float64) float64 {
+	score := 0.0
+	for j := range idfs {
+		if j < len(st.TFs) {
+			score += float64(st.TFs[j]) * idfs[j]
+		}
+	}
+	return score / math.Log2(2+float64(st.ByteLen))
+}
+
+// RankWithStats is Rank over stats that were already collected (possibly by
+// concurrent workers). results[i] and stats[i] must correspond, in view
+// output order.
+func RankWithStats(results []*xmltree.Node, stats []Stats, keywords []string, conjunctive bool, k int) *Ranking {
+	r := &Ranking{ViewSize: len(results)}
+	r.IDFs = IDFs(stats, len(keywords))
+	top := NewTopK(k)
 	for i, res := range results {
-		if !satisfies(stats[i].TFs, conjunctive) {
+		if !Satisfies(stats[i].TFs, conjunctive) {
 			continue
 		}
 		r.Matched++
-		score := 0.0
-		for j := range keywords {
-			score += float64(stats[i].TFs[j]) * r.IDFs[j]
-		}
-		// Normalize by aggregate byte length (§4.2.2.2). The exact form is
-		// immaterial as long as both pipelines share it; log damping is the
-		// convention of [40].
-		score /= math.Log2(2 + float64(stats[i].ByteLen))
-		r.Results = append(r.Results, Scored{Result: res, Stats: stats[i], Score: score, Index: i})
+		top.Push(Scored{Result: res, Stats: stats[i], Score: Score(stats[i], r.IDFs), Index: i})
 	}
-	sort.SliceStable(r.Results, func(a, b int) bool {
-		if r.Results[a].Score != r.Results[b].Score {
-			return r.Results[a].Score > r.Results[b].Score
-		}
-		return r.Results[a].Index < r.Results[b].Index
-	})
-	if k > 0 && len(r.Results) > k {
-		r.Results = r.Results[:k]
-	}
+	r.Results = top.Sorted()
 	return r
 }
 
-func satisfies(tfs []int, conjunctive bool) bool {
+// Better is the ranking order: a precedes b on higher score, with ties
+// broken deterministically by ascending view position. View positions are
+// distinct, so Better is a total order — which is what makes bounded
+// selection insensitive to the order results are pushed in.
+func Better(a, b Scored) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.Index < b.Index
+}
+
+// TopK selects the top k results under Better. It is safe for concurrent
+// Push from multiple workers, and because Better is a total order the
+// selected set and its Sorted order are independent of push interleaving —
+// the property the parallel search pipeline relies on to stay byte-
+// identical with the sequential path. k <= 0 keeps everything.
+type TopK struct {
+	mu   sync.Mutex
+	k    int
+	heap []Scored // min-heap: root is the worst kept result
+}
+
+// NewTopK returns a selector keeping the top k results (k <= 0: unbounded).
+func NewTopK(k int) *TopK { return &TopK{k: k} }
+
+// worse orders the internal heap: the root must lose to every other kept
+// result, so the parent relation is "ranks after".
+func (t *TopK) worse(i, j int) bool { return Better(t.heap[j], t.heap[i]) }
+
+// Push offers one scored result to the selection.
+func (t *TopK) Push(s Scored) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.k <= 0 || len(t.heap) < t.k {
+		t.heap = append(t.heap, s)
+		t.siftUp(len(t.heap) - 1)
+		return
+	}
+	if Better(s, t.heap[0]) {
+		t.heap[0] = s
+		t.siftDown(0)
+	}
+}
+
+func (t *TopK) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !t.worse(i, parent) {
+			return
+		}
+		t.heap[i], t.heap[parent] = t.heap[parent], t.heap[i]
+		i = parent
+	}
+}
+
+func (t *TopK) siftDown(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(t.heap) && t.worse(l, min) {
+			min = l
+		}
+		if r < len(t.heap) && t.worse(r, min) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		t.heap[i], t.heap[min] = t.heap[min], t.heap[i]
+		i = min
+	}
+}
+
+// Sorted returns the selection in final rank order (Better). The selector
+// must not be pushed to concurrently with Sorted.
+func (t *TopK) Sorted() []Scored {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Scored, len(t.heap))
+	copy(out, t.heap)
+	sort.Slice(out, func(i, j int) bool { return Better(out[i], out[j]) })
+	return out
+}
+
+// Satisfies reports whether a result's per-keyword term frequencies meet
+// the keyword semantics: every keyword present (conjunctive) or any
+// keyword present (disjunctive). An empty keyword list is satisfied.
+func Satisfies(tfs []int, conjunctive bool) bool {
 	if len(tfs) == 0 {
 		return true
 	}

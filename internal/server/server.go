@@ -197,6 +197,9 @@ type searchRequest struct {
 	Disjunctive bool     `json:"disjunctive"`
 	Approach    string   `json:"approach"`
 	Cache       bool     `json:"cache"`
+	// Parallelism bounds the search's worker pool: 0 = GOMAXPROCS (the
+	// default), 1 = sequential. Results are identical at every setting.
+	Parallelism int `json:"parallelism"`
 }
 
 type searchResult struct {
@@ -217,6 +220,9 @@ type searchStats struct {
 	Matched        int   `json:"matched"`
 	BaseData       int   `json:"base_data"`
 	CacheHit       bool  `json:"cache_hit"`
+	Workers        int   `json:"workers"`
+	Candidates     int   `json:"candidates"`
+	ShardsSearched int   `json:"shards_searched"`
 }
 
 type searchResponse struct {
@@ -250,6 +256,10 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "top_k must be >= 0 (0 returns all results), got %d", req.TopK)
 		return
 	}
+	if req.Parallelism < 0 {
+		writeError(w, http.StatusBadRequest, "parallelism must be >= 0 (0 uses all CPUs, 1 is sequential), got %d", req.Parallelism)
+		return
+	}
 	view := s.view(req.View)
 	if view == nil {
 		writeError(w, http.StatusNotFound, "unknown view %q", req.View)
@@ -265,6 +275,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		Disjunctive: req.Disjunctive,
 		Approach:    approach,
 		Cache:       req.Cache,
+		Parallelism: req.Parallelism,
 	})
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "search: %v", err)
@@ -282,6 +293,9 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			Matched:        stats.Matched,
 			BaseData:       stats.BaseData,
 			CacheHit:       stats.CacheHit,
+			Workers:        stats.Workers,
+			Candidates:     stats.Candidates,
+			ShardsSearched: stats.ShardsSearched,
 		},
 	}
 	for i, res := range results {
@@ -291,11 +305,19 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 }
 
 type statsResponse struct {
-	Documents  []string   `json:"documents"`
-	TotalBytes int        `json:"total_bytes"`
-	Views      int        `json:"views"`
-	Cache      cacheStats `json:"cache"`
-	Uptime     string     `json:"uptime"`
+	Documents  []string    `json:"documents"`
+	TotalBytes int         `json:"total_bytes"`
+	Views      int         `json:"views"`
+	Shards     []shardInfo `json:"shards"`
+	Cache      cacheStats  `json:"cache"`
+	Uptime     string      `json:"uptime"`
+}
+
+// shardInfo is one corpus shard's counters in GET /stats.
+type shardInfo struct {
+	Shard     int `json:"shard"`
+	Documents int `json:"documents"`
+	Bytes     int `json:"bytes"`
 }
 
 type cacheStats struct {
@@ -312,10 +334,12 @@ type cacheStats struct {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	cs := s.db.CacheStats()
+	shards := s.db.ShardStats()
 	resp := statsResponse{
 		Documents:  s.db.DocumentNames(),
 		TotalBytes: s.db.TotalBytes(),
 		Views:      s.viewCount(),
+		Shards:     make([]shardInfo, len(shards)),
 		Cache: cacheStats{
 			Hits:          cs.Hits,
 			Misses:        cs.Misses,
@@ -327,6 +351,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			MaxBytes:      cs.MaxBytes,
 			Generation:    cs.Generation,
 		},
+	}
+	for i, sh := range shards {
+		resp.Shards[i] = shardInfo{Shard: sh.Shard, Documents: sh.Documents, Bytes: sh.Bytes}
 	}
 	resp.Uptime = time.Since(s.started).Round(time.Millisecond).String()
 	writeJSON(w, http.StatusOK, resp)

@@ -307,3 +307,98 @@ func TestConcurrentRequestsShareOneDatabase(t *testing.T) {
 		t.Errorf("documents = %d, want %d", got, want)
 	}
 }
+
+// TestShardStatsAndParallelSearch covers the sharded-pipeline surface: GET
+// /stats reports per-shard corpus counters that add up to the whole
+// corpus, POST /search accepts a parallelism bound plus collection-pattern
+// views, reports execution counters, and rejects negative parallelism.
+func TestShardStatsAndParallelSearch(t *testing.T) {
+	ts, _ := newTestServer(t)
+	for i := 0; i < 8; i++ {
+		name := fmt.Sprintf("part-%d.xml", i)
+		xml := fmt.Sprintf("<books><article><tl>study %d</tl><bdy>xml search notes</bdy></article></books>", i)
+		if resp, body := postJSON(t, ts.URL+"/documents", map[string]string{"name": name, "xml": xml}); resp.StatusCode != http.StatusCreated {
+			t.Fatalf("POST /documents %s: %d %s", name, resp.StatusCode, body)
+		}
+	}
+	view := `for $a in fn:collection("part-*")/books//article return <art>{$a/tl}, {$a/bdy}</art>`
+	if resp, body := postJSON(t, ts.URL+"/views", map[string]string{"name": "all", "xquery": view}); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST /views: %d %s", resp.StatusCode, body)
+	}
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close() //nolint:errcheck
+	var stats struct {
+		Documents []string `json:"documents"`
+		Shards    []struct {
+			Shard     int `json:"shard"`
+			Documents int `json:"documents"`
+			Bytes     int `json:"bytes"`
+		} `json:"shards"`
+		TotalBytes int `json:"total_bytes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Shards) == 0 {
+		t.Fatal("GET /stats reported no shards")
+	}
+	docs, bytes := 0, 0
+	for _, sh := range stats.Shards {
+		docs += sh.Documents
+		bytes += sh.Bytes
+	}
+	if docs != len(stats.Documents) || bytes != stats.TotalBytes {
+		t.Errorf("per-shard counters (%d docs, %d bytes) do not add up to corpus (%d docs, %d bytes)",
+			docs, bytes, len(stats.Documents), stats.TotalBytes)
+	}
+
+	// The same collection search, sequentially and with a worker pool,
+	// must agree byte-for-byte; both report their execution counters.
+	var outs [2]struct {
+		Results []struct {
+			XML     string  `json:"xml"`
+			Snippet string  `json:"snippet"`
+			Score   float64 `json:"score"`
+		} `json:"results"`
+		Stats struct {
+			Workers        int `json:"workers"`
+			Candidates     int `json:"candidates"`
+			ShardsSearched int `json:"shards_searched"`
+		} `json:"stats"`
+	}
+	for i, parallelism := range []int{1, 4} {
+		req := map[string]any{"view": "all", "keywords": []string{"xml", "search"}, "parallelism": parallelism}
+		resp, body := postJSON(t, ts.URL+"/search", req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST /search (parallelism %d): %d %s", parallelism, resp.StatusCode, body)
+		}
+		if err := json.Unmarshal(body, &outs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(outs[0].Results) == 0 {
+		t.Fatal("collection search returned no results")
+	}
+	if len(outs[0].Results) != len(outs[1].Results) {
+		t.Fatalf("sequential returned %d results, parallel %d", len(outs[0].Results), len(outs[1].Results))
+	}
+	for i := range outs[0].Results {
+		if outs[0].Results[i] != outs[1].Results[i] {
+			t.Errorf("result %d differs between parallelism settings", i)
+		}
+	}
+	if outs[0].Stats.Workers != 1 || outs[1].Stats.Workers != 4 {
+		t.Errorf("workers = %d and %d, want 1 and 4", outs[0].Stats.Workers, outs[1].Stats.Workers)
+	}
+	if outs[0].Stats.Candidates != 8 || outs[0].Stats.ShardsSearched == 0 {
+		t.Errorf("execution counters = %+v", outs[0].Stats)
+	}
+
+	if resp, _ := postJSON(t, ts.URL+"/search", map[string]any{"view": "all", "keywords": []string{"x"}, "parallelism": -1}); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("negative parallelism: status %d, want 400", resp.StatusCode)
+	}
+}

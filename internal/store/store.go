@@ -4,20 +4,29 @@
 // pipeline performs against base data, and only for the final top-k results
 // (paper §4.2.2.2). Access counters make that claim measurable.
 //
-// The store is safe for concurrent use: reads (Doc, DocByID, Docs, Subtree,
-// Value, TotalBytes) proceed in parallel under a read lock, while AddXML and
-// AddParsed take the write lock. The access counters are atomic so counted
-// reads stay lock-free with respect to each other.
+// The store is sharded: documents are hash-assigned to one of N shards by
+// name at ingest, and each shard guards its own name table with its own
+// RWMutex, so an ingest into one shard never contends with reads against
+// another. Dewey-ID lookups (DocByID, Subtree, Value) go through a
+// lock-free append-only ID table and never touch a shard lock at all. The
+// access counters are atomic so counted reads stay lock-free with respect
+// to each other. Cross-shard snapshots (Docs, TotalBytes) lock one shard at
+// a time; since every registration publishes exactly one document under one
+// shard lock, such a snapshot still observes each individual document
+// either entirely or not at all.
 package store
 
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
 
 	"vxml/internal/dewey"
+	"vxml/internal/docname"
 	"vxml/internal/xmltree"
 )
 
@@ -25,12 +34,22 @@ import (
 // name that is already registered.
 var ErrDuplicateName = errors.New("duplicate document name")
 
-// Store is a collection of named documents.
-type Store struct {
+// shard is one corpus partition: a name table and its lock, plus cached
+// per-shard size counters for ShardInfos.
+type shard struct {
 	mu     sync.RWMutex
 	byName map[string]*xmltree.Document
-	byID   map[int32]*xmltree.Document
-	nextID int32
+	bytes  int // summed serialized size of the shard's documents
+}
+
+// Store is a collection of named documents, partitioned into shards.
+type Store struct {
+	shards []*shard
+	nextID atomic.Int32
+	// byID maps document ID -> *xmltree.Document. Entries are written once
+	// at publication and never deleted, so reads are lock-free (sync.Map is
+	// optimal for this append-only, read-mostly shape).
+	byID sync.Map
 
 	// subtreeFetches counts Subtree and Value calls; bytesFetched sums the
 	// serialized byte lengths returned. Benchmarks report these to show the
@@ -39,56 +58,105 @@ type Store struct {
 	bytesFetched   atomic.Int64
 }
 
-// New returns an empty store.
-func New() *Store {
-	return &Store{byName: map[string]*xmltree.Document{}, byID: map[int32]*xmltree.Document{}, nextID: 1}
+// DefaultShardCount is the shard count New uses: one shard per available
+// CPU, clamped to [1, 16]. Shard assignment is a pure function of document
+// name and shard count, so the count never affects query results — only
+// contention.
+func DefaultShardCount() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	if n > 16 {
+		n = 16
+	}
+	return n
+}
+
+// New returns an empty store with DefaultShardCount shards.
+func New() *Store { return NewSharded(0) }
+
+// NewSharded returns an empty store with n shards (n <= 0 selects
+// DefaultShardCount).
+func NewSharded(n int) *Store {
+	if n <= 0 {
+		n = DefaultShardCount()
+	}
+	s := &Store{shards: make([]*shard, n)}
+	for i := range s.shards {
+		s.shards[i] = &shard{byName: map[string]*xmltree.Document{}}
+	}
+	s.nextID.Store(1)
+	return s
+}
+
+// ShardCount returns the number of corpus shards.
+func (s *Store) ShardCount() int { return len(s.shards) }
+
+// ShardOf returns the shard index the given document name hashes to.
+func (s *Store) ShardOf(name string) int {
+	h := fnv.New32a()
+	h.Write([]byte(name)) //nolint:errcheck
+	return int(h.Sum32() % uint32(len(s.shards)))
+}
+
+// ShardInfo is a point-in-time snapshot of one shard's corpus counters.
+type ShardInfo struct {
+	Shard     int
+	Documents int
+	Bytes     int
+}
+
+// ShardInfos returns per-shard document counts and byte sizes.
+func (s *Store) ShardInfos() []ShardInfo {
+	out := make([]ShardInfo, len(s.shards))
+	for i, sh := range s.shards {
+		sh.mu.RLock()
+		out[i] = ShardInfo{Shard: i, Documents: len(sh.byName), Bytes: sh.bytes}
+		sh.mu.RUnlock()
+	}
+	return out
 }
 
 // NextDocID returns the document ID the next AddParsed/AddXML call will use.
-func (s *Store) NextDocID() int32 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.nextID
-}
+func (s *Store) NextDocID() int32 { return s.nextID.Load() }
 
 // ReserveID atomically allocates the next document ID, so a caller can
 // parse and index a document outside any lock before registering it with
 // RegisterParsed. A reservation wasted on a failed parse leaves a gap in
 // the ID sequence, which is harmless.
-func (s *Store) ReserveID() int32 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	id := s.nextID
-	s.nextID++
-	return id
-}
+func (s *Store) ReserveID() int32 { return s.nextID.Add(1) - 1 }
 
 // RegisterParsed registers a document whose DocID was allocated with
 // ReserveID. It returns an error wrapping ErrDuplicateName if the name is
 // already taken.
 func (s *Store) RegisterParsed(doc *xmltree.Document) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.publishLocked(doc)
+	sh := s.shards[s.ShardOf(doc.Name)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return s.publishLocked(sh, doc)
 }
 
 // publishLocked makes doc visible under its name and DocID; the caller
-// holds the write lock and doc already owns a reserved DocID. This is the
-// single publication path — every registration goes through it so its
-// invariants cannot diverge.
-func (s *Store) publishLocked(doc *xmltree.Document) error {
-	if _, dup := s.byName[doc.Name]; dup {
+// holds sh's write lock, sh is doc's home shard, and doc already owns a
+// reserved DocID. This is the single publication path — every registration
+// goes through it so its invariants cannot diverge.
+func (s *Store) publishLocked(sh *shard, doc *xmltree.Document) error {
+	if _, dup := sh.byName[doc.Name]; dup {
 		return fmt.Errorf("store: %w: %q", ErrDuplicateName, doc.Name)
 	}
-	s.byName[doc.Name] = doc
-	s.byID[doc.DocID] = doc
+	sh.byName[doc.Name] = doc
+	if doc.Root != nil {
+		sh.bytes += doc.Root.ByteLen
+	}
+	s.byID.Store(doc.DocID, doc)
 	return nil
 }
 
 // AddXML parses the XML text and registers it under name. Documents receive
 // document IDs in reservation order. Adding a name that already exists
 // returns an error wrapping ErrDuplicateName. The parse runs outside the
-// store lock — only the registration excludes readers.
+// shard lock — only the registration excludes readers.
 func (s *Store) AddXML(name, xmlText string) (*xmltree.Document, error) {
 	if s.Doc(name) != nil {
 		return nil, fmt.Errorf("store: %w: %q", ErrDuplicateName, name)
@@ -107,12 +175,9 @@ func (s *Store) AddXML(name, xmlText string) (*xmltree.Document, error) {
 // DocID is overwritten with the store's next ID and the tree re-finalized.
 // It panics on a duplicate name (programmatic corpora control their names).
 func (s *Store) AddParsed(doc *xmltree.Document) *xmltree.Document {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	doc.DocID = s.nextID
-	s.nextID++
+	doc.DocID = s.ReserveID()
 	doc.Finalize()
-	if err := s.publishLocked(doc); err != nil {
+	if err := s.RegisterParsed(doc); err != nil {
 		panic(fmt.Sprintf("store: %v", err))
 	}
 	return doc
@@ -120,26 +185,55 @@ func (s *Store) AddParsed(doc *xmltree.Document) *xmltree.Document {
 
 // Doc returns the document registered under name, or nil.
 func (s *Store) Doc(name string) *xmltree.Document {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.byName[name]
+	sh := s.shards[s.ShardOf(name)]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.byName[name]
 }
 
 // DocByID returns the document whose Dewey IDs start with docID, or nil.
+// The lookup is lock-free: it never contends with ingest on any shard.
 func (s *Store) DocByID(docID int32) *xmltree.Document {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.byID[docID]
+	if d, ok := s.byID.Load(docID); ok {
+		return d.(*xmltree.Document)
+	}
+	return nil
 }
 
 // Docs returns all documents in insertion (document ID) order.
 func (s *Store) Docs() []*xmltree.Document {
-	s.mu.RLock()
-	docs := make([]*xmltree.Document, 0, len(s.byName))
-	for _, d := range s.byName {
-		docs = append(docs, d)
+	var docs []*xmltree.Document
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for _, d := range sh.byName {
+			docs = append(docs, d)
+		}
+		sh.mu.RUnlock()
 	}
-	s.mu.RUnlock()
+	sort.Slice(docs, func(i, j int) bool { return docs[i].DocID < docs[j].DocID })
+	return docs
+}
+
+// DocsMatching returns the documents whose names match the pattern (see
+// docname.Match) in insertion (document ID) order. An exact name — no '*'
+// — matches at most its own document.
+func (s *Store) DocsMatching(pattern string) []*xmltree.Document {
+	if !docname.IsPattern(pattern) {
+		if d := s.Doc(pattern); d != nil {
+			return []*xmltree.Document{d}
+		}
+		return nil
+	}
+	var docs []*xmltree.Document
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for name, d := range sh.byName {
+			if docname.Match(pattern, name) {
+				docs = append(docs, d)
+			}
+		}
+		sh.mu.RUnlock()
+	}
 	sort.Slice(docs, func(i, j int) bool { return docs[i].DocID < docs[j].DocID })
 	return docs
 }
@@ -189,11 +283,11 @@ func (s *Store) ResetCounters() {
 
 // TotalBytes returns the summed serialized size of all documents.
 func (s *Store) TotalBytes() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	total := 0
-	for _, d := range s.byName {
-		total += d.Root.ByteLen
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		total += sh.bytes
+		sh.mu.RUnlock()
 	}
 	return total
 }

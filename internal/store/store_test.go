@@ -110,3 +110,71 @@ func TestTotalBytes(t *testing.T) {
 		t.Errorf("TotalBytes = %d, want %d", got, want)
 	}
 }
+
+func TestShardingInvariants(t *testing.T) {
+	s := NewSharded(4)
+	if s.ShardCount() != 4 {
+		t.Fatalf("ShardCount = %d, want 4", s.ShardCount())
+	}
+	names := []string{"part-0.xml", "part-1.xml", "part-2.xml", "part-3.xml", "part-4.xml", "other.xml"}
+	for i, name := range names {
+		if _, err := s.AddXML(name, "<d><v>"+name+"</v></d>"); err != nil {
+			t.Fatal(err)
+		}
+		if got := s.Doc(name); got == nil || got.DocID != int32(i+1) {
+			t.Fatalf("doc %q not registered with sequential ID", name)
+		}
+	}
+	// Hash assignment is stable and per-shard counters add up.
+	docs, bytes := 0, 0
+	for _, info := range s.ShardInfos() {
+		docs += info.Documents
+		bytes += info.Bytes
+	}
+	if docs != len(names) || bytes != s.TotalBytes() {
+		t.Fatalf("shard counters (%d docs, %d bytes) vs corpus (%d docs, %d bytes)", docs, bytes, len(names), s.TotalBytes())
+	}
+	for _, name := range names {
+		sh := s.ShardOf(name)
+		if sh < 0 || sh >= 4 || sh != s.ShardOf(name) {
+			t.Fatalf("ShardOf(%q) unstable or out of range", name)
+		}
+	}
+	// DocsMatching returns pattern matches in document ID order.
+	matched := s.DocsMatching("part-*")
+	if len(matched) != 5 {
+		t.Fatalf("DocsMatching(part-*) = %d docs, want 5", len(matched))
+	}
+	for i := 1; i < len(matched); i++ {
+		if matched[i-1].DocID >= matched[i].DocID {
+			t.Fatalf("DocsMatching not in document ID order")
+		}
+	}
+	if got := s.DocsMatching("other.xml"); len(got) != 1 || got[0].Name != "other.xml" {
+		t.Fatalf("DocsMatching(exact) = %v", got)
+	}
+	if got := s.DocsMatching("missing-*"); len(got) != 0 {
+		t.Fatalf("DocsMatching(missing-*) = %v, want empty", got)
+	}
+	// Docs() remains insertion-ordered across shards.
+	all := s.Docs()
+	for i := range all {
+		if all[i].DocID != int32(i+1) {
+			t.Fatalf("Docs() out of insertion order: %v", all[i])
+		}
+	}
+}
+
+func TestDocByIDLockFreeAcrossShards(t *testing.T) {
+	s := NewSharded(3)
+	doc, err := s.AddXML("a.xml", "<a><b>x</b></a>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.DocByID(doc.DocID); got != doc {
+		t.Fatalf("DocByID(%d) = %v", doc.DocID, got)
+	}
+	if got := s.DocByID(99); got != nil {
+		t.Fatalf("DocByID(unknown) = %v, want nil", got)
+	}
+}

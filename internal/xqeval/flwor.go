@@ -143,6 +143,29 @@ func (e *Evaluator) evalFLWOR(x *xq.FLWORExpr, en *env) ([]Item, error) {
 	return e.evalClauses(x, 0, en)
 }
 
+// OuterBindings evaluates the binding sequence of a top-level FLWOR's first
+// clause, the axis along which evaluation can be partitioned: FLWOR
+// semantics evaluates the remaining clauses independently per binding and
+// concatenates, so Eval(x) is exactly the concatenation of
+// EvalTail(x, item) over these items in order. ok is false when the first
+// clause is a let binding (no partitionable sequence).
+func (e *Evaluator) OuterBindings(x *xq.FLWORExpr) ([]Item, bool, error) {
+	if len(x.Clauses) == 0 || x.Clauses[0].IsLet {
+		return nil, false, nil
+	}
+	seq, err := e.Eval(x.Clauses[0].In, nil)
+	return seq, true, err
+}
+
+// EvalTail evaluates the FLWOR's remaining clauses, where-filter and return
+// for a single binding of its first (for) clause. Different bindings may be
+// evaluated by different Evaluators — over the same immutable catalog —
+// and the concatenation of their outputs in binding order reproduces the
+// single-evaluator result exactly.
+func (e *Evaluator) EvalTail(x *xq.FLWORExpr, binding Item) ([]Item, error) {
+	return e.evalClauses(x, 1, (*env)(nil).bind(x.Clauses[0].Var, []Item{binding}))
+}
+
 func (e *Evaluator) evalClauses(x *xq.FLWORExpr, idx int, en *env) ([]Item, error) {
 	if idx == len(x.Clauses) {
 		if x.Where != nil {

@@ -14,7 +14,9 @@ package xqeval
 
 import (
 	"fmt"
+	"sort"
 
+	"vxml/internal/docname"
 	"vxml/internal/xmltree"
 	"vxml/internal/xq"
 )
@@ -30,11 +32,41 @@ type Catalog interface {
 	Doc(name string) *xmltree.Document
 }
 
-// MapCatalog is a Catalog backed by a map.
+// CollectionCatalog is the optional Catalog extension that resolves
+// fn:collection name patterns (docname.IsPattern) to every matching
+// document. Implementations must return documents in a deterministic
+// corpus order — document ID (insertion) order everywhere in this system —
+// because the returned order is the view's result order and ranking breaks
+// score ties by it. A catalog without this extension evaluates patterns as
+// empty sequences.
+type CollectionCatalog interface {
+	DocsMatching(pattern string) []*xmltree.Document
+}
+
+// MapCatalog is a Catalog backed by a map. Patterns resolve against the
+// map keys with matches ordered by document ID (ties by name, for
+// programmatic documents that never got one).
 type MapCatalog map[string]*xmltree.Document
 
 // Doc implements Catalog.
 func (m MapCatalog) Doc(name string) *xmltree.Document { return m[name] }
+
+// DocsMatching implements CollectionCatalog.
+func (m MapCatalog) DocsMatching(pattern string) []*xmltree.Document {
+	var docs []*xmltree.Document
+	for name, d := range m {
+		if d != nil && docname.Match(pattern, name) {
+			docs = append(docs, d)
+		}
+	}
+	sort.Slice(docs, func(i, j int) bool {
+		if docs[i].DocID != docs[j].DocID {
+			return docs[i].DocID < docs[j].DocID
+		}
+		return docs[i].Name < docs[j].Name
+	})
+	return docs
+}
 
 // Evaluator evaluates parsed queries against a catalog.
 type Evaluator struct {
@@ -71,6 +103,20 @@ func (e *Evaluator) EvalQuery(q *xq.Query) ([]Item, error) {
 	return e.Eval(q.Body, nil)
 }
 
+// docNode returns the cached document node for doc: a "#document" wrapper
+// whose single child is the root element, so a leading /roottag step works
+// as in XPath. The wrapper references the root without rewriting its
+// parent pointer, keeping catalog documents immutable — which is what lets
+// concurrent evaluators share one catalog.
+func (e *Evaluator) docNode(doc *xmltree.Document) *xmltree.Node {
+	dn := e.docNodes[doc]
+	if dn == nil {
+		dn = &xmltree.Node{Tag: "#document", Children: []*xmltree.Node{doc.Root}}
+		e.docNodes[doc] = dn
+	}
+	return dn
+}
+
 // env is an immutable chain of variable bindings; the context item is bound
 // under the name ".".
 type env struct {
@@ -96,19 +142,29 @@ func (en *env) lookup(name string) ([]Item, bool) {
 func (e *Evaluator) Eval(expr xq.Expr, en *env) ([]Item, error) {
 	switch x := expr.(type) {
 	case *xq.DocExpr:
+		if docname.IsPattern(x.Name) {
+			// fn:collection over a name pattern: the concatenation of every
+			// matching document's node, in corpus (document ID) order. A
+			// catalog without collection support yields an empty sequence,
+			// like an unknown single document.
+			cc, ok := e.catalog.(CollectionCatalog)
+			if !ok {
+				return nil, nil
+			}
+			var out []Item
+			for _, doc := range cc.DocsMatching(x.Name) {
+				if doc == nil || doc.Root == nil {
+					continue
+				}
+				out = append(out, e.docNode(doc))
+			}
+			return out, nil
+		}
 		doc := e.catalog.Doc(x.Name)
 		if doc == nil || doc.Root == nil {
 			return nil, nil
 		}
-		// fn:doc returns the document node, whose single child is the root
-		// element, so a leading /roottag step works as in XPath. The
-		// wrapper references the root without rewriting its parent pointer.
-		dn := e.docNodes[doc]
-		if dn == nil {
-			dn = &xmltree.Node{Tag: "#document", Children: []*xmltree.Node{doc.Root}}
-			e.docNodes[doc] = dn
-		}
-		return []Item{dn}, nil
+		return []Item{e.docNode(doc)}, nil
 	case *xq.VarExpr:
 		v, ok := en.lookup(x.Name)
 		if !ok {

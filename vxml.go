@@ -27,16 +27,38 @@
 //	         </bookrevs>`)
 //	results, stats, err := db.Search(view, []string{"xml", "search"}, nil)
 //
-// # Concurrency
+// # Sharding and concurrency
 //
-// A Database is safe for concurrent use. Search, Query, Explain and
-// DefineView hold the engine's read lock and run in parallel with each
-// other; Add and MustAdd take its write lock only to publish an
-// already-parsed, already-indexed document, so a concurrent search observes
-// the document collection either entirely before or entirely after an
-// ingest — never a document whose indices are half-built — and stalls for
-// the publication, not for the parse. The same guarantee holds one layer
-// down for direct users of internal/core.Engine.
+// A Database is safe for concurrent use. The corpus is partitioned into
+// shards (documents hash-assigned by name; see OpenShards): each shard
+// owns its documents' path and inverted-list indices behind its own lock.
+// Search, Query and Explain hold read locks only on the shards their view
+// touches and run in parallel with each other; Add and MustAdd take one
+// shard's write lock only to publish an already-parsed, already-indexed
+// document, so a concurrent search observes the document collection either
+// entirely before or entirely after an ingest — never a document whose
+// indices are half-built — stalls for the publication, not for the parse,
+// and an ingest into one shard never contends with a search over another.
+// The same guarantees hold one layer down for direct users of
+// internal/core.Engine.
+//
+// # Parallel search
+//
+// Options.Parallelism bounds a worker pool the Efficient pipeline fans the
+// search out over: per-candidate-document PDT generation (keyword lookup,
+// QPT matching, tree construction), view evaluation partitioned over the
+// outer FLWOR bindings, and scoring streamed into a concurrent top-k merge
+// heap. 0 (the default) uses GOMAXPROCS, 1 is the sequential legacy path;
+// ranked and unranked results are byte-identical at every setting, with
+// score ties broken deterministically by view position (document order).
+//
+// # Collection views
+//
+// fn:collection("part-*") in a view ranges over every document whose name
+// matches the '*' wildcard pattern, in ingest (document ID) order — so one
+// view can span an unbounded, growing corpus. Patterns compile against an
+// empty corpus (they may match nothing today and much after the next Add);
+// literal fn:doc names are still checked at DefineView time.
 //
 // # Result caching
 //
@@ -91,9 +113,18 @@ type Database struct {
 }
 
 // Open creates an empty database with a result cache of
-// qcache.DefaultCapacity entries.
+// qcache.DefaultCapacity entries and store.DefaultShardCount corpus
+// shards.
 func Open() *Database {
-	return &Database{engine: core.New(store.New()), cache: qcache.New(0)}
+	return OpenShards(0)
+}
+
+// OpenShards creates an empty database whose corpus is partitioned into n
+// shards (n <= 0 selects store.DefaultShardCount). Documents are
+// hash-assigned to shards by name; the shard count never affects query
+// results, only which ingests and searches contend.
+func OpenShards(n int) *Database {
+	return &Database{engine: core.New(store.NewSharded(n)), cache: qcache.New(0)}
 }
 
 // Add parses, stores and indexes an XML document under the given name
@@ -139,6 +170,10 @@ func (db *Database) TotalBytes() int {
 // CacheStats returns a snapshot of the query-result cache counters.
 func (db *Database) CacheStats() qcache.Stats { return db.cache.Stats() }
 
+// ShardStats returns a snapshot of per-shard corpus counters (document
+// count and summed serialized bytes per shard).
+func (db *Database) ShardStats() []store.ShardInfo { return db.engine.Store.ShardInfos() }
+
 // View is a compiled virtual view.
 type View struct {
 	inner *core.View
@@ -165,6 +200,14 @@ type Options struct {
 	TopK int
 	// Disjunctive matches any keyword instead of all keywords.
 	Disjunctive bool
+	// Parallelism bounds the worker pool the Efficient pipeline fans
+	// per-document PDT generation, view evaluation and scoring out over.
+	// 0 (the default) uses GOMAXPROCS; 1 selects the sequential legacy
+	// path. Results are byte-identical at every setting, so Parallelism is
+	// deliberately NOT part of the query-result cache key: searches at
+	// different parallelism share cache entries. The comparator pipelines
+	// (Baseline, GTPTermJoin) always run sequentially.
+	Parallelism int
 	// Approach selects the pipeline; the default is Efficient. The
 	// comparators exist for benchmarking and produce identical results.
 	Approach Approach
@@ -218,6 +261,15 @@ type Stats struct {
 	// CacheHit reports that the response was served from the query-result
 	// cache; the timing fields then describe the original computation.
 	CacheHit bool
+	// Workers is the worker-pool size the search actually ran with (1 =
+	// sequential path; comparator pipelines always report 1). Candidates
+	// counts the documents the view resolved to and ShardsSearched the
+	// corpus shards whose locks the search held. Like the timing fields,
+	// they describe the execution — on a cache hit, the original one —
+	// never the results.
+	Workers        int
+	Candidates     int
+	ShardsSearched int
 }
 
 // cachedSearch is the value held by one query-result cache entry.
@@ -292,10 +344,10 @@ func resultsFootprint(in []Result) int {
 
 // searchUncached runs the full pipeline; the engine takes its own read lock.
 func (db *Database) searchUncached(v *View, keywords []string, opts *Options) ([]Result, *Stats, error) {
-	copts := core.Options{K: opts.TopK, Disjunctive: opts.Disjunctive}
+	copts := core.Options{K: opts.TopK, Disjunctive: opts.Disjunctive, Parallelism: opts.Parallelism}
 	var (
 		results []core.Result
-		stats   = &Stats{}
+		stats   = &Stats{Workers: 1}
 		err     error
 	)
 	switch opts.Approach {
@@ -309,6 +361,9 @@ func (db *Database) searchUncached(v *View, keywords []string, opts *Options) ([
 			stats.ViewSize = cs.ViewResults
 			stats.Matched = cs.Matched
 			stats.BaseData = cs.SubtreeFetches
+			stats.Workers = cs.Workers
+			stats.Candidates = cs.Candidates
+			stats.ShardsSearched = cs.ShardsSearched
 		}
 	case Baseline:
 		var bs *baseline.Stats
