@@ -1,0 +1,243 @@
+// Cancellation contract of the ctx-first API: a canceled or expired
+// context unwinds every entry point with a wrapped context error, within
+// one work unit, releasing all shard read locks, leaking no pool
+// goroutine, and never inserting a partial computation into the
+// query-result cache. Run with -race.
+package vxml
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// wantCtxErr asserts err wraps exactly the expected context error.
+func wantCtxErr(t *testing.T, label string, err, want error) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("%s: expected an error wrapping %v, got nil", label, want)
+	}
+	if !errors.Is(err, want) {
+		t.Fatalf("%s: error %q does not wrap %v", label, err, want)
+	}
+	if errors.Is(err, context.Canceled) && errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("%s: error %q wraps both context errors", label, err)
+	}
+}
+
+// waitGoroutines waits for the goroutine count to settle back to at most
+// `limit` (worker pools drain cooperatively, so a just-canceled search may
+// briefly still be winding down).
+func waitGoroutines(t *testing.T, label string, limit int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= limit {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("%s: %d goroutines still alive (limit %d)\n%s",
+				label, n, limit, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestPreCanceledContextFailsEveryEntryPoint: a context that is already
+// canceled must stop each ctx-taking entry point before it does any work,
+// with a wrapped context.Canceled.
+func TestPreCanceledContextFailsEveryEntryPoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	db := buildEqCorpus(t, rng, 6)
+	view, err := db.DefineView(eqViews[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	for _, approach := range []Approach{Efficient, Baseline, GTPTermJoin} {
+		_, _, err := db.SearchContext(ctx, view, []string{"copper"}, &Options{Approach: approach})
+		wantCtxErr(t, fmt.Sprintf("SearchContext approach=%d", approach), err, context.Canceled)
+	}
+	// A warm cache must not mask the cancellation: the pre-flight runs
+	// before the cache lookup.
+	if _, _, err := db.Search(view, []string{"copper"}, &Options{Cache: true}); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = db.SearchContext(ctx, view, []string{"copper"}, &Options{Cache: true})
+	wantCtxErr(t, "SearchContext warm cache", err, context.Canceled)
+	if _, err := db.DefineViewContext(ctx, eqViews[0]); err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("DefineViewContext: %v", err)
+	}
+	if _, err := db.ExplainContext(ctx, view, []string{"copper"}); err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("ExplainContext: %v", err)
+	}
+	query := `for $r in (for $a in fn:collection("part-*")/books//article return <art>{$a/bdy}</art>)
+	          where $r ftcontains('copper') return $r`
+	if _, _, err := db.QueryContext(ctx, query, nil); err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("QueryContext: %v", err)
+	}
+	got := 0
+	for _, err := range db.Results(ctx, view, []string{"copper"}, nil) {
+		wantCtxErr(t, "Results", err, context.Canceled)
+		got++
+	}
+	if got != 1 {
+		t.Fatalf("pre-canceled Results yielded %d pairs, want exactly one error pair", got)
+	}
+}
+
+// TestCancelMidStreamStopsDelivery cancels the context between pulls of
+// the Results iterator — a deterministic mid-pipeline cancellation point
+// (ranking done, materialization under way). The next pull must deliver
+// the wrapped error and the sequence must stop.
+func TestCancelMidStreamStopsDelivery(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	db := buildEqCorpus(t, rng, 12)
+	view, err := db.DefineView(eqViews[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var yielded int
+		var streamErr error
+		for r, err := range db.Results(ctx, view, []string{"copper"}, &Options{Parallelism: par}) {
+			if err != nil {
+				streamErr = err
+				continue
+			}
+			yielded++
+			if r.XML == "" {
+				t.Fatalf("parallelism %d: empty XML at yield %d", par, yielded)
+			}
+			cancel() // the next pull must observe the cancellation
+		}
+		cancel()
+		if yielded != 1 {
+			t.Fatalf("parallelism %d: %d results yielded after mid-stream cancel, want 1", par, yielded)
+		}
+		wantCtxErr(t, fmt.Sprintf("parallelism %d mid-stream", par), streamErr, context.Canceled)
+	}
+}
+
+// TestCancelDuringSearchReleasesEverything cancels contexts while searches
+// are genuinely in flight (parallel and sequential, all three pipelines,
+// with the cache armed), then verifies: the error wraps context.Canceled,
+// no worker goroutine outlives the calls, the shard locks are free (an
+// ingest — which needs a write lock — succeeds immediately), and the
+// canceled runs poisoned no cache entry.
+func TestCancelDuringSearchReleasesEverything(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	db := buildEqCorpus(t, rng, 30)
+	view, err := db.DefineView(eqViews[1]) // join view: the slowest shape
+	if err != nil {
+		t.Fatal(err)
+	}
+	kws := []string{"copper", "quartz"}
+
+	baselineGoroutines := runtime.NumGoroutine()
+	canceled, completed, attempt := 0, 0, 0
+	for _, opts := range []*Options{
+		{Parallelism: 1, Cache: true},
+		{Parallelism: 4, Cache: true},
+		{Parallelism: 4, Approach: Baseline, Cache: true},
+		{Parallelism: 1, Approach: GTPTermJoin, Cache: true},
+	} {
+		// Shrink the cancel delay until the cancellation lands mid-search;
+		// a run that finishes first is fine, it just tries again sooner.
+		// Every attempt gets a distinct TopK — and so a distinct cache key —
+		// so an attempt that completed (and legitimately cached its entry)
+		// cannot hand the next attempt an instant, uncancelable cache hit.
+		for delay := 2 * time.Millisecond; delay >= 0; delay /= 4 {
+			attempt++
+			o := *opts
+			o.TopK = attempt
+			ctx, cancel := context.WithCancel(context.Background())
+			var timer *time.Timer
+			if delay == 0 {
+				cancel() // a pipeline faster than any timer still must fail
+			} else {
+				timer = time.AfterFunc(delay, cancel)
+			}
+			_, _, err := db.SearchContext(ctx, view, kws, &o)
+			if timer != nil {
+				timer.Stop()
+			}
+			cancel()
+			if err != nil {
+				wantCtxErr(t, fmt.Sprintf("opts %+v delay %v", opts, delay), err, context.Canceled)
+				canceled++
+				break
+			}
+			completed++
+			if delay == 0 {
+				t.Fatalf("opts %+v: search completed even with a pre-canceled context", opts)
+			}
+		}
+	}
+	if canceled == 0 {
+		t.Fatal("no search was actually canceled")
+	}
+	waitGoroutines(t, "after canceled searches", baselineGoroutines)
+
+	// Only completed attempts may be resident in the cache: a canceled
+	// computation must never be inserted.
+	if n := db.CacheStats().Entries; n != completed {
+		t.Fatalf("%d cache entries resident, want exactly the %d completed searches (canceled: %d)",
+			n, completed, canceled)
+	}
+
+	// All shard locks must be free: an ingest takes a write lock and would
+	// block behind a leaked read lock.
+	done := make(chan error, 1)
+	go func() { done <- db.Add("post-cancel.xml", "<books><article><bdy>copper</bdy></article></books>") }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("ingest after canceled searches: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ingest blocked after canceled searches: a shard lock leaked")
+	}
+
+	// And the pipeline still computes correct, cacheable results.
+	fresh, stats, err := db.SearchContext(context.Background(), view, kws, &Options{Cache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CacheHit {
+		t.Fatal("post-cancel search reported a cache hit; canceled runs must not populate the cache")
+	}
+	again, stats2, err := db.Search(view, kws, &Options{Cache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats2.CacheHit {
+		t.Fatal("repeat search missed the cache")
+	}
+	mustEqualResults(t, "post-cancel cached vs fresh", fresh, again)
+}
+
+// TestDeadlineExceededWrapsCorrectly: an expired deadline surfaces as a
+// wrapped context.DeadlineExceeded, distinguishable from a cancel.
+func TestDeadlineExceededWrapsCorrectly(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	db := buildEqCorpus(t, rng, 10)
+	view, err := db.DefineView(eqViews[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond) // let the deadline pass
+	_, _, err = db.SearchContext(ctx, view, []string{"copper"}, nil)
+	wantCtxErr(t, "expired deadline", err, context.DeadlineExceeded)
+}

@@ -5,19 +5,31 @@
 // complete Figure-2 style query (let $view := ... for $r in $view where $r
 // ftcontains('k1' & 'k2') return $r).
 //
+// The search runs under a context canceled by Ctrl-C (and bounded by
+// -timeout), so an interrupted run exits promptly with "search canceled"
+// instead of finishing the query. -offset pages through the ranking and
+// -stream prints each result as the pipeline yields it (winners are
+// materialized one at a time, so output starts before the search "ends").
+//
 // Examples:
 //
 //	vxmlsearch -doc books.xml -doc reviews.xml -viewfile view.xq -q "xml,search"
 //	vxmlsearch -doc books.xml -doc reviews.xml -queryfile query.xq
 //	vxmlsearch -demo -q "xml,search"       # built-in books & reviews demo
+//	vxmlsearch -demo -q "xml" -k 5 -offset 5    # the second page of five
+//	vxmlsearch -demo -q "xml" -stream -timeout 2s
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 
 	"vxml"
 	"vxml/internal/inex"
@@ -37,13 +49,26 @@ func main() {
 	queryFile := flag.String("queryfile", "", "file containing the complete keyword query")
 	keywords := flag.String("q", "", "comma-separated keywords")
 	topK := flag.Int("k", 10, "number of results (0 = all)")
+	offset := flag.Int("offset", 0, "skip this many leading ranked results (pagination)")
 	disjunctive := flag.Bool("any", false, "match any keyword instead of all")
 	parallel := flag.Int("parallel", 0, "search worker pool size (0 = all CPUs, 1 = sequential)")
 	approach := flag.String("approach", "efficient", "pipeline: efficient, baseline, gtp")
 	demo := flag.Bool("demo", false, "load a generated books/reviews demo corpus")
 	showStats := flag.Bool("stats", true, "print per-phase statistics")
+	stream := flag.Bool("stream", false, "print results as the pipeline yields them (no stats)")
+	timeout := flag.Duration("timeout", 0, "abort the search after this long (0 = no deadline)")
 	explain := flag.Bool("explain", false, "print the query plan (QPTs and index probes) before searching")
 	flag.Parse()
+
+	// Ctrl-C cancels the in-flight search instead of killing the process
+	// mid-write; a -timeout bounds it the same way.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	db := vxml.Open()
 	if *demo {
@@ -64,7 +89,7 @@ func main() {
 		fatalf("no documents loaded; use -doc or -demo")
 	}
 
-	opts := &vxml.Options{TopK: *topK, Disjunctive: *disjunctive, Parallelism: *parallel}
+	opts := &vxml.Options{TopK: *topK, Offset: *offset, Disjunctive: *disjunctive, Parallelism: *parallel}
 	switch strings.ToLower(*approach) {
 	case "efficient":
 		opts.Approach = vxml.Efficient
@@ -83,6 +108,9 @@ func main() {
 	)
 	switch {
 	case *queryText != "" || *queryFile != "":
+		if *stream {
+			fatalf("-stream works with -view/-viewfile/-demo searches, not -query/-queryfile")
+		}
 		query := *queryText
 		if *queryFile != "" {
 			data, err := os.ReadFile(*queryFile)
@@ -91,7 +119,7 @@ func main() {
 			}
 			query = string(data)
 		}
-		results, stats, err = db.Query(query, opts)
+		results, stats, err = db.QueryContext(ctx, query, opts)
 	default:
 		text := *viewText
 		if *viewFile != "" {
@@ -110,7 +138,7 @@ func main() {
 		if *keywords == "" {
 			fatalf("no keywords; use -q k1,k2")
 		}
-		view, verr := db.DefineView(text)
+		view, verr := db.DefineViewContext(ctx, text)
 		if verr != nil {
 			fatalf("compiling view: %v", verr)
 		}
@@ -118,23 +146,48 @@ func main() {
 		if *explain {
 			fmt.Println(db.Explain(view, kws))
 		}
-		results, stats, err = db.Search(view, kws, opts)
+		if *stream {
+			for r, serr := range db.Results(ctx, view, kws, opts) {
+				if serr != nil {
+					fatalSearch(serr)
+				}
+				printResult(r)
+			}
+			return
+		}
+		results, stats, err = db.SearchContext(ctx, view, kws, opts)
 	}
 	if err != nil {
-		fatalf("search: %v", err)
+		fatalSearch(err)
 	}
 
 	for _, r := range results {
-		fmt.Printf("-- rank %d  score %.4f  tf %v\n", r.Rank, r.Score, r.TF)
-		if r.Snippet != "" {
-			fmt.Printf("   «%s»\n", r.Snippet)
-		}
-		fmt.Println(r.XML)
+		printResult(r)
 	}
 	if *showStats {
 		fmt.Printf("\n%d/%d view results matched; PDT %v (%d nodes), eval %v, post %v, total %v; base fetches %d\n",
 			stats.Matched, stats.ViewSize, stats.PDTTime, stats.PDTNodes,
 			stats.EvalTime, stats.PostTime, stats.Total, stats.BaseData)
+	}
+}
+
+func printResult(r vxml.Result) {
+	fmt.Printf("-- rank %d  score %.4f  tf %v\n", r.Rank, r.Score, r.TF)
+	if r.Snippet != "" {
+		fmt.Printf("   «%s»\n", r.Snippet)
+	}
+	fmt.Println(r.XML)
+}
+
+// fatalSearch distinguishes interruption from failure in the exit message.
+func fatalSearch(err error) {
+	switch {
+	case errors.Is(err, context.Canceled):
+		fatalf("search canceled")
+	case errors.Is(err, context.DeadlineExceeded):
+		fatalf("search timed out (%v)", err)
+	default:
+		fatalf("search: %v", err)
 	}
 }
 

@@ -3,15 +3,21 @@
 //
 // Documents given with -doc are loaded at startup; -demo loads a generated
 // books & reviews corpus and registers a "demo" view over it. Further
-// documents and views arrive over POST /documents and POST /views. The
-// process drains in-flight requests and exits cleanly on SIGINT/SIGTERM.
+// documents and views arrive over POST /v1/documents and POST /v1/views
+// (the unversioned paths are aliases). Every search runs under its
+// request's context — a disconnected or timed-out client cancels the
+// pipeline — and POST /v1/search/stream delivers results as NDJSON lines
+// the moment each ranked winner is materialized. The process drains
+// in-flight requests and exits cleanly on SIGINT/SIGTERM.
 //
 // Examples:
 //
 //	vxmlserve -demo -addr :8344
-//	curl -s localhost:8344/search \
+//	curl -s localhost:8344/v1/search \
 //	  -d '{"view":"demo","keywords":["xml","search"],"top_k":3,"cache":true}'
-//	curl -s localhost:8344/stats
+//	curl -sN localhost:8344/v1/search/stream \
+//	  -d '{"view":"demo","keywords":["xml","search"],"top_k":3,"offset":3}'
+//	curl -s localhost:8344/v1/stats
 package main
 
 import (

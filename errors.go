@@ -1,0 +1,54 @@
+// Error taxonomy of the query API. Every failure a caller can act on
+// programmatically is classifiable with errors.Is or errors.As against the
+// symbols in this file, instead of matching message strings:
+//
+//	sentinel / type          condition                              HTTP
+//	ErrUnknownView           named view not registered              404
+//	ErrUnknownDocument       view references an absent document     404
+//	ErrDuplicateDocument     Add under an existing document name    409
+//	ErrInvalidOptions        unusable Options / request parameters  400
+//	ParseError               malformed XQuery (position + message)  400
+//	context.Canceled         caller canceled the context            499
+//	context.DeadlineExceeded the context's deadline passed          408
+//
+// The HTTP column is the mapping internal/server applies on the /v1
+// routes. Context errors are always wrapped (never returned bare), so
+// errors.Is(err, context.Canceled) classifies them while the message still
+// names the phase that was interrupted.
+
+package vxml
+
+import (
+	"errors"
+
+	"vxml/internal/core"
+	"vxml/internal/store"
+	"vxml/internal/xq"
+)
+
+// ErrDuplicateDocument reports an Add under an already-registered document
+// name (compare with errors.Is).
+var ErrDuplicateDocument = store.ErrDuplicateName
+
+// ErrUnknownDocument reports a view definition that references a document
+// name absent from the corpus (compare with errors.Is). Collection
+// patterns are exempt: they may match nothing today and many documents
+// after the next Add.
+var ErrUnknownDocument = core.ErrUnknownDocument
+
+// ErrUnknownView reports a lookup of a view name that was never defined.
+// The Database API itself passes compiled *View values and cannot fail
+// this way; components that resolve views by registered name (such as
+// internal/server) wrap ErrUnknownView so transports can map it uniformly.
+var ErrUnknownView = errors.New("vxml: unknown view")
+
+// ErrInvalidOptions reports Options (or transport-level request
+// parameters) that cannot be executed, such as an Approach value outside
+// the defined pipelines. Merely out-of-range numeric fields (negative
+// TopK, Offset or Parallelism) are normalized, not rejected.
+var ErrInvalidOptions = errors.New("vxml: invalid options")
+
+// ParseError is the diagnostic for malformed XQuery: the byte offset the
+// parser stopped at and what it expected. DefineView and Query return it
+// (wrapped; retrieve with errors.As) for syntactically invalid input.
+type ParseError = xq.ParseError

@@ -1,0 +1,97 @@
+// Streaming, pagination and cancellation: the ctx-first v1 query API.
+//
+// A corpus of 30 part documents is searched through a collection view
+// three ways — the one-shot SearchContext, the Results iterator (winners
+// materialized only as they are pulled; breaking early skips the rest),
+// and Offset/TopK pages — and the deliveries are verified identical. A
+// pre-canceled context then demonstrates the typed error taxonomy:
+// errors.Is(err, context.Canceled) classifies the failure without string
+// matching.
+//
+// Run with: go run ./examples/streaming
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+
+	"vxml"
+)
+
+func main() {
+	db := vxml.Open()
+	for d := 0; d < 30; d++ {
+		topic := []string{"parsing", "ranking", "caching"}[d%3]
+		xml := fmt.Sprintf(`<notes>
+  <note><title>entry %d on %s</title>
+        <body>field notes about xml %s and keyword search</body></note>
+</notes>`, d, topic, topic)
+		db.MustAdd(fmt.Sprintf("part-%02d.xml", d), xml)
+	}
+	view, err := db.DefineView(`
+	  for $n in fn:collection("part-*")/notes//note
+	  return <hit>{$n/title}, {$n/body}</hit>`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	keywords := []string{"xml", "ranking"}
+
+	// Reference: the one-shot search.
+	all, _, err := db.SearchContext(ctx, view, keywords, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("one-shot search: %d results\n", len(all))
+
+	// Streaming: each winner's subtree is fetched only when yielded, so
+	// breaking out early never materializes the tail.
+	streamed := 0
+	for r, err := range db.Results(ctx, view, keywords, nil) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		if r.XML != all[streamed].XML {
+			log.Fatalf("streamed result %d diverged from the one-shot search", streamed)
+		}
+		streamed++
+		if streamed == 3 {
+			fmt.Printf("streamed the top %d and broke out; the other %d were never materialized\n",
+				streamed, len(all)-streamed)
+			break
+		}
+	}
+
+	// Pagination: pages are windows of the same full ranking (and with
+	// Options.Cache they share one cached entry).
+	pageSize := 4
+	total := 0
+	for page := 0; ; page++ {
+		results, _, err := db.SearchContext(ctx, view, keywords,
+			&vxml.Options{Offset: page * pageSize, TopK: pageSize, Cache: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range results {
+			if r.XML != all[total].XML {
+				log.Fatalf("page %d diverged from the one-shot search at rank %d", page, r.Rank)
+			}
+			total++
+		}
+		if len(results) < pageSize {
+			break
+		}
+	}
+	fmt.Printf("paged through %d results, %d at a time, identical to the one-shot search\n", total, pageSize)
+
+	// Cancellation: a canceled context unwinds with a typed, wrapped error.
+	canceled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, _, err := db.SearchContext(canceled, view, keywords, nil); errors.Is(err, context.Canceled) {
+		fmt.Println("canceled search returned a wrapped context.Canceled, as typed errors promise")
+	} else {
+		log.Fatalf("expected a wrapped context.Canceled, got %v", err)
+	}
+}

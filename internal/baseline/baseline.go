@@ -7,6 +7,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -25,22 +26,44 @@ type Stats struct {
 	// MaterializedBytes is the serialized size of the materialized view —
 	// the write volume Efficient never produces.
 	MaterializedBytes int
+	// Candidates counts the documents the view's QPTs resolved to and
+	// ShardsSearched the corpus shards whose read locks the run held (all
+	// of them: the comparator brackets with Engine.RLock). Mirrors
+	// core.Stats so dashboards read comparator runs the same way.
+	Candidates     int
+	ShardsSearched int
 }
 
 // Total returns the end-to-end time.
 func (s *Stats) Total() time.Duration { return s.MaterializeTime + s.SearchTime }
 
 // Search materializes the view and evaluates the ranked keyword query over
-// the materialized results.
+// the materialized results. It never cancels; use SearchContext for
+// deadlines and cancellation.
 func Search(e *core.Engine, v *core.View, keywords []string, opts core.Options) ([]core.Result, *Stats, error) {
+	return SearchContext(context.Background(), e, v, keywords, opts)
+}
+
+// SearchContext is Search with cooperative cancellation: ctx is checked
+// between FLWOR bindings during materialization (through the evaluator)
+// and between winners afterwards, and the returned error wraps ctx.Err().
+// The engine read locks are released before SearchContext returns.
+func SearchContext(ctx context.Context, e *core.Engine, v *core.View, keywords []string, opts core.Options) ([]core.Result, *Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, fmt.Errorf("baseline: search interrupted: %w", err)
+	}
 	e.RLock()
 	defer e.RUnlock()
-	stats := &Stats{}
+	stats := &Stats{ShardsSearched: e.Store.ShardCount()}
+	for _, q := range v.QPTs {
+		stats.Candidates += len(e.Store.DocsMatching(q.Doc))
+	}
 	kws := normalize(keywords)
 
 	start := time.Now()
 	ev := xqeval.New(storeCatalog{e}, v.Funcs)
 	ev.HashJoin = !opts.DisableHashJoin
+	ev.SetContext(ctx)
 	items, err := ev.Eval(v.Expr, nil)
 	if err != nil {
 		return nil, nil, fmt.Errorf("baseline: materializing view: %w", err)
@@ -66,6 +89,9 @@ func Search(e *core.Engine, v *core.View, keywords []string, opts core.Options) 
 	stats.Matched = ranking.Matched
 	out := make([]core.Result, 0, len(ranking.Results))
 	for i, sc := range ranking.Results {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, fmt.Errorf("baseline: search interrupted: %w", err)
+		}
 		elem := sc.Result
 		if !opts.SkipMaterialize {
 			elem = scoring.Materialize(sc.Result, e.Store)

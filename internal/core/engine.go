@@ -14,6 +14,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -32,6 +34,21 @@ import (
 	"vxml/internal/xq"
 	"vxml/internal/xqeval"
 )
+
+// ErrUnknownDocument reports a view that references a document name absent
+// from the corpus (compare with errors.Is). Collection patterns are exempt:
+// they may legitimately match nothing today and many documents later.
+var ErrUnknownDocument = errors.New("unknown document")
+
+// ctxErr reports ctx's cancellation state, wrapped so callers can classify
+// the failure with errors.Is(err, context.Canceled) or
+// errors.Is(err, context.DeadlineExceeded).
+func ctxErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("core: search interrupted: %w", err)
+	}
+	return nil
+}
 
 // engineShard guards the per-document indices of one corpus shard. The
 // shard boundaries coincide with the store's (same name hash, same count),
@@ -191,7 +208,7 @@ func (e *Engine) CompileParsedView(text string, expr xq.Expr, funcs map[string]*
 			continue
 		}
 		if e.Store.Doc(q.Doc) == nil {
-			return nil, fmt.Errorf("core: view references unknown document %q", q.Doc)
+			return nil, fmt.Errorf("core: view references %w %q", ErrUnknownDocument, q.Doc)
 		}
 	}
 	return &View{Text: text, Expr: expr, Funcs: funcs, QPTs: qpts}, nil
@@ -403,11 +420,65 @@ func sortDocsByID(docs []*xmltree.Document) {
 // Search evaluates a ranked keyword query over the virtual view: the
 // Efficient pipeline of the paper. Scores and rank order are identical to
 // materializing the view and searching it (Theorem 4.1), and identical at
-// every Parallelism setting.
+// every Parallelism setting. Search never cancels; use SearchContext for
+// deadlines and cancellation.
 func (e *Engine) Search(v *View, keywords []string, opts Options) ([]Result, *Stats, error) {
-	p, err := e.lockAndPlan(v)
+	return e.SearchContext(context.Background(), v, keywords, opts)
+}
+
+// SearchContext is Search with cooperative cancellation: ctx is checked
+// between candidate documents during PDT generation, between FLWOR bindings
+// during evaluation, between results during scoring and between winners
+// during materialization, so a cancel or deadline unwinds within one work
+// unit. The returned error wraps ctx.Err() (classify with errors.Is); the
+// shard read locks are released before SearchContext returns, canceled or
+// not, and no pool goroutine outlives the call.
+func (e *Engine) SearchContext(ctx context.Context, v *View, keywords []string, opts Options) ([]Result, *Stats, error) {
+	return e.SearchPage(ctx, v, keywords, opts, 0)
+}
+
+// SearchPage is SearchContext that returns only the ranked winners from
+// offset on: the skipped prefix is never materialized (no base-data
+// fetch, no snippet), and Rank numbers keep their absolute position in
+// the ranking. Callers paging uncached results combine it with
+// Options.K = offset + page size.
+func (e *Engine) SearchPage(ctx context.Context, v *View, keywords []string, opts Options, offset int) ([]Result, *Stats, error) {
+	ranked, kws, stats, err := e.rankedSearch(ctx, v, keywords, opts)
 	if err != nil {
 		return nil, nil, err
+	}
+	// Materialize only the winners on the page. A per-search counting
+	// fetcher keeps the reported fetch count exact even while concurrent
+	// searches drive the store's shared counters.
+	start := time.Now()
+	fetcher := &scoring.CountingFetcher{Fetcher: e.Store}
+	out := make([]Result, 0, max(0, len(ranked)-offset))
+	for i := max(0, offset); i < len(ranked); i++ {
+		if err := ctxErr(ctx); err != nil {
+			return nil, nil, err
+		}
+		out = append(out, materializeResult(ranked[i], i+1, kws, opts, fetcher))
+	}
+	stats.PostTime += time.Since(start)
+	stats.SubtreeFetches = fetcher.Fetches
+	return out, stats, nil
+}
+
+// rankedSearch runs the index-only phases — PDT generation, view
+// evaluation, scoring and top-k selection — and returns the ranked winners
+// still pruned (unmaterialized), plus the normalized keywords and the stats
+// so far (PostTime covers ranking only; the caller adds materialization).
+// Every shard read lock is released by the time rankedSearch returns:
+// Dewey-ID subtree fetches are lock-free, so callers are free to
+// materialize the winners afterwards — all at once (SearchContext) or one
+// by one as a consumer pulls them (ResultsSeq).
+func (e *Engine) rankedSearch(ctx context.Context, v *View, keywords []string, opts Options) ([]scoring.Scored, []string, *Stats, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, nil, nil, err
+	}
+	p, err := e.lockAndPlan(v)
+	if err != nil {
+		return nil, nil, nil, err
 	}
 	defer p.unlock()
 	stats := &Stats{Workers: opts.workers(), Candidates: len(p.units), ShardsSearched: len(p.shards)}
@@ -427,9 +498,11 @@ func (e *Engine) Search(v *View, keywords []string, opts Options) ([]Result, *St
 	if opts.ParallelPDT && pdtWorkers < len(p.units) {
 		pdtWorkers = len(p.units)
 	}
-	forEach(pdtWorkers, len(p.units), func(i int) {
+	if err := forEach(ctx, pdtWorkers, len(p.units), func(i int) {
 		pdts[i] = p.units[i].generatePDT(kws, filter)
-	})
+	}); err != nil {
+		return nil, nil, nil, err
+	}
 	for _, pd := range pdts {
 		if pd == nil {
 			continue
@@ -444,33 +517,35 @@ func (e *Engine) Search(v *View, keywords []string, opts Options) ([]Result, *St
 	// partitioned over the outer FLWOR bindings when a worker pool is
 	// available.
 	start = time.Now()
-	results, err := e.evalView(v, catalog, opts, stats.Workers)
+	results, err := e.evalView(ctx, v, catalog, opts, stats.Workers)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	stats.EvalTime = time.Since(start)
 	stats.ViewResults = len(results)
 
-	// Phase 4: score from PDT payloads, then materialize only the top-k.
-	// A per-search counting fetcher keeps the reported fetch count exact
-	// even while concurrent searches drive the store's shared counters.
+	// Phase 4a: score from PDT payloads and select the top k.
 	start = time.Now()
-	fetcher := &scoring.CountingFetcher{Fetcher: e.Store}
-	ranking := e.rank(results, kws, opts, stats.Workers)
-	stats.Matched = ranking.Matched
-	out := make([]Result, 0, len(ranking.Results))
-	for i, sc := range ranking.Results {
-		elem := sc.Result
-		snippet := ""
-		if !opts.SkipMaterialize {
-			elem = scoring.Materialize(sc.Result, fetcher)
-			snippet = scoring.Snippet(elem, kws, 160)
-		}
-		out = append(out, Result{Rank: i + 1, Score: sc.Score, TFs: sc.Stats.TFs, Element: elem, Snippet: snippet})
+	ranking, err := e.rank(ctx, results, kws, opts, stats.Workers)
+	if err != nil {
+		return nil, nil, nil, err
 	}
+	stats.Matched = ranking.Matched
 	stats.PostTime = time.Since(start)
-	stats.SubtreeFetches = fetcher.Fetches
-	return out, stats, nil
+	return ranking.Results, kws, stats, nil
+}
+
+// materializeResult expands one ranked winner into a caller-facing Result
+// (phase 4b). It needs no shard lock: subtree fetches resolve through the
+// store's lock-free Dewey map.
+func materializeResult(sc scoring.Scored, rank int, kws []string, opts Options, fetcher scoring.Fetcher) Result {
+	elem := sc.Result
+	snippet := ""
+	if !opts.SkipMaterialize {
+		elem = scoring.Materialize(sc.Result, fetcher)
+		snippet = scoring.Snippet(elem, kws, 160)
+	}
+	return Result{Rank: rank, Score: sc.Score, TFs: sc.Stats.TFs, Element: elem, Snippet: snippet}
 }
 
 // selectionFilterNode decides whether a view is selection-shaped — every

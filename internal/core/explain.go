@@ -1,12 +1,23 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"vxml/internal/docname"
 	"vxml/internal/pathindex"
 )
+
+// ExplainContext is Explain with a cancellation pre-flight: plan rendering
+// is cheap (no PDT is generated, no view evaluated), so one ctx check
+// before taking the read locks is the whole cooperation.
+func (e *Engine) ExplainContext(ctx context.Context, v *View, keywords []string) (string, error) {
+	if err := ctxErr(ctx); err != nil {
+		return "", err
+	}
+	return e.Explain(v, keywords), nil
+}
 
 // Explain renders the query plan for a keyword search over the view: the
 // QPT per document, the exact index probes PrepareLists will issue (with

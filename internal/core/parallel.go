@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -12,24 +13,31 @@ import (
 
 // forEach runs fn(0..n-1) on a pool of at most `workers` goroutines
 // (inline when the pool would be pointless). Workers pull indices from an
-// atomic counter, so uneven per-item cost still balances.
-func forEach(workers, n int, fn func(i int)) {
-	forEachWorker(workers, n, func() func(int) { return fn })
+// atomic counter, so uneven per-item cost still balances. Cancellation is
+// cooperative: every worker checks ctx before pulling its next item, so a
+// cancel stops the pool within one item per worker; forEach always waits
+// for the in-flight items to finish (no goroutine outlives the call) and
+// returns the wrapped ctx error if the loop was cut short.
+func forEach(ctx context.Context, workers, n int, fn func(i int)) error {
+	return forEachWorker(ctx, workers, n, func() func(int) { return fn })
 }
 
 // forEachWorker is forEach for work that needs per-worker state (e.g. a
 // single-threaded evaluator): newWorker runs once per pool goroutine and
 // returns that worker's item function.
-func forEachWorker(workers, n int, newWorker func() func(i int)) {
+func forEachWorker(ctx context.Context, workers, n int, newWorker func() func(i int)) error {
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 || n <= 1 {
 		fn := newWorker()
 		for i := 0; i < n; i++ {
+			if err := ctxErr(ctx); err != nil {
+				return err
+			}
 			fn(i)
 		}
-		return
+		return nil
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -38,7 +46,7 @@ func forEachWorker(workers, n int, newWorker func() func(i int)) {
 		go func() {
 			defer wg.Done()
 			fn := newWorker()
-			for {
+			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -48,6 +56,7 @@ func forEachWorker(workers, n int, newWorker func() func(i int)) {
 		}()
 	}
 	wg.Wait()
+	return ctxErr(ctx)
 }
 
 // chunkBounds splits n items into at most `chunks` contiguous [lo, hi)
@@ -77,10 +86,13 @@ func chunkBounds(n, chunks int) [][2]int {
 // clauses for its chunk with its own evaluator over the shared immutable
 // catalog; concatenating the chunk outputs in order reproduces the
 // single-evaluator result exactly (FLWOR evaluates bindings independently).
-func (e *Engine) evalView(v *View, catalog xqeval.Catalog, opts Options, workers int) ([]*xmltree.Node, error) {
+// Every evaluator carries ctx, so cancellation unwinds between FLWOR
+// bindings on both paths.
+func (e *Engine) evalView(ctx context.Context, v *View, catalog xqeval.Catalog, opts Options, workers int) ([]*xmltree.Node, error) {
 	newEval := func() *xqeval.Evaluator {
 		ev := xqeval.New(catalog, v.Funcs)
 		ev.HashJoin = !opts.DisableHashJoin
+		ev.SetContext(ctx)
 		return ev
 	}
 	fl, isFLWOR := v.Expr.(*xq.FLWORExpr)
@@ -102,7 +114,7 @@ func (e *Engine) evalView(v *View, catalog xqeval.Catalog, opts Options, workers
 	chunks := chunkBounds(len(bindings), workers*4)
 	outs := make([][]xqeval.Item, len(chunks))
 	errs := make([]error, len(chunks))
-	forEachWorker(workers, len(chunks), func() func(int) {
+	poolErr := forEachWorker(ctx, workers, len(chunks), func() func(int) {
 		ev := newEval() // evaluators are single-threaded; one per worker
 		return func(c int) {
 			for _, b := range bindings[chunks[c][0]:chunks[c][1]] {
@@ -115,6 +127,9 @@ func (e *Engine) evalView(v *View, catalog xqeval.Catalog, opts Options, workers
 			}
 		}
 	})
+	if poolErr != nil {
+		return nil, poolErr
+	}
 	var items []xqeval.Item
 	for c := range chunks {
 		if errs[c] != nil {
@@ -137,34 +152,45 @@ func wrapEvalErr(err error) error {
 	return &evalError{err}
 }
 
-// evalError marks an evaluation failure so Search can report its phase.
+// evalError marks an evaluation failure so Search can report its phase. It
+// unwraps, so a context error surfacing through the evaluator still
+// matches errors.Is(err, context.Canceled).
 type evalError struct{ err error }
 
 func (e *evalError) Error() string { return "core: evaluating view over PDTs: " + e.err.Error() }
 func (e *evalError) Unwrap() error { return e.err }
 
-// rank scores the view results and selects the top k. With one worker it
-// is scoring.Rank (the legacy path). With more, stats collection fans out
-// over the pool, then each worker scores its chunk against the globally
-// computed IDFs and streams the scored results into a shared concurrent
-// top-k heap; the heap's total order (score desc, view position asc) makes
-// the merged selection independent of push interleaving.
-func (e *Engine) rank(results []*xmltree.Node, kws []string, opts Options, workers int) *scoring.Ranking {
-	if workers <= 1 || len(results) < 2 {
-		return scoring.Rank(results, kws, !opts.Disjunctive, opts.K, scoring.FromPDT)
-	}
+// rank scores the view results and selects the top k. With one worker the
+// stats are collected in a single pass (the legacy path, with a ctx check
+// per result). With more, stats collection fans out over the pool, then
+// each worker scores its chunk against the globally computed IDFs and
+// streams the scored results into a shared concurrent top-k heap; the
+// heap's total order (score desc, view position asc) makes the merged
+// selection independent of push interleaving.
+func (e *Engine) rank(ctx context.Context, results []*xmltree.Node, kws []string, opts Options, workers int) (*scoring.Ranking, error) {
 	stats := make([]scoring.Stats, len(results))
+	if workers <= 1 || len(results) < 2 {
+		for i, res := range results {
+			if err := ctxErr(ctx); err != nil {
+				return nil, err
+			}
+			stats[i] = scoring.Collect(res, kws, scoring.FromPDT)
+		}
+		return scoring.RankWithStats(results, stats, kws, !opts.Disjunctive, opts.K), nil
+	}
 	chunks := chunkBounds(len(results), workers*4)
-	forEach(workers, len(chunks), func(c int) {
+	if err := forEach(ctx, workers, len(chunks), func(c int) {
 		for i := chunks[c][0]; i < chunks[c][1]; i++ {
 			stats[i] = scoring.Collect(results[i], kws, scoring.FromPDT)
 		}
-	})
+	}); err != nil {
+		return nil, err
+	}
 	r := &scoring.Ranking{ViewSize: len(results)}
 	r.IDFs = scoring.IDFs(stats, len(kws))
 	top := scoring.NewTopK(opts.K)
 	var matched atomic.Int64
-	forEach(workers, len(chunks), func(c int) {
+	if err := forEach(ctx, workers, len(chunks), func(c int) {
 		for i := chunks[c][0]; i < chunks[c][1]; i++ {
 			if !scoring.Satisfies(stats[i].TFs, !opts.Disjunctive) {
 				continue
@@ -172,8 +198,10 @@ func (e *Engine) rank(results []*xmltree.Node, kws []string, opts Options, worke
 			matched.Add(1)
 			top.Push(scoring.Scored{Result: results[i], Stats: stats[i], Score: scoring.Score(stats[i], r.IDFs), Index: i})
 		}
-	})
+	}); err != nil {
+		return nil, err
+	}
 	r.Matched = int(matched.Load())
 	r.Results = top.Sorted()
-	return r
+	return r, nil
 }

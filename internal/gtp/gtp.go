@@ -17,6 +17,7 @@
 package gtp
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -46,16 +47,35 @@ type Stats struct {
 	IntermediatePairs int
 	ViewResults       int
 	Matched           int
+	// Candidates counts the documents the view's QPTs resolved to and
+	// ShardsSearched the corpus shards whose read locks the run held (all
+	// of them: the comparator brackets with Engine.RLock). Mirrors
+	// core.Stats so dashboards read comparator runs the same way.
+	Candidates     int
+	ShardsSearched int
 }
 
 // Total returns the end-to-end time.
 func (s *Stats) Total() time.Duration { return s.StructJoinTime + s.EvalTime + s.PostTime }
 
-// Search evaluates the ranked keyword query using GTP with TermJoin.
+// Search evaluates the ranked keyword query using GTP with TermJoin. It
+// never cancels; use SearchContext for deadlines and cancellation.
 func Search(e *core.Engine, v *core.View, keywords []string, opts core.Options) ([]core.Result, *Stats, error) {
+	return SearchContext(context.Background(), e, v, keywords, opts)
+}
+
+// SearchContext is Search with cooperative cancellation: ctx is checked
+// between per-document structural-join passes, between FLWOR bindings
+// during evaluation (through the evaluator) and between winners during
+// materialization, and the returned error wraps ctx.Err(). The engine read
+// locks are released before SearchContext returns.
+func SearchContext(ctx context.Context, e *core.Engine, v *core.View, keywords []string, opts core.Options) ([]core.Result, *Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, fmt.Errorf("gtp: search interrupted: %w", err)
+	}
 	e.RLock()
 	defer e.RUnlock()
-	stats := &Stats{}
+	stats := &Stats{ShardsSearched: e.Store.ShardCount()}
 	kws := normalizeKeywords(keywords)
 
 	start := time.Now()
@@ -65,6 +85,10 @@ func Search(e *core.Engine, v *core.View, keywords []string, opts core.Options) 
 		// matching document; the catalog resolves the pattern back to the
 		// pruned documents in corpus order.
 		for _, doc := range e.Store.DocsMatching(q.Doc) {
+			stats.Candidates++
+			if err := ctx.Err(); err != nil {
+				return nil, nil, fmt.Errorf("gtp: search interrupted: %w", err)
+			}
 			pix := e.PathIndex(doc.Name)
 			if pix == nil {
 				continue
@@ -80,6 +104,7 @@ func Search(e *core.Engine, v *core.View, keywords []string, opts core.Options) 
 	start = time.Now()
 	ev := xqeval.New(catalog, v.Funcs)
 	ev.HashJoin = !opts.DisableHashJoin
+	ev.SetContext(ctx)
 	items, err := ev.Eval(v.Expr, nil)
 	if err != nil {
 		return nil, nil, fmt.Errorf("gtp: evaluating view: %w", err)
@@ -98,6 +123,9 @@ func Search(e *core.Engine, v *core.View, keywords []string, opts core.Options) 
 	stats.Matched = ranking.Matched
 	out := make([]core.Result, 0, len(ranking.Results))
 	for i, sc := range ranking.Results {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, fmt.Errorf("gtp: search interrupted: %w", err)
+		}
 		elem := sc.Result
 		if !opts.SkipMaterialize {
 			elem = scoring.Materialize(sc.Result, e.Store)

@@ -3,20 +3,30 @@
 // requests safe, so the server adds synchronization only for its own named
 // view registry.
 //
-// Endpoints:
+// Endpoints (versioned under /v1; the unversioned paths are aliases kept
+// for compatibility):
 //
-//	POST /documents  {"name": "books.xml", "xml": "<books>...</books>"}
-//	POST /views      {"name": "recent", "xquery": "for $b in ..."}
-//	POST /search     {"view": "recent", "keywords": ["xml","search"],
-//	                  "top_k": 10, "disjunctive": false,
-//	                  "approach": "efficient", "cache": true}
-//	GET  /stats
+//	POST /v1/documents      {"name": "books.xml", "xml": "<books>...</books>"}
+//	POST /v1/views          {"name": "recent", "xquery": "for $b in ..."}
+//	POST /v1/search         {"view": "recent", "keywords": ["xml","search"],
+//	                         "top_k": 10, "offset": 0, "disjunctive": false,
+//	                         "approach": "efficient", "cache": true}
+//	POST /v1/search/stream  same request; responds with NDJSON, one result
+//	                        object per line, written as the pipeline yields
+//	                        each ranked winner (no /v1-less alias)
+//	GET  /v1/stats
 //
-// Malformed JSON or XQuery yields 400 with diagnostics, an unknown view
-// 404, a duplicate document or view name 409.
+// Every search runs under the request's context, so a client that
+// disconnects or times out cancels the pipeline mid-flight. Failures map
+// through the vxml error taxonomy: malformed JSON, XQuery (ParseError) or
+// options (ErrInvalidOptions) yield 400 with diagnostics, an unknown view
+// or document 404, a deadline 408, a duplicate document or view name 409,
+// and a canceled request 499 (the nginx convention for "client closed
+// request").
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -70,14 +80,50 @@ func (s *Server) viewCount() int {
 	return len(s.views)
 }
 
-// Handler returns the HTTP routing table.
+// Handler returns the HTTP routing table: the /v1 routes plus unversioned
+// aliases of the same handlers. Pre-versioning request and success-response
+// shapes are unchanged; error statuses follow the v1 taxonomy everywhere,
+// which deliberately moves two legacy behaviors: a view over an
+// unregistered document is now 404 (was 400), and a canceled or expired
+// request surfaces as 499/408 (previously the search always ran to
+// completion). The streaming endpoint exists only under /v1 (it never had
+// an unversioned ancestor).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /documents", s.handleAddDocument)
-	mux.HandleFunc("POST /views", s.handleDefineView)
-	mux.HandleFunc("POST /search", s.handleSearch)
-	mux.HandleFunc("GET /stats", s.handleStats)
+	for _, prefix := range []string{"", "/v1"} {
+		mux.HandleFunc("POST "+prefix+"/documents", s.handleAddDocument)
+		mux.HandleFunc("POST "+prefix+"/views", s.handleDefineView)
+		mux.HandleFunc("POST "+prefix+"/search", s.handleSearch)
+		mux.HandleFunc("GET "+prefix+"/stats", s.handleStats)
+	}
+	mux.HandleFunc("POST /v1/search/stream", s.handleSearchStream)
 	return mux
+}
+
+// statusClientClosedRequest is the de-facto (nginx) status for a request
+// whose client went away before the response; net/http has no name for it.
+const statusClientClosedRequest = 499
+
+// statusFor maps the vxml error taxonomy to HTTP statuses:
+// ErrInvalidOptions and ParseError to 400, ErrUnknownView and
+// ErrUnknownDocument to 404, context.DeadlineExceeded to 408,
+// ErrDuplicateDocument to 409, context.Canceled to 499, anything
+// unclassified to 500.
+func statusFor(err error) int {
+	var pe *vxml.ParseError
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusRequestTimeout
+	case errors.Is(err, context.Canceled):
+		return statusClientClosedRequest
+	case errors.Is(err, vxml.ErrUnknownView), errors.Is(err, vxml.ErrUnknownDocument):
+		return http.StatusNotFound
+	case errors.Is(err, vxml.ErrDuplicateDocument):
+		return http.StatusConflict
+	case errors.Is(err, vxml.ErrInvalidOptions), errors.As(err, &pe):
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
 }
 
 // errorBody is the JSON shape of every non-2xx response.
@@ -170,11 +216,17 @@ func (s *Server) handleDefineView(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, "view %q already defined", req.Name)
 		return
 	}
-	view, err := s.db.DefineView(req.XQuery)
+	view, err := s.db.DefineViewContext(r.Context(), req.XQuery)
 	if err != nil {
-		// Parse and compile diagnostics go to the caller: this is the
-		// malformed-XQuery → 400 path.
-		writeError(w, http.StatusBadRequest, "compiling view: %v", err)
+		// Parse and compile diagnostics go to the caller: a ParseError is
+		// the malformed-XQuery → 400 path, an unknown fn:doc reference →
+		// 404; any other compile rejection still means the client's query
+		// was unusable, so the fallback is 400, not 500.
+		status := statusFor(err)
+		if status == http.StatusInternalServerError {
+			status = http.StatusBadRequest
+		}
+		writeError(w, status, "compiling view: %v", err)
 		return
 	}
 	s.mu.Lock()
@@ -197,6 +249,10 @@ type searchRequest struct {
 	Disjunctive bool     `json:"disjunctive"`
 	Approach    string   `json:"approach"`
 	Cache       bool     `json:"cache"`
+	// Offset skips that many leading ranked results before top_k applies
+	// (pagination); rank numbers keep their absolute position, and pages
+	// of one query share a single cache entry.
+	Offset int `json:"offset"`
 	// Parallelism bounds the search's worker pool: 0 = GOMAXPROCS (the
 	// default), 1 = sequential. Results are identical at every setting.
 	Parallelism int `json:"parallelism"`
@@ -230,7 +286,8 @@ type searchResponse struct {
 	Stats   searchStats    `json:"stats"`
 }
 
-// parseApproach maps the wire name to the pipeline selector.
+// parseApproach maps the wire name to the pipeline selector; an unknown
+// name wraps vxml.ErrInvalidOptions (→ 400).
 func parseApproach(name string) (vxml.Approach, error) {
 	switch name {
 	case "", "efficient":
@@ -240,45 +297,64 @@ func parseApproach(name string) (vxml.Approach, error) {
 	case "gtp":
 		return vxml.GTPTermJoin, nil
 	}
-	return 0, fmt.Errorf("unknown approach %q (want efficient, baseline or gtp)", name)
+	return 0, fmt.Errorf("%w: unknown approach %q (want efficient, baseline or gtp)", vxml.ErrInvalidOptions, name)
 }
 
-func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+// resolveSearch decodes and validates a search request body against the
+// view registry, writing the error response itself when it returns ok =
+// false. The wire-level range checks reject instead of normalizing — an
+// HTTP client sending top_k: -1 is confused, and a 400 tells it so — while
+// library callers get normalization; both land on the same canonical
+// options.
+func (s *Server) resolveSearch(w http.ResponseWriter, r *http.Request) (*vxml.View, *vxml.Options, []string, bool) {
 	var req searchRequest
 	if !decodeBody(w, r, &req) {
-		return
+		return nil, nil, nil, false
 	}
 	if len(req.Keywords) == 0 {
 		writeError(w, http.StatusBadRequest, "keywords are required")
-		return
+		return nil, nil, nil, false
 	}
 	if req.TopK < 0 {
 		writeError(w, http.StatusBadRequest, "top_k must be >= 0 (0 returns all results), got %d", req.TopK)
-		return
+		return nil, nil, nil, false
+	}
+	if req.Offset < 0 {
+		writeError(w, http.StatusBadRequest, "offset must be >= 0, got %d", req.Offset)
+		return nil, nil, nil, false
 	}
 	if req.Parallelism < 0 {
 		writeError(w, http.StatusBadRequest, "parallelism must be >= 0 (0 uses all CPUs, 1 is sequential), got %d", req.Parallelism)
-		return
+		return nil, nil, nil, false
 	}
 	view := s.view(req.View)
 	if view == nil {
-		writeError(w, http.StatusNotFound, "unknown view %q", req.View)
-		return
+		writeError(w, statusFor(vxml.ErrUnknownView), "unknown view %q", req.View)
+		return nil, nil, nil, false
 	}
 	approach, err := parseApproach(req.Approach)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
+		writeError(w, statusFor(err), "%v", err)
+		return nil, nil, nil, false
 	}
-	results, stats, err := s.db.Search(view, req.Keywords, &vxml.Options{
+	return view, &vxml.Options{
 		TopK:        req.TopK,
+		Offset:      req.Offset,
 		Disjunctive: req.Disjunctive,
 		Approach:    approach,
 		Cache:       req.Cache,
 		Parallelism: req.Parallelism,
-	})
+	}, req.Keywords, true
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	view, opts, keywords, ok := s.resolveSearch(w, r)
+	if !ok {
+		return
+	}
+	results, stats, err := s.db.SearchContext(r.Context(), view, keywords, opts)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "search: %v", err)
+		writeError(w, statusFor(err), "search: %v", err)
 		return
 	}
 	resp := searchResponse{
@@ -299,10 +375,78 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		},
 	}
 	for i, res := range results {
-		resp.Results[i] = searchResult{Rank: res.Rank, Score: res.Score, TF: res.TF, XML: res.XML, Snippet: res.Snippet}
+		resp.Results[i] = wireResult(res)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
+
+// wireResult converts one search result to its wire shape (shared by the
+// one-shot and streaming search responses, which must agree byte-for-byte
+// per result).
+func wireResult(res vxml.Result) searchResult {
+	return searchResult{Rank: res.Rank, Score: res.Score, TF: res.TF, XML: res.XML, Snippet: res.Snippet}
+}
+
+// handleSearchStream is POST /v1/search/stream: the same request body as
+// /v1/search, answered as NDJSON (application/x-ndjson) with one result
+// object per line, written and flushed as the pipeline yields each ranked
+// winner — the paper's deferred materialization extended over the wire. A
+// failure before the first result is an ordinary JSON error response with
+// the taxonomy status; a failure mid-stream (the headers are long gone) is
+// delivered in-band as a final {"error": ...} line, so a client can
+// distinguish a complete stream from a truncated one. A client disconnect
+// cancels the request context and with it the pipeline.
+func (s *Server) handleSearchStream(w http.ResponseWriter, r *http.Request) {
+	view, opts, keywords, ok := s.resolveSearch(w, r)
+	if !ok {
+		return
+	}
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	// The server's global WriteTimeout is one absolute deadline for the
+	// whole response — fine for one-shot JSON, fatal for a long stream.
+	// Roll the write deadline forward per line instead: a healthy stream
+	// of any length survives, a stalled client still trips it.
+	rc := http.NewResponseController(w)
+	extendDeadline := func() {
+		rc.SetWriteDeadline(time.Now().Add(streamWriteGrace)) //nolint:errcheck
+	}
+	started := false
+	start := func() {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		started = true
+	}
+	for res, err := range s.db.Results(r.Context(), view, keywords, opts) {
+		if err != nil {
+			if !started {
+				writeError(w, statusFor(err), "search: %v", err)
+				return
+			}
+			extendDeadline()
+			enc.Encode(errorBody{Error: err.Error()}) //nolint:errcheck
+			return
+		}
+		if !started {
+			start()
+		}
+		extendDeadline()
+		if err := enc.Encode(wireResult(res)); err != nil {
+			return // client went away; the ranged loop is not resumed
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	// An empty result set is still a successful, empty stream.
+	if !started {
+		start()
+	}
+}
+
+// streamWriteGrace is how long one NDJSON line may take to reach the
+// client before the stream's rolling write deadline kills the connection.
+const streamWriteGrace = 60 * time.Second
 
 type statsResponse struct {
 	Documents  []string    `json:"documents"`

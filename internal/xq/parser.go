@@ -232,9 +232,25 @@ type parser struct {
 	funcs map[string]*FuncDecl
 }
 
+// ParseError reports a syntax error with the byte offset it was detected
+// at, so callers (e.g. an HTTP API) can surface machine-readable
+// diagnostics instead of matching message strings. Retrieve it with
+// errors.As.
+type ParseError struct {
+	// Pos is the byte offset into the query text where parsing failed.
+	Pos int
+	// Msg describes what the parser expected or found.
+	Msg string
+}
+
+// Error renders the historical message format ("xq: parse error at offset
+// N: msg").
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("xq: parse error at offset %d: %s", e.Pos, e.Msg)
+}
+
 func (p *parser) errf(format string, args ...any) error {
-	return fmt.Errorf("xq: parse error at offset %d: %s",
-		p.lex.peek(0).pos, fmt.Sprintf(format, args...))
+	return &ParseError{Pos: p.lex.peek(0).pos, Msg: fmt.Sprintf(format, args...)}
 }
 
 func (p *parser) expect(kind tokenKind, what string) (token, error) {

@@ -201,6 +201,9 @@ func (e *Evaluator) evalClauses(x *xq.FLWORExpr, idx int, en *env) ([]Item, erro
 	}
 	var out []Item
 	for _, item := range seq {
+		if err := e.ctxErr(); err != nil {
+			return nil, err
+		}
 		v, err := e.evalClauses(x, idx+1, en.bind(cl.Var, []Item{item}))
 		if err != nil {
 			return nil, err
@@ -239,6 +242,9 @@ func (e *Evaluator) tryHashJoin(x *xq.FLWORExpr, cl xq.ForLetClause, en *env) ([
 		}
 		ji = &joinIndex{items: seq, byKey: map[string][]int{}, keyExpr: keyExpr}
 		for i, item := range seq {
+			if err := e.ctxErr(); err != nil {
+				return nil, true, err
+			}
 			keys, err := e.Eval(keyExpr, (*env)(nil).bind(cl.Var, []Item{item}))
 			if err != nil {
 				return nil, true, err
@@ -272,6 +278,9 @@ func (e *Evaluator) tryHashJoin(x *xq.FLWORExpr, cl xq.ForLetClause, en *env) ([
 	sortInts(order)
 	var out []Item
 	for _, i := range order {
+		if err := e.ctxErr(); err != nil {
+			return nil, true, err
+		}
 		v, err := e.Eval(x.Return, en.bind(cl.Var, []Item{ji.items[i]}))
 		if err != nil {
 			return nil, true, err

@@ -13,6 +13,7 @@
 package xqeval
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -77,6 +78,7 @@ type Evaluator struct {
 	// JoinProbes counts hash-join probes for diagnostics.
 	JoinProbes int
 
+	ctx       context.Context
 	joinCache map[*xq.FLWORExpr]*joinIndex
 	docNodes  map[*xmltree.Document]*xmltree.Node
 	callDepth int
@@ -101,6 +103,22 @@ func (e *Evaluator) EvalQuery(q *xq.Query) ([]Item, error) {
 	e.funcs = q.Functions
 	e.joinCache = map[*xq.FLWORExpr]*joinIndex{}
 	return e.Eval(q.Body, nil)
+}
+
+// SetContext arms cooperative cancellation: subsequent evaluation checks
+// ctx between FLWOR bindings, filter items and hash-join build steps — the
+// loops whose trip counts grow with the corpus — and unwinds with ctx.Err()
+// (context.Canceled or context.DeadlineExceeded) at the first failed check.
+// A nil ctx (the default) disables the checks. The evaluator is
+// single-threaded, so SetContext must not race with Eval.
+func (e *Evaluator) SetContext(ctx context.Context) { e.ctx = ctx }
+
+// ctxErr reports the armed context's error, nil when no context is set.
+func (e *Evaluator) ctxErr() error {
+	if e.ctx == nil {
+		return nil
+	}
+	return e.ctx.Err()
 }
 
 // docNode returns the cached document node for doc: a "#document" wrapper
@@ -192,6 +210,9 @@ func (e *Evaluator) Eval(expr xq.Expr, en *env) ([]Item, error) {
 		}
 		var out []Item
 		for _, item := range base {
+			if err := e.ctxErr(); err != nil {
+				return nil, err
+			}
 			ok, err := e.evalBool(x.Pred, en.bind(".", []Item{item}))
 			if err != nil {
 				return nil, err

@@ -89,6 +89,7 @@
 package vxml
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -99,10 +100,6 @@ import (
 	"vxml/internal/store"
 	"vxml/internal/xq"
 )
-
-// ErrDuplicateDocument reports an Add under an already-registered document
-// name (compare with errors.Is).
-var ErrDuplicateDocument = store.ErrDuplicateName
 
 // Database is a collection of XML documents with the indices required for
 // keyword search over virtual views. It is safe for concurrent use; see the
@@ -184,8 +181,21 @@ func (v *View) Definition() string { return v.inner.Text }
 
 // DefineView compiles a view definition: an XQuery expression in the
 // supported grammar (FLWOR, child/descendant paths, leaf-value predicates,
-// element constructors, non-recursive functions).
+// element constructors, non-recursive functions). Malformed input returns
+// a wrapped *ParseError; a reference to an absent document returns a
+// wrapped ErrUnknownDocument.
 func (db *Database) DefineView(xquery string) (*View, error) {
+	return db.DefineViewContext(context.Background(), xquery)
+}
+
+// DefineViewContext is DefineView with a cancellation pre-flight: a
+// compile against an already-canceled or expired ctx returns its wrapped
+// ctx.Err() without parsing. (QPT generation is CPU-bound and brief; it is
+// not interrupted mid-way.)
+func (db *Database) DefineViewContext(ctx context.Context, xquery string) (*View, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("vxml: define view interrupted: %w", err)
+	}
 	v, err := db.engine.CompileView(xquery)
 	if err != nil {
 		return nil, err
@@ -194,10 +204,26 @@ func (db *Database) DefineView(xquery string) (*View, error) {
 }
 
 // Options configure a search. The zero value means conjunctive semantics
-// and all matching results.
+// and all matching results. Out-of-range numeric fields are normalized,
+// never rejected: negative TopK and Offset mean 0, negative Parallelism
+// means 1 (the sequential path, matching the engine's reading) — so no
+// Options value can construct an invalid pool size or a spurious extra
+// cache key.
 type Options struct {
 	// TopK limits the number of returned results (0 = all matches).
 	TopK int
+	// Offset skips that many leading ranked results before TopK applies,
+	// for pagination: page p is Offset p*TopK. Rank numbers keep their
+	// absolute position in the full ranking, so concatenated pages are
+	// byte-identical to one unpaged (TopK = 0) search. Uncached, a page
+	// costs a top-(Offset+TopK) ranking and materializes only the
+	// window — the skipped prefix is never fetched from base data. With
+	// Cache set, a page with Offset > 0 computes and
+	// caches the full ranking under the unpaged TopK=0 key instead, so
+	// every later page of the same query (and any unpaged TopK=0 search
+	// of it) is sliced from that one shared entry; the first page
+	// (Offset 0) is an ordinary top-k search with its own entry.
+	Offset int
 	// Disjunctive matches any keyword instead of all keywords.
 	Disjunctive bool
 	// Parallelism bounds the worker pool the Efficient pipeline fans
@@ -280,9 +306,49 @@ type cachedSearch struct {
 
 // Search evaluates a ranked keyword query over the view. Keywords are
 // case-insensitive. A nil opts means conjunctive semantics, all results,
-// Efficient pipeline, no caching.
+// Efficient pipeline, no caching. Search never cancels; use SearchContext
+// for deadlines and cancellation, or Results for incremental delivery.
 func (db *Database) Search(v *View, keywords []string, opts *Options) ([]Result, *Stats, error) {
+	return db.SearchContext(context.Background(), v, keywords, opts)
+}
+
+// SearchContext is Search with cooperative cancellation: ctx is checked
+// between work units in every phase (candidate documents, FLWOR bindings,
+// scored results, materialized winners), so a cancel or deadline returns a
+// wrapped ctx.Err() — classify with errors.Is(err, context.Canceled) or
+// context.DeadlineExceeded — within one unit, with all shard read locks
+// released and no pool goroutine left behind. A canceled search inserts
+// nothing into the query-result cache — and a warm cache never masks a
+// cancellation: the pre-flight below runs before the cache lookup, so a
+// dead ctx fails identically whether the entry is resident or not.
+func (db *Database) SearchContext(ctx context.Context, v *View, keywords []string, opts *Options) ([]Result, *Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, fmt.Errorf("vxml: search interrupted: %w", err)
+	}
 	opts = normalizeOptions(opts)
+	if opts.Offset > 0 {
+		// A page is a window of a deeper ranking; rank numbers stay
+		// absolute either way. With the cache on, recurse as the unpaged
+		// TopK=0 search, so every subsequent page of the query is sliced
+		// from that one shared cached entry rather than each burning an
+		// LRU slot. Uncached, rank only the top Offset+TopK and hand the
+		// offset down so the skipped prefix is never even materialized.
+		if opts.Cache {
+			full := *opts
+			full.Offset, full.TopK = 0, 0
+			results, stats, err := db.SearchContext(ctx, v, keywords, &full)
+			if err != nil {
+				return nil, nil, err
+			}
+			return pageSlice(results, opts.Offset, opts.TopK), stats, nil
+		}
+		window := *opts
+		window.Offset = 0
+		if opts.TopK > 0 {
+			window.TopK = opts.Offset + opts.TopK
+		}
+		return db.searchUncached(ctx, v, keywords, &window, opts.Offset)
+	}
 	// No lock spans the lookup-compute-insert sequence; instead the
 	// generation is read before computing and the insert is discarded if
 	// an Add bumped it in between (qcache.PutAt), so a result computed
@@ -302,7 +368,7 @@ func (db *Database) Search(v *View, keywords []string, opts *Options) ([]Result,
 			return remapTF(hit.results, keywords), &stats, nil
 		}
 	}
-	out, stats, err := db.searchUncached(v, keywords, opts)
+	out, stats, err := db.searchUncached(ctx, v, keywords, opts, 0)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -314,18 +380,39 @@ func (db *Database) Search(v *View, keywords []string, opts *Options) ([]Result,
 }
 
 // normalizeOptions maps a nil or out-of-range Options to its canonical
-// form. Every negative TopK means the same thing as 0 (all results), so
-// normalizing before the cache key is built keeps them one cache entry.
+// form. Every negative TopK or Offset means the same thing as 0, and every
+// negative Parallelism the same thing as 1 (the sequential path — exactly
+// how core.Options reads it); normalizing before the cache key is built
+// keeps each family one cache entry, and library callers can never hand
+// the engine an out-of-range value the HTTP layer would have rejected.
 func normalizeOptions(opts *Options) *Options {
 	if opts == nil {
 		return &Options{}
 	}
-	if opts.TopK < 0 {
+	if opts.TopK < 0 || opts.Offset < 0 || opts.Parallelism < 0 {
 		o := *opts
-		o.TopK = 0
+		o.TopK = max(o.TopK, 0)
+		o.Offset = max(o.Offset, 0)
+		if o.Parallelism < 0 {
+			o.Parallelism = 1
+		}
 		return &o
 	}
 	return opts
+}
+
+// pageSlice cuts the [offset, offset+k) window out of the full ranked
+// result list (k = 0: everything from offset on). The slice aliases the
+// input, which the caller owns.
+func pageSlice(results []Result, offset, k int) []Result {
+	if offset >= len(results) {
+		return nil
+	}
+	page := results[offset:]
+	if k > 0 && k < len(page) {
+		page = page[:k]
+	}
+	return page
 }
 
 // resultsFootprint approximates the resident bytes of a cached entry for
@@ -342,8 +429,12 @@ func resultsFootprint(in []Result) int {
 	return n
 }
 
-// searchUncached runs the full pipeline; the engine takes its own read lock.
-func (db *Database) searchUncached(v *View, keywords []string, opts *Options) ([]Result, *Stats, error) {
+// searchUncached runs the full pipeline; the engine takes its own read
+// lock. pageOffset > 0 returns only the ranked winners from that position
+// on (ranks stay absolute): the Efficient engine skips the prefix before
+// materializing it, while the comparators — which materialize as part of
+// their cost model — slice afterwards.
+func (db *Database) searchUncached(ctx context.Context, v *View, keywords []string, opts *Options, pageOffset int) ([]Result, *Stats, error) {
 	copts := core.Options{K: opts.TopK, Disjunctive: opts.Disjunctive, Parallelism: opts.Parallelism}
 	var (
 		results []core.Result
@@ -353,7 +444,8 @@ func (db *Database) searchUncached(v *View, keywords []string, opts *Options) ([
 	switch opts.Approach {
 	case Efficient:
 		var cs *core.Stats
-		results, cs, err = db.engine.Search(v.inner, keywords, copts)
+		results, cs, err = db.engine.SearchPage(ctx, v.inner, keywords, copts, pageOffset)
+		pageOffset = 0 // the engine already skipped the prefix
 		if err == nil {
 			stats.PDTTime, stats.EvalTime, stats.PostTime = cs.PDTTime, cs.EvalTime, cs.PostTime
 			stats.Total = cs.Total()
@@ -367,17 +459,19 @@ func (db *Database) searchUncached(v *View, keywords []string, opts *Options) ([
 		}
 	case Baseline:
 		var bs *baseline.Stats
-		results, bs, err = baseline.Search(db.engine, v.inner, keywords, copts)
+		results, bs, err = baseline.SearchContext(ctx, db.engine, v.inner, keywords, copts)
 		if err == nil {
 			stats.EvalTime = bs.MaterializeTime
 			stats.PostTime = bs.SearchTime
 			stats.Total = bs.Total()
 			stats.ViewSize = bs.ViewResults
 			stats.Matched = bs.Matched
+			stats.Candidates = bs.Candidates
+			stats.ShardsSearched = bs.ShardsSearched
 		}
 	case GTPTermJoin:
 		var gs *gtp.Stats
-		results, gs, err = gtp.Search(db.engine, v.inner, keywords, copts)
+		results, gs, err = gtp.SearchContext(ctx, db.engine, v.inner, keywords, copts)
 		if err == nil {
 			stats.PDTTime = gs.StructJoinTime
 			stats.EvalTime = gs.EvalTime
@@ -385,24 +479,35 @@ func (db *Database) searchUncached(v *View, keywords []string, opts *Options) ([
 			stats.Total = gs.Total()
 			stats.ViewSize = gs.ViewResults
 			stats.Matched = gs.Matched
+			stats.Candidates = gs.Candidates
+			stats.ShardsSearched = gs.ShardsSearched
 		}
 	default:
-		return nil, nil, fmt.Errorf("vxml: unknown approach %d", opts.Approach)
+		return nil, nil, fmt.Errorf("%w: unknown approach %d", ErrInvalidOptions, opts.Approach)
 	}
 	if err != nil {
 		return nil, nil, err
 	}
 	out := make([]Result, len(results))
 	for i, r := range results {
-		tf := map[string]int{}
-		for j, k := range keywords {
-			if j < len(r.TFs) {
-				tf[k] = r.TFs[j]
-			}
-		}
-		out[i] = Result{Rank: r.Rank, Score: r.Score, TF: tf, XML: r.Element.XMLString(""), Snippet: r.Snippet}
+		out[i] = toResult(r, keywords)
+	}
+	if pageOffset > 0 {
+		out = pageSlice(out, pageOffset, 0)
 	}
 	return out, stats, nil
+}
+
+// toResult converts one engine result into the caller-facing form, keying
+// the TF map by the caller's own keyword spellings.
+func toResult(r core.Result, keywords []string) Result {
+	tf := map[string]int{}
+	for j, k := range keywords {
+		if j < len(r.TFs) {
+			tf[k] = r.TFs[j]
+		}
+	}
+	return Result{Rank: r.Rank, Score: r.Score, TF: tf, XML: r.Element.XMLString(""), Snippet: r.Snippet}
 }
 
 // storedResults deep-copies a result slice for insertion into the cache,
@@ -459,9 +564,24 @@ func (db *Database) Explain(v *View, keywords []string) string {
 	return db.engine.Explain(v.inner, keywords)
 }
 
+// ExplainContext is Explain with a cancellation pre-flight: plan rendering
+// is brief, so one ctx check before taking the read locks is the whole
+// cooperation, returning a wrapped ctx.Err() when it fails.
+func (db *Database) ExplainContext(ctx context.Context, v *View, keywords []string) (string, error) {
+	return db.engine.ExplainContext(ctx, v.inner, keywords)
+}
+
 // Query runs a complete Figure-2 style keyword query: a let-bound view
 // followed by `for $r in $view where $r ftcontains('k1' & 'k2') return $r`.
+// Query never cancels; use QueryContext for deadlines and cancellation.
 func (db *Database) Query(fullQuery string, opts *Options) ([]Result, *Stats, error) {
+	return db.QueryContext(context.Background(), fullQuery, opts)
+}
+
+// QueryContext is Query with cooperative cancellation, propagated through
+// the inner search exactly as in SearchContext; the returned error wraps
+// ctx.Err(), and a canceled query inserts nothing into the cache.
+func (db *Database) QueryContext(ctx context.Context, fullQuery string, opts *Options) ([]Result, *Stats, error) {
 	opts = normalizeOptions(opts)
 	// The keywords and the conjunctive/disjunctive flag are part of the
 	// query text itself, so the cache is consulted on the verbatim text
@@ -469,11 +589,15 @@ func (db *Database) Query(fullQuery string, opts *Options) ([]Result, *Stats, er
 	// generation (which grows with the corpus's path dictionary), not
 	// just evaluation. Entries here store the final caller-facing
 	// results, already keyed by the query's own keyword forms.
+	if err := ctx.Err(); err != nil {
+		return nil, nil, fmt.Errorf("vxml: query interrupted: %w", err)
+	}
 	var key string
 	var gen int
 	if opts.Cache {
 		key = qcache.Key("query:"+fullQuery, nil,
 			qcache.IntPart(opts.TopK),
+			qcache.IntPart(opts.Offset),
 			qcache.IntPart(int(opts.Approach)))
 		gen = db.cache.Gen()
 		if val, ok := db.cache.Get(key); ok {
@@ -501,7 +625,7 @@ func (db *Database) Query(fullQuery string, opts *Options) ([]Result, *Stats, er
 	// caller can reach the inner Search with this synthetic view; leaving
 	// Search's own caching on would just burn a second LRU slot per query.
 	effective.Cache = false
-	out, stats, err := db.Search(&View{inner: v}, kq.Keywords, &effective)
+	out, stats, err := db.SearchContext(ctx, &View{inner: v}, kq.Keywords, &effective)
 	if err != nil {
 		return nil, nil, err
 	}
