@@ -11,6 +11,10 @@
 // -stream prints each result as the pipeline yields it (winners are
 // materialized one at a time, so output starts before the search "ends").
 //
+// After loading, -replace name=file swaps a document's content and -delete
+// name removes one, so a search can be run against a mutated corpus (views
+// are virtual: results always reflect the corpus as mutated).
+//
 // Examples:
 //
 //	vxmlsearch -doc books.xml -doc reviews.xml -viewfile view.xq -q "xml,search"
@@ -18,6 +22,8 @@
 //	vxmlsearch -demo -q "xml,search"       # built-in books & reviews demo
 //	vxmlsearch -demo -q "xml" -k 5 -offset 5    # the second page of five
 //	vxmlsearch -demo -q "xml" -stream -timeout 2s
+//	vxmlsearch -doc books.xml -replace books.xml=newbooks.xml -view ... -q xml
+//	vxmlsearch -demo -delete reviews.xml -q "xml,search"
 package main
 
 import (
@@ -41,8 +47,10 @@ func (s *stringList) String() string     { return strings.Join(*s, ",") }
 func (s *stringList) Set(v string) error { *s = append(*s, v); return nil }
 
 func main() {
-	var docs stringList
+	var docs, replacements, deletions stringList
 	flag.Var(&docs, "doc", "XML document file to load (repeatable); referenced in views by base name")
+	flag.Var(&replacements, "replace", "after loading, replace document name with the file's content, as name=file (repeatable)")
+	flag.Var(&deletions, "delete", "after loading (and any -replace), delete the named document (repeatable)")
 	viewText := flag.String("view", "", "view definition (XQuery text)")
 	viewFile := flag.String("viewfile", "", "file containing the view definition")
 	queryText := flag.String("query", "", "complete keyword query (Figure-2 style)")
@@ -87,6 +95,24 @@ func main() {
 	}
 	if len(db.DocumentNames()) == 0 {
 		fatalf("no documents loaded; use -doc or -demo")
+	}
+	for _, spec := range replacements {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok || name == "" || path == "" {
+			fatalf("bad -replace %q; want name=file", spec)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fatalf("reading %s: %v", path, err)
+		}
+		if err := db.Replace(name, string(data)); err != nil {
+			fatalf("replacing %s: %v", name, err)
+		}
+	}
+	for _, name := range deletions {
+		if err := db.Delete(name); err != nil {
+			fatalf("deleting %s: %v", name, err)
+		}
 	}
 
 	opts := &vxml.Options{TopK: *topK, Offset: *offset, Disjunctive: *disjunctive, Parallelism: *parallel}

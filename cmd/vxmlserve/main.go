@@ -3,8 +3,10 @@
 //
 // Documents given with -doc are loaded at startup; -demo loads a generated
 // books & reviews corpus and registers a "demo" view over it. Further
-// documents and views arrive over POST /v1/documents and POST /v1/views
-// (the unversioned paths are aliases). Every search runs under its
+// documents and views arrive over POST /v1/documents and POST /v1/views,
+// and the corpus mutates in place over PUT /v1/documents/{name} (replace)
+// and DELETE /v1/documents/{name} (the unversioned paths are aliases);
+// -readonly disables all three mutation routes. Every search runs under its
 // request's context — a disconnected or timed-out client cancels the
 // pipeline — and POST /v1/search/stream delivers results as NDJSON lines
 // the moment each ranked winner is materialized. The process drains
@@ -59,6 +61,7 @@ func main() {
 	flag.Var(&docs, "doc", "XML document file to load at startup (repeatable); referenced in views by base name")
 	addr := flag.String("addr", ":8344", "listen address")
 	demo := flag.Bool("demo", false, "load a generated books/reviews corpus and register a 'demo' view")
+	readonly := flag.Bool("readonly", false, "disable the corpus-mutating routes (POST/PUT/DELETE under /documents answer 403)")
 	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second, "maximum time to drain in-flight requests on shutdown")
 	flag.Parse()
 
@@ -79,6 +82,7 @@ func main() {
 	}
 
 	srv := server.New(db)
+	srv.SetReadOnly(*readonly)
 	if *demo {
 		if err := srv.DefineView("demo", demoView); err != nil {
 			log.Fatalf("registering demo view: %v", err)

@@ -164,6 +164,57 @@ func (e *Engine) AddParsed(doc *xmltree.Document) {
 	sh.path[doc.Name], sh.inv[doc.Name] = pix, iix
 }
 
+// ReplaceXML parses, indexes and atomically swaps the document registered
+// under name: one shard write lock covers unregistering the old document's
+// indices and publishing the replacement's store entry and indices, so a
+// concurrent search sees entirely the old document or entirely the new one.
+// The replacement carries a fresh document ID — it is a new document in
+// global document order; only the name is stable — so collection views
+// enumerate it at its new position. Replacing an unregistered name returns
+// an error wrapping ErrUnknownDocument. Like AddXML, parsing and index
+// construction run outside the lock.
+func (e *Engine) ReplaceXML(name, xmlText string) error {
+	if e.Store.Doc(name) == nil {
+		return fmt.Errorf("core: replace: %w %q", ErrUnknownDocument, name)
+	}
+	doc, err := xmltree.ParseString(xmlText, name, e.Store.ReserveID())
+	if err != nil {
+		return err
+	}
+	pix, iix := buildIndices(doc)
+	sh := e.shards[e.Store.ShardOf(name)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if err := e.Store.ReplaceParsed(doc); err != nil {
+		if errors.Is(err, store.ErrUnknownName) {
+			return fmt.Errorf("core: replace: %w %q", ErrUnknownDocument, name)
+		}
+		return err
+	}
+	sh.path[name], sh.inv[name] = pix, iix
+	return nil
+}
+
+// Delete unregisters the named document and drops its path and inverted
+// indices under the home shard's write lock. Searches planned afterwards
+// cannot see the document; searches already past planning keep materializing
+// its subtrees through the store's tombstones (see store.Store.Delete).
+// Deleting an unregistered name returns an error wrapping ErrUnknownDocument.
+func (e *Engine) Delete(name string) error {
+	sh := e.shards[e.Store.ShardOf(name)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if err := e.Store.Delete(name); err != nil {
+		if errors.Is(err, store.ErrUnknownName) {
+			return fmt.Errorf("core: delete: %w %q", ErrUnknownDocument, name)
+		}
+		return err
+	}
+	delete(sh.path, name)
+	delete(sh.inv, name)
+	return nil
+}
+
 // buildIndices builds both indices for doc. Ingest paths call it before
 // taking the write lock (the document is private until published) and
 // assign the results under it; New calls it during single-threaded
@@ -443,6 +494,11 @@ func (e *Engine) SearchContext(ctx context.Context, v *View, keywords []string, 
 // the ranking. Callers paging uncached results combine it with
 // Options.K = offset + page size.
 func (e *Engine) SearchPage(ctx context.Context, v *View, keywords []string, opts Options, offset int) ([]Result, *Stats, error) {
+	// Pin before planning: materialization below runs after the shard read
+	// locks are released, and the pin keeps a concurrently replaced or
+	// deleted document's subtrees resolvable until this search is done.
+	e.Store.Pin()
+	defer e.Store.Unpin()
 	ranked, kws, stats, err := e.rankedSearch(ctx, v, keywords, opts)
 	if err != nil {
 		return nil, nil, err

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"vxml/internal/store"
+)
+
+// partXML builds a document whose <extra> child is invisible to the view
+// and the keywords, so it reaches a result only through base-data
+// materialization — which makes torn or tombstone-broken materialization
+// observable as a missing marker.
+func partXML(marker string) string {
+	return fmt.Sprintf("<part><t>needle text</t><extra>%s</extra></part>", marker)
+}
+
+const partView = `for $p in fn:collection("part-*")/part return $p`
+
+func TestReplaceAndDeleteVisibleToSearch(t *testing.T) {
+	e := emptyEngine()
+	for i := 0; i < 3; i++ {
+		if err := e.AddXML(fmt.Sprintf("part-%d.xml", i), partXML(fmt.Sprintf("orig-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, err := e.CompileView(partView)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, _, err := e.Search(v, []string{"needle"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results = %d, want 3", len(results))
+	}
+
+	if err := e.ReplaceXML("part-1.xml", partXML("revised-1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Delete("part-2.xml"); err != nil {
+		t.Fatal(err)
+	}
+	results, _, err = e.Search(v, []string{"needle"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("after mutation: results = %d, want 2", len(results))
+	}
+	all := results[0].Element.XMLString("") + results[1].Element.XMLString("")
+	if !strings.Contains(all, "revised-1") || strings.Contains(all, "orig-1") {
+		t.Errorf("replacement not visible: %s", all)
+	}
+	if strings.Contains(all, "orig-2") {
+		t.Errorf("deleted document still in results: %s", all)
+	}
+	// The replaced document got a fresh ID, so the collection enumerates
+	// it after the older survivor: part-0 first, then part-1's replacement.
+	if first := results[0].Element.XMLString(""); !strings.Contains(first, "orig-0") {
+		t.Errorf("collection order after replace: first result = %s", first)
+	}
+
+	if err := e.ReplaceXML("part-2.xml", partXML("x")); err == nil {
+		t.Error("replace of a deleted name should fail")
+	}
+	if err := e.Delete("part-2.xml"); err == nil {
+		t.Error("double delete should fail")
+	}
+}
+
+// TestStreamSurvivesMutationMidConsumption pins the tombstone contract:
+// a streaming search that planned before a mutation keeps materializing
+// the old subtrees for every winner it yields afterwards, while the next
+// search sees only the mutated corpus.
+func TestStreamSurvivesMutationMidConsumption(t *testing.T) {
+	e := emptyEngine()
+	for i := 0; i < 4; i++ {
+		if err := e.AddXML(fmt.Sprintf("part-%d.xml", i), partXML(fmt.Sprintf("orig-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, err := e.CompileView(partView)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	mutated := false
+	for r, err := range e.ResultsSeq(context.Background(), v, []string{"needle"}, Options{}, 0) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, r.Element.XMLString(""))
+		if !mutated {
+			// Mutate documents the stream has not yielded yet.
+			if err := e.Delete("part-2.xml"); err != nil {
+				t.Fatal(err)
+			}
+			if err := e.ReplaceXML("part-3.xml", partXML("revised-3")); err != nil {
+				t.Fatal(err)
+			}
+			mutated = true
+		}
+	}
+	if len(got) != 4 {
+		t.Fatalf("stream yielded %d results, want 4 (planned pre-mutation)", len(got))
+	}
+	for i, xml := range got {
+		want := fmt.Sprintf("orig-%d", i)
+		if !strings.Contains(xml, want) {
+			t.Errorf("result %d lost its pre-mutation subtree: %s", i, xml)
+		}
+	}
+	// The stream is done; its pin is released and the tombstones swept.
+	if n := e.Store.Tombstones(); n != 0 {
+		t.Errorf("tombstones after stream end = %d, want 0", n)
+	}
+	// A fresh search sees the mutated corpus only.
+	results, _, err := e.Search(v, []string{"needle"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("post-mutation results = %d, want 3", len(results))
+	}
+	all := ""
+	for _, r := range results {
+		all += r.Element.XMLString("")
+	}
+	if strings.Contains(all, "orig-2") || strings.Contains(all, "orig-3") || !strings.Contains(all, "revised-3") {
+		t.Errorf("post-mutation corpus wrong: %s", all)
+	}
+}
+
+// TestConcurrentSearchAndMutate hammers searches against a mutator that
+// flips a document between two generations and periodically deletes and
+// re-adds another. Every returned result must be fully materialized from
+// exactly one generation — a result missing its <extra> marker means a
+// winner materialized against a swept tombstone (or a torn swap). Run
+// under -race.
+func TestConcurrentSearchAndMutate(t *testing.T) {
+	e := New(store.NewSharded(4))
+	if err := e.AddXML("part-a.xml", partXML("gen-a-0")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddXML("part-b.xml", partXML("stable-b")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := e.CompileView(partView)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		searchers         = 4
+		searchesPerWorker = 60
+		flips             = 120
+	)
+	var wg sync.WaitGroup
+	errCh := make(chan error, searchers+2)
+
+	wg.Add(1)
+	go func() { // replacer: part-a alternates generations
+		defer wg.Done()
+		for i := 1; i <= flips; i++ {
+			if err := e.ReplaceXML("part-a.xml", partXML(fmt.Sprintf("gen-a-%d", i))); err != nil {
+				errCh <- fmt.Errorf("replace: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() { // churner: part-c appears and disappears
+		defer wg.Done()
+		for i := 0; i < flips/2; i++ {
+			if err := e.AddXML("part-c.xml", partXML("churn-c")); err != nil {
+				errCh <- fmt.Errorf("churn add: %v", err)
+				return
+			}
+			if err := e.Delete("part-c.xml"); err != nil {
+				errCh <- fmt.Errorf("churn delete: %v", err)
+				return
+			}
+		}
+	}()
+	for g := 0; g < searchers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			opts := Options{Parallelism: 1 + g%2} // sequential and pooled searchers
+			for i := 0; i < searchesPerWorker; i++ {
+				results, _, err := e.Search(v, []string{"needle"}, opts)
+				if err != nil {
+					errCh <- fmt.Errorf("searcher %d: %v", g, err)
+					return
+				}
+				for _, r := range results {
+					xml := r.Element.XMLString("")
+					if !strings.Contains(xml, "<extra>") {
+						errCh <- fmt.Errorf("searcher %d: winner lost its base subtree: %s", g, xml)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	// Quiesced: every retired generation must be sweepable — one pinless
+	// probe (Pin+Unpin) forces the final sweep.
+	e.Store.Pin()
+	e.Store.Unpin()
+	if n := e.Store.Tombstones(); n != 0 {
+		t.Errorf("tombstones after quiesce = %d, want 0", n)
+	}
+}

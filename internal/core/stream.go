@@ -21,6 +21,12 @@ import (
 // pair. The sequence is single-use.
 func (e *Engine) ResultsSeq(ctx context.Context, v *View, keywords []string, opts Options, offset int) iter.Seq2[Result, error] {
 	return func(yield func(Result, error) bool) {
+		// Pinned for the whole consumption: winners materialize lock-free
+		// as the consumer pulls them, possibly long after planning, and the
+		// pin keeps concurrently replaced or deleted documents' subtrees
+		// resolvable until the sequence finishes.
+		e.Store.Pin()
+		defer e.Store.Unpin()
 		ranked, kws, _, err := e.rankedSearch(ctx, v, keywords, opts)
 		if err != nil {
 			yield(Result{}, err)

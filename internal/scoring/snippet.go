@@ -2,6 +2,8 @@ package scoring
 
 import (
 	"strings"
+	"unicode"
+	"unicode/utf8"
 
 	"vxml/internal/xmltree"
 )
@@ -12,7 +14,9 @@ import (
 // earliest occurrence (rather than the first keyword in list order) makes
 // the snippet invariant under keyword permutation, so the query-result
 // cache — which shares one entry across keyword orderings — returns
-// exactly what the uncached path would. Returns "" when no keyword occurs
+// exactly what the uncached path would. The clip window is snapped to rune
+// boundaries, so the excerpt is always valid UTF-8 even when the raw byte
+// window would split a multi-byte rune. Returns "" when no keyword occurs
 // in text content.
 func Snippet(result *xmltree.Node, keywords []string, width int) string {
 	if width <= 0 {
@@ -24,7 +28,11 @@ func Snippet(result *xmltree.Node, keywords []string, width int) string {
 		if found != "" || n.Value == "" {
 			return
 		}
-		lower := strings.ToLower(n.Value)
+		// Keyword matching runs over the lowercased copy, but the window is
+		// cut from the original value — and lowercasing can change byte
+		// lengths (İ U+0130 → i, K U+212A → k), so a match offset in the
+		// copy is mapped back to the original through offs before use.
+		lower, offs := foldOffsets(n.Value)
 		best := -1
 		for _, k := range keywords {
 			if pos := indexToken(lower, k); pos >= 0 && (best < 0 || pos < best) {
@@ -33,7 +41,7 @@ func Snippet(result *xmltree.Node, keywords []string, width int) string {
 		}
 		if best >= 0 {
 			found = n.Value
-			hitPos = best
+			hitPos = offs(best)
 		}
 	})
 	if found == "" {
@@ -53,6 +61,15 @@ func Snippet(result *xmltree.Node, keywords []string, width int) string {
 			start = 0
 		}
 	}
+	// Snap both bounds outward to rune boundaries: an arbitrary byte offset
+	// can land inside a multi-byte rune, and slicing there would emit
+	// invalid UTF-8 (U+FFFD once it reaches a JSON encoder).
+	for start > 0 && !utf8.RuneStart(found[start]) {
+		start--
+	}
+	for end < len(found) && !utf8.RuneStart(found[end]) {
+		end++
+	}
 	out := found[start:end]
 	if start > 0 {
 		out = "…" + out
@@ -61,6 +78,42 @@ func Snippet(result *xmltree.Node, keywords []string, width int) string {
 		out += "…"
 	}
 	return out
+}
+
+// foldOffsets lowercases s rune-by-rune (the same simple case mapping
+// strings.ToLower applies) and returns the folded string plus a function
+// mapping a byte offset in the folded string back to the byte offset of
+// the corresponding rune in s. For the common case where folding changes
+// no byte lengths, the mapping is the identity and costs nothing extra.
+func foldOffsets(s string) (string, func(int) int) {
+	aligned := true
+	for _, r := range s {
+		if utf8.RuneLen(unicode.ToLower(r)) != utf8.RuneLen(r) {
+			aligned = false
+			break
+		}
+	}
+	if aligned {
+		// Every rune folds to the same byte length, so every folded rune
+		// occupies exactly its original byte range.
+		return strings.ToLower(s), func(p int) int { return p }
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	offs := make([]int, 0, len(s))
+	for i, r := range s {
+		start := b.Len()
+		b.WriteRune(unicode.ToLower(r))
+		for j := start; j < b.Len(); j++ {
+			offs = append(offs, i)
+		}
+	}
+	return b.String(), func(p int) int {
+		if p < 0 || p >= len(offs) {
+			return len(s)
+		}
+		return offs[p]
+	}
 }
 
 // indexToken finds keyword k as a whole token inside lowercase text,

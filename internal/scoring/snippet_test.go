@@ -3,6 +3,7 @@ package scoring
 import (
 	"strings"
 	"testing"
+	"unicode/utf8"
 
 	"vxml/internal/xmltree"
 )
@@ -107,5 +108,83 @@ func TestIndexToken(t *testing.T) {
 		if got := indexToken(c.text, c.k); got != c.want {
 			t.Errorf("indexToken(%q,%q) = %d, want %d", c.text, c.k, got, c.want)
 		}
+	}
+}
+
+// TestSnippetRuneBoundaries: clipping at arbitrary byte offsets must not
+// split a multi-byte rune — the result would be invalid UTF-8, surfacing
+// as U+FFFD once it passes through a JSON encoder.
+func TestSnippetRuneBoundaries(t *testing.T) {
+	// 2-byte runes on every side of the hit, width chosen so both clip
+	// edges land mid-rune without snapping.
+	long := strings.Repeat("é", 101) + " needle " + strings.Repeat("ü", 101)
+	res := mkResult(long)
+	for width := 20; width <= 70; width++ {
+		got := Snippet(res, []string{"needle"}, width)
+		if !utf8.ValidString(got) {
+			t.Fatalf("width %d: snippet is invalid UTF-8: %q", width, got)
+		}
+		if !strings.Contains(got, "needle") {
+			t.Fatalf("width %d: hit missing from %q", width, got)
+		}
+	}
+	// 4-byte runes (emoji) too.
+	long = strings.Repeat("🜚", 40) + " needle " + strings.Repeat("🜚", 40)
+	res = mkResult(long)
+	for width := 20; width <= 40; width++ {
+		got := Snippet(res, []string{"needle"}, width)
+		if !utf8.ValidString(got) {
+			t.Fatalf("emoji width %d: snippet is invalid UTF-8: %q", width, got)
+		}
+	}
+}
+
+// TestSnippetLengthChangingFold: İ (U+0130, 2 bytes) lowercases to i
+// (1 byte), so a hit offset computed on the lowercased copy is shifted
+// relative to the original value. The window must be cut at the hit's
+// position in the ORIGINAL string, or a narrow snippet misses the keyword
+// entirely.
+func TestSnippetLengthChangingFold(t *testing.T) {
+	// 60 İ runes: lowered copy is 60 bytes shorter than the original, so
+	// an unmapped offset points 60 bytes before the real hit.
+	val := strings.Repeat("İ", 60) + " needle comes after the dotted capitals " + strings.Repeat("pad ", 30)
+	res := mkResult(val)
+	got := Snippet(res, []string{"needle"}, 30)
+	if !strings.Contains(got, "needle") {
+		t.Fatalf("hit missing from %q: fold misalignment", got)
+	}
+	if !utf8.ValidString(got) {
+		t.Fatalf("snippet is invalid UTF-8: %q", got)
+	}
+	// Kelvin sign K (U+212A, 3 bytes) folds to k (1 byte): same property.
+	val = strings.Repeat("K", 40) + " needle " + strings.Repeat("pad ", 30)
+	res = mkResult(val)
+	got = Snippet(res, []string{"needle"}, 24)
+	if !strings.Contains(got, "needle") || !utf8.ValidString(got) {
+		t.Fatalf("Kelvin fold: snippet = %q", got)
+	}
+}
+
+// TestFoldOffsets pins the offset mapping itself.
+func TestFoldOffsets(t *testing.T) {
+	lower, offs := foldOffsets("AbİCd")
+	if lower != "abicd" {
+		t.Fatalf("folded = %q", lower)
+	}
+	// 'c' is at folded offset 3; in the original, 'C' is at byte 4
+	// (A=0, b=1, İ=2..3, C=4).
+	if got := offs(3); got != 4 {
+		t.Errorf("offs(3) = %d, want 4", got)
+	}
+	if got := offs(0); got != 0 {
+		t.Errorf("offs(0) = %d, want 0", got)
+	}
+	// Identity fast path for pure ASCII and for same-length folds.
+	lower, offs = foldOffsets("Hello Ünïcode")
+	if lower != "hello ünïcode" {
+		t.Fatalf("folded = %q", lower)
+	}
+	if got := offs(7); got != 7 {
+		t.Errorf("aligned offs(7) = %d, want 7", got)
 	}
 }

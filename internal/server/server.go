@@ -6,7 +6,9 @@
 // Endpoints (versioned under /v1; the unversioned paths are aliases kept
 // for compatibility):
 //
-//	POST /v1/documents      {"name": "books.xml", "xml": "<books>...</books>"}
+//	POST   /v1/documents        {"name": "books.xml", "xml": "<books>...</books>"}
+//	PUT    /v1/documents/{name} {"xml": "<books>...</books>"}  (replace; 404 if absent)
+//	DELETE /v1/documents/{name}                                (404 if absent)
 //	POST /v1/views          {"name": "recent", "xquery": "for $b in ..."}
 //	POST /v1/search         {"view": "recent", "keywords": ["xml","search"],
 //	                         "top_k": 10, "offset": 0, "disjunctive": false,
@@ -40,8 +42,9 @@ import (
 // Server routes HTTP requests to a shared Database and a named view
 // registry.
 type Server struct {
-	db      *vxml.Database
-	started time.Time
+	db       *vxml.Database
+	started  time.Time
+	readOnly bool
 
 	mu    sync.RWMutex
 	views map[string]*vxml.View
@@ -51,6 +54,12 @@ type Server struct {
 func New(db *vxml.Database) *Server {
 	return &Server{db: db, started: time.Now(), views: map[string]*vxml.View{}}
 }
+
+// SetReadOnly gates the corpus-mutating routes (POST/PUT/DELETE under
+// /documents): when set, they answer 403 and the corpus can only change
+// through whatever loaded it at startup. Views may still be defined — they
+// are derived, not base data. Call before the handler starts serving.
+func (s *Server) SetReadOnly(v bool) { s.readOnly = v }
 
 // DefineView compiles and registers a view under name (used by the binary
 // to pre-register views from the command line; the HTTP path is POST
@@ -92,6 +101,8 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	for _, prefix := range []string{"", "/v1"} {
 		mux.HandleFunc("POST "+prefix+"/documents", s.handleAddDocument)
+		mux.HandleFunc("PUT "+prefix+"/documents/{name}", s.handleReplaceDocument)
+		mux.HandleFunc("DELETE "+prefix+"/documents/{name}", s.handleDeleteDocument)
 		mux.HandleFunc("POST "+prefix+"/views", s.handleDefineView)
 		mux.HandleFunc("POST "+prefix+"/search", s.handleSearch)
 		mux.HandleFunc("GET "+prefix+"/stats", s.handleStats)
@@ -170,7 +181,19 @@ type addDocumentResponse struct {
 	Documents []string `json:"documents"`
 }
 
+// forbidMutation enforces SetReadOnly for the corpus-mutating handlers,
+// writing the 403 itself when it returns true.
+func (s *Server) forbidMutation(w http.ResponseWriter) bool {
+	if s.readOnly {
+		writeError(w, http.StatusForbidden, "server is read-only: document mutation is disabled")
+	}
+	return s.readOnly
+}
+
 func (s *Server) handleAddDocument(w http.ResponseWriter, r *http.Request) {
+	if s.forbidMutation(w) {
+		return
+	}
 	var req addDocumentRequest
 	if !decodeBody(w, r, &req) {
 		return
@@ -188,6 +211,62 @@ func (s *Server) handleAddDocument(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusCreated, addDocumentResponse{Name: req.Name, Documents: s.db.DocumentNames()})
+}
+
+// replaceDocumentRequest is the body of PUT /v1/documents/{name}; the name
+// comes from the path, so only the new content travels in the body.
+type replaceDocumentRequest struct {
+	XML string `json:"xml"`
+}
+
+// handleReplaceDocument is PUT /v1/documents/{name}: atomically swap the
+// named document's content. The replacement is visible to every search that
+// starts after the response, on every pipeline; searches in flight complete
+// against the old content. 404 for a name that was never added (PUT does
+// not upsert — a typoed name should fail loudly, not fork the corpus), 400
+// for malformed XML.
+func (s *Server) handleReplaceDocument(w http.ResponseWriter, r *http.Request) {
+	if s.forbidMutation(w) {
+		return
+	}
+	name := r.PathValue("name")
+	var req replaceDocumentRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.XML == "" {
+		writeError(w, http.StatusBadRequest, "xml is required")
+		return
+	}
+	if err := s.db.ReplaceContext(r.Context(), name, req.XML); err != nil {
+		// statusFor classifies unknown-name (404) and context failures; an
+		// XML parse failure is unclassified but still the client's bad
+		// body, so the fallback is 400, not 500.
+		status := statusFor(err)
+		if status == http.StatusInternalServerError {
+			status = http.StatusBadRequest
+		}
+		writeError(w, status, "replacing document: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, addDocumentResponse{Name: name, Documents: s.db.DocumentNames()})
+}
+
+// handleDeleteDocument is DELETE /v1/documents/{name}: remove the named
+// document from the corpus. Subsequent searches no longer see it (a literal
+// fn:doc view over the name yields nothing; collection patterns skip it);
+// searches in flight complete against the old corpus. 404 for an unknown
+// name.
+func (s *Server) handleDeleteDocument(w http.ResponseWriter, r *http.Request) {
+	if s.forbidMutation(w) {
+		return
+	}
+	name := r.PathValue("name")
+	if err := s.db.DeleteContext(r.Context(), name); err != nil {
+		writeError(w, statusFor(err), "deleting document: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, addDocumentResponse{Name: name, Documents: s.db.DocumentNames()})
 }
 
 type defineViewRequest struct {
@@ -457,11 +536,14 @@ type statsResponse struct {
 	Uptime     string      `json:"uptime"`
 }
 
-// shardInfo is one corpus shard's counters in GET /stats.
+// shardInfo is one corpus shard's counters in GET /stats. Mutations counts
+// the replace/delete operations applied to the shard — corpus churn that
+// document count and bytes alone cannot show.
 type shardInfo struct {
 	Shard     int `json:"shard"`
 	Documents int `json:"documents"`
 	Bytes     int `json:"bytes"`
+	Mutations int `json:"mutations"`
 }
 
 type cacheStats struct {
@@ -497,7 +579,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		},
 	}
 	for i, sh := range shards {
-		resp.Shards[i] = shardInfo{Shard: sh.Shard, Documents: sh.Documents, Bytes: sh.Bytes}
+		resp.Shards[i] = shardInfo{Shard: sh.Shard, Documents: sh.Documents, Bytes: sh.Bytes, Mutations: sh.Mutations}
 	}
 	resp.Uptime = time.Since(s.started).Round(time.Millisecond).String()
 	writeJSON(w, http.StatusOK, resp)

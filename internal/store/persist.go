@@ -5,89 +5,236 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
+
+	"vxml/internal/xmltree"
 )
 
-// Save writes every document to dir as <name> plus a manifest recording
-// load order, so document IDs — and therefore every Dewey ID — are stable
-// across a save/load round trip. Indices are rebuilt on load; they are
-// deterministic functions of the documents.
+// manifestName is the reserved file the manifest is written to. A document
+// may not use it as its own name: the manifest write would silently
+// overwrite the document (or the document the manifest), and the directory
+// would load back as a different corpus.
+const manifestName = "MANIFEST"
+
+// manifestHeader opens a v2 manifest and records the shard count; the lines
+// that follow are "<docID>:<name>". A v1 manifest (no header, bare names
+// per line) is still loadable: documents then receive fresh sequential IDs
+// in manifest order.
+const manifestHeader = "#!vxml"
+
+// Save writes every document to dir plus a manifest recording document IDs,
+// load order and the shard count, so Dewey IDs and shard assignment are
+// stable across a save/load round trip — including for a corpus that has
+// seen replacements and deletions, whose ID sequence has gaps. Indices are
+// rebuilt on load; they are deterministic functions of the documents.
+//
+// Every file, the manifest included, is written to a temporary name in dir
+// and renamed into place, and the manifest is renamed last: a save that
+// fails part-way never leaves a directory that half-loads — Load is driven
+// by the manifest, which at every instant is either the previous complete
+// one or the new complete one.
 func (s *Store) Save(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("store: save: %w", err)
 	}
-	var manifest []string
+	// Names of a previous save in this directory, for post-save cleanup of
+	// files whose documents no longer exist (best-effort: a missing or old
+	// manifest just means nothing to clean).
+	previous := map[string]bool{}
+	if oldEntries, _, err := manifestEntries(dir); err == nil {
+		for _, e := range oldEntries {
+			previous[e.name] = true
+		}
+	}
+	var manifest strings.Builder
+	fmt.Fprintf(&manifest, "%s shards=%d\n", manifestHeader, len(s.shards))
+	saved := map[string]bool{}
 	for _, doc := range s.Docs() {
-		if strings.ContainsAny(doc.Name, "/\\\n") {
+		// EqualFold: on a case-insensitive filesystem (macOS, Windows) a
+		// document named "manifest" would resolve to the same file the
+		// manifest rename targets and be silently clobbered.
+		if strings.EqualFold(doc.Name, manifestName) {
+			return fmt.Errorf("store: save: document name %q is reserved for the manifest", doc.Name)
+		}
+		if strings.ContainsAny(doc.Name, "/\\\n") || strings.HasPrefix(doc.Name, manifestHeader) {
 			return fmt.Errorf("store: save: document name %q is not a safe file name", doc.Name)
 		}
-		path := filepath.Join(dir, doc.Name)
-		f, err := os.Create(path)
-		if err != nil {
+		if err := writeFileAtomic(dir, doc.Name, func(f *os.File) error {
+			return doc.Root.WriteXML(f, "")
+		}); err != nil {
 			return fmt.Errorf("store: save %s: %w", doc.Name, err)
 		}
-		if err := doc.Root.WriteXML(f, ""); err != nil {
-			f.Close() //nolint:errcheck
-			return fmt.Errorf("store: save %s: %w", doc.Name, err)
-		}
-		if err := f.Close(); err != nil {
-			return fmt.Errorf("store: save %s: %w", doc.Name, err)
-		}
-		manifest = append(manifest, doc.Name)
+		saved[doc.Name] = true
+		fmt.Fprintf(&manifest, "%d:%s\n", doc.DocID, doc.Name)
 	}
-	data := strings.Join(manifest, "\n") + "\n"
-	if err := os.WriteFile(filepath.Join(dir, "MANIFEST"), []byte(data), 0o644); err != nil {
+	if err := writeFileAtomic(dir, manifestName, func(f *os.File) error {
+		_, err := f.WriteString(manifest.String())
+		return err
+	}); err != nil {
 		return fmt.Errorf("store: save manifest: %w", err)
+	}
+	// The new manifest is in place; remove files of documents a previous
+	// save wrote that no longer exist (e.g. deleted since). Left behind,
+	// they could resurrect through Load's no-MANIFEST *.xml fallback. Only
+	// names the old manifest listed are touched — never arbitrary
+	// directory contents.
+	for name := range previous {
+		if !saved[name] && !strings.ContainsAny(name, "/\\") {
+			os.Remove(filepath.Join(dir, name)) //nolint:errcheck // best-effort cleanup
+		}
 	}
 	return nil
 }
 
+// writeFileAtomic writes a file via a uniquely named temp file in the same
+// directory plus rename, so the final name only ever holds complete
+// content. The temp file is removed on any failure.
+func writeFileAtomic(dir, name string, write func(*os.File) error) error {
+	f, err := os.CreateTemp(dir, "savetmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if err := write(f); err != nil {
+		f.Close()      //nolint:errcheck
+		os.Remove(tmp) //nolint:errcheck
+		return err
+	}
+	// CreateTemp opens 0600; match the 0644-modulo-umask mode a plain
+	// os.Create would have given, so another uid can still read a saved
+	// corpus.
+	if err := f.Chmod(0o644); err != nil {
+		f.Close()      //nolint:errcheck
+		os.Remove(tmp) //nolint:errcheck
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp) //nolint:errcheck
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		os.Remove(tmp) //nolint:errcheck
+		return err
+	}
+	return nil
+}
+
+// manifestEntry is one document line of a manifest: the name plus the saved
+// document ID (0 in a v1 manifest, meaning "assign the next sequential ID").
+type manifestEntry struct {
+	docID int32
+	name  string
+}
+
 // Load reads a directory written by Save into a fresh store, preserving
-// document order (and therefore Dewey IDs). Without a MANIFEST it loads
-// every .xml file in name order.
+// shard count, document order and document IDs (and therefore Dewey IDs) —
+// a corpus saved after replacements and deletions loads with the same gapped
+// ID sequence it was saved with. Without a MANIFEST it loads every .xml
+// file in name order with fresh IDs.
 func Load(dir string) (*Store, error) {
-	names, err := manifestNames(dir)
+	entries, shardCount, err := manifestEntries(dir)
 	if err != nil {
 		return nil, err
 	}
-	s := New()
-	for _, name := range names {
-		data, err := os.ReadFile(filepath.Join(dir, name))
+	s := NewSharded(shardCount)
+	var maxID int32
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, e.name))
 		if err != nil {
-			return nil, fmt.Errorf("store: load %s: %w", name, err)
+			return nil, fmt.Errorf("store: load %s: %w", e.name, err)
 		}
-		if _, err := s.AddXML(name, string(data)); err != nil {
-			return nil, fmt.Errorf("store: load %s: %w", name, err)
+		if e.docID == 0 {
+			if _, err := s.AddXML(e.name, string(data)); err != nil {
+				return nil, fmt.Errorf("store: load %s: %w", e.name, err)
+			}
+			continue
 		}
+		doc, err := xmlDocAt(string(data), e.name, e.docID)
+		if err != nil {
+			return nil, fmt.Errorf("store: load %s: %w", e.name, err)
+		}
+		if err := s.RegisterParsed(doc); err != nil {
+			return nil, fmt.Errorf("store: load %s: %w", e.name, err)
+		}
+		if e.docID > maxID {
+			maxID = e.docID
+		}
+	}
+	if next := maxID + 1; next > s.nextID.Load() {
+		s.nextID.Store(next)
 	}
 	return s, nil
 }
 
-func manifestNames(dir string) ([]string, error) {
-	data, err := os.ReadFile(filepath.Join(dir, "MANIFEST"))
+// manifestEntries reads the manifest (v1 or v2) or falls back to .xml
+// directory listing; shardCount is 0 (caller default) unless a v2 header
+// recorded one.
+func manifestEntries(dir string) ([]manifestEntry, int, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
 	if err == nil {
-		var names []string
-		for _, line := range strings.Split(string(data), "\n") {
-			line = strings.TrimSpace(line)
-			if line != "" {
-				names = append(names, line)
-			}
-		}
-		return names, nil
+		return parseManifest(string(data))
 	}
-	entries, err := os.ReadDir(dir)
+	dirEntries, err := os.ReadDir(dir)
 	if err != nil {
-		return nil, fmt.Errorf("store: load: %w", err)
+		return nil, 0, fmt.Errorf("store: load: %w", err)
 	}
 	var names []string
-	for _, e := range entries {
+	for _, e := range dirEntries {
 		if !e.IsDir() && strings.HasSuffix(e.Name(), ".xml") {
 			names = append(names, e.Name())
 		}
 	}
 	sort.Strings(names)
 	if len(names) == 0 {
-		return nil, fmt.Errorf("store: load: no MANIFEST and no .xml files in %s", dir)
+		return nil, 0, fmt.Errorf("store: load: no MANIFEST and no .xml files in %s", dir)
 	}
-	return names, nil
+	entries := make([]manifestEntry, len(names))
+	for i, n := range names {
+		entries[i] = manifestEntry{name: n}
+	}
+	return entries, 0, nil
+}
+
+func parseManifest(data string) ([]manifestEntry, int, error) {
+	lines := strings.Split(data, "\n")
+	shardCount := 0
+	v2 := false
+	if len(lines) > 0 && strings.HasPrefix(lines[0], manifestHeader) {
+		v2 = true
+		for _, field := range strings.Fields(lines[0])[1:] {
+			if n, ok := strings.CutPrefix(field, "shards="); ok {
+				c, err := strconv.Atoi(n)
+				if err != nil || c < 1 {
+					return nil, 0, fmt.Errorf("store: load: bad manifest shard count %q", n)
+				}
+				shardCount = c
+			}
+		}
+		lines = lines[1:]
+	}
+	var entries []manifestEntry
+	for _, line := range lines {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if !v2 {
+			entries = append(entries, manifestEntry{name: line})
+			continue
+		}
+		idText, name, ok := strings.Cut(line, ":")
+		id, err := strconv.ParseInt(idText, 10, 32)
+		if !ok || err != nil || id < 1 || name == "" {
+			return nil, 0, fmt.Errorf("store: load: bad manifest line %q", line)
+		}
+		entries = append(entries, manifestEntry{docID: int32(id), name: name})
+	}
+	return entries, shardCount, nil
+}
+
+// xmlDocAt parses xmlText under an explicit document ID (the one the
+// manifest recorded).
+func xmlDocAt(xmlText, name string, docID int32) (*xmltree.Document, error) {
+	return xmltree.ParseString(xmlText, name, docID)
 }

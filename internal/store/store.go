@@ -34,12 +34,20 @@ import (
 // name that is already registered.
 var ErrDuplicateName = errors.New("duplicate document name")
 
+// ErrUnknownName is returned (or wrapped) when a replace or delete names a
+// document that is not registered.
+var ErrUnknownName = errors.New("unknown document name")
+
 // shard is one corpus partition: a name table and its lock, plus cached
 // per-shard size counters for ShardInfos.
 type shard struct {
 	mu     sync.RWMutex
 	byName map[string]*xmltree.Document
 	bytes  int // summed serialized size of the shard's documents
+	// mutations counts replacements and deletions applied to this shard
+	// (ingests are visible as Documents; mutations otherwise leave no
+	// trace, so dashboards need the counter to see corpus churn).
+	mutations int
 }
 
 // Store is a collection of named documents, partitioned into shards.
@@ -56,6 +64,14 @@ type Store struct {
 	// Efficient pipeline touches base data only for top-k winners.
 	subtreeFetches atomic.Int64
 	bytesFetched   atomic.Int64
+
+	// pins counts in-flight lock-free readers (Pin/Unpin); grave holds the
+	// document IDs of replaced or deleted documents whose byID entries must
+	// outlive every reader that may still hold their Dewey IDs. See the
+	// tombstone discussion on Delete.
+	pins    atomic.Int64
+	graveMu sync.Mutex
+	grave   []int32
 }
 
 // DefaultShardCount is the shard count New uses: one shard per available
@@ -105,17 +121,32 @@ type ShardInfo struct {
 	Shard     int
 	Documents int
 	Bytes     int
+	// Mutations counts the replacements and deletions applied to the shard.
+	Mutations int
 }
 
-// ShardInfos returns per-shard document counts and byte sizes.
+// ShardInfos returns per-shard document counts, byte sizes and mutation
+// counters.
 func (s *Store) ShardInfos() []ShardInfo {
 	out := make([]ShardInfo, len(s.shards))
 	for i, sh := range s.shards {
 		sh.mu.RLock()
-		out[i] = ShardInfo{Shard: i, Documents: len(sh.byName), Bytes: sh.bytes}
+		out[i] = ShardInfo{Shard: i, Documents: len(sh.byName), Bytes: sh.bytes, Mutations: sh.mutations}
 		sh.mu.RUnlock()
 	}
 	return out
+}
+
+// Mutations returns the total number of replacements and deletions applied
+// across all shards.
+func (s *Store) Mutations() int {
+	total := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		total += sh.mutations
+		sh.mu.RUnlock()
+	}
+	return total
 }
 
 // NextDocID returns the document ID the next AddParsed/AddXML call will use.
@@ -181,6 +212,131 @@ func (s *Store) AddParsed(doc *xmltree.Document) *xmltree.Document {
 		panic(fmt.Sprintf("store: %v", err))
 	}
 	return doc
+}
+
+// ReplaceParsed atomically swaps the document registered under doc.Name for
+// doc, which must carry a freshly reserved DocID. The old document's byID
+// entry is tombstoned, not dropped: a reader that planned its search before
+// the swap may still materialize the old subtree (see Pin), while any search
+// planned afterwards resolves the name to the replacement only. It returns
+// an error wrapping ErrUnknownName if the name is not registered.
+func (s *Store) ReplaceParsed(doc *xmltree.Document) error {
+	sh := s.shards[s.ShardOf(doc.Name)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	old, ok := sh.byName[doc.Name]
+	if !ok {
+		return fmt.Errorf("store: %w: %q", ErrUnknownName, doc.Name)
+	}
+	sh.byName[doc.Name] = doc
+	if old.Root != nil {
+		sh.bytes -= old.Root.ByteLen
+	}
+	if doc.Root != nil {
+		sh.bytes += doc.Root.ByteLen
+	}
+	sh.mutations++
+	s.byID.Store(doc.DocID, doc)
+	s.retire(old.DocID)
+	return nil
+}
+
+// ReplaceXML parses the XML text and swaps it in under name, assigning a
+// fresh document ID (the replacement is a new document in global document
+// order; only the name is stable). Replacing a name that does not exist
+// returns an error wrapping ErrUnknownName. Like AddXML, the parse runs
+// outside the shard lock.
+func (s *Store) ReplaceXML(name, xmlText string) (*xmltree.Document, error) {
+	if s.Doc(name) == nil {
+		return nil, fmt.Errorf("store: %w: %q", ErrUnknownName, name)
+	}
+	doc, err := xmltree.ParseString(xmlText, name, s.ReserveID())
+	if err != nil {
+		return nil, err
+	}
+	if err := s.ReplaceParsed(doc); err != nil {
+		return nil, err
+	}
+	return doc, nil
+}
+
+// Delete unregisters the document stored under name. The document vanishes
+// from every name-driven lookup (Doc, Docs, DocsMatching) immediately, so a
+// search planned after Delete returns cannot see it; its Dewey entries are
+// tombstoned rather than dropped, so a search planned before — which may
+// already hold the document's IDs and materialize winners lock-free after
+// releasing its shard locks — keeps resolving the old subtree until the
+// last such reader unpins. Deleting an unknown name returns an error
+// wrapping ErrUnknownName.
+func (s *Store) Delete(name string) error {
+	sh := s.shards[s.ShardOf(name)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	old, ok := sh.byName[name]
+	if !ok {
+		return fmt.Errorf("store: %w: %q", ErrUnknownName, name)
+	}
+	delete(sh.byName, name)
+	if old.Root != nil {
+		sh.bytes -= old.Root.ByteLen
+	}
+	sh.mutations++
+	s.retire(old.DocID)
+	return nil
+}
+
+// Pin marks the start of a lock-free read epoch: until the matching Unpin,
+// replaced and deleted documents stay resolvable by Dewey ID (Subtree,
+// Value, DocByID), so a search that planned under shard locks and then
+// released them before materializing its winners never observes a nil
+// subtree. Searches that begin after a mutation never probe the retired IDs
+// at all — the mutation removed the name under the same shard lock their
+// planning takes — so tombstones are invisible to them regardless.
+func (s *Store) Pin() { s.pins.Add(1) }
+
+// Unpin ends a Pin epoch. When the last pinned reader leaves, tombstoned
+// byID entries are swept and their memory becomes reclaimable.
+func (s *Store) Unpin() {
+	if s.pins.Add(-1) == 0 {
+		s.sweep()
+	}
+}
+
+// retire tombstones the byID entry of a replaced or deleted document. With
+// no pinned readers it is dropped immediately; otherwise it joins the
+// graveyard swept when the reader count next reaches zero. Under a
+// continuously overlapping read load tombstones can accumulate until the
+// first quiescent instant — they cost one map entry plus the retained
+// document each, never correctness.
+func (s *Store) retire(docID int32) {
+	s.graveMu.Lock()
+	s.grave = append(s.grave, docID)
+	s.graveMu.Unlock()
+	if s.pins.Load() == 0 {
+		s.sweep()
+	}
+}
+
+// sweep drops every tombstoned byID entry. A reader pinning concurrently
+// with a sweep cannot be harmed: it planned (or will plan) under shard
+// locks that already exclude the retired documents from every name lookup,
+// so it holds none of their Dewey IDs.
+func (s *Store) sweep() {
+	s.graveMu.Lock()
+	ids := s.grave
+	s.grave = nil
+	s.graveMu.Unlock()
+	for _, id := range ids {
+		s.byID.Delete(id)
+	}
+}
+
+// Tombstones returns the number of retired documents awaiting sweep
+// (diagnostics and tests).
+func (s *Store) Tombstones() int {
+	s.graveMu.Lock()
+	defer s.graveMu.Unlock()
+	return len(s.grave)
 }
 
 // Doc returns the document registered under name, or nil.

@@ -1,0 +1,39 @@
+// Corpus persistence: a Database can be saved to a directory and reopened
+// with identical search behavior. Only the documents are persisted — the
+// path and inverted-list indices, being deterministic functions of the
+// documents, are rebuilt on load, and views are compiled from their XQuery
+// text by the caller as usual.
+
+package vxml
+
+import (
+	"vxml/internal/core"
+	"vxml/internal/qcache"
+	"vxml/internal/store"
+)
+
+// Save writes every document to dir plus a manifest recording document IDs,
+// load order and the shard count, so a Load of the directory reproduces the
+// corpus exactly: same Dewey IDs, same shard assignment, same collection
+// enumeration order — including for a corpus mutated by Replace and Delete,
+// whose document ID sequence has gaps. Files are written via temp-file plus
+// rename with the manifest renamed last, so a save that fails part-way
+// never leaves a directory that half-loads. A document named "MANIFEST"
+// (or with a path separator in its name) cannot be saved and is rejected
+// with an error before anything is written over it.
+func (db *Database) Save(dir string) error {
+	return db.engine.Store.Save(dir)
+}
+
+// Load opens a database over a directory written by Save, rebuilding the
+// per-document indices. Searches over the loaded database — on every
+// pipeline, at every parallelism, cached or not — return byte-identical
+// results to the database that was saved. The loaded database starts with
+// a fresh (empty) query-result cache.
+func Load(dir string) (*Database, error) {
+	st, err := store.Load(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Database{engine: core.New(st), cache: qcache.New(0)}, nil
+}

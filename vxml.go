@@ -52,6 +52,20 @@
 // ranked and unranked results are byte-identical at every setting, with
 // score ties broken deterministically by view position (document order).
 //
+// # Document lifecycle
+//
+// The corpus is mutable: Replace atomically swaps a document's content
+// (the replacement is a new document in global document order — collection
+// views enumerate it last; only the name is stable) and Delete removes one.
+// Views are virtual, so every search that starts after a mutation reflects
+// it on every pipeline, while searches already in flight complete against
+// the old contents: replaced and deleted documents are tombstoned, not
+// dropped, until the last search that planned before the mutation has
+// materialized its winners. Both mutations invalidate the query-result
+// cache exactly like Add. Save persists the corpus (document IDs, shard
+// count and order included) and Load reopens it with identical search
+// behavior.
+//
 // # Collection views
 //
 // fn:collection("part-*") in a view ranges over every document whose name
@@ -68,9 +82,9 @@
 // key is the view definition text, the
 // sorted lowercase keyword set, and every result-affecting option (TopK,
 // Disjunctive, Approach), so two searches share an entry exactly when the
-// paper's pipeline would compute identical output for them. Every document
-// Add bumps a generation counter and drops all resident entries, so
-// a cached response is never served across an ingest. Hits are observable
+// paper's pipeline would compute identical output for them. Every corpus
+// change — Add, Replace, Delete — bumps a generation counter and drops all
+// resident entries, so a cached response is never served across a change. Hits are observable
 // via Stats.CacheHit and aggregate counters via CacheStats. Cached and
 // uncached paths return identical results, scores and rank order; cache
 // misses cost one map lookup. Query additionally caches on the verbatim
@@ -80,7 +94,8 @@
 // # HTTP service
 //
 // Package internal/server (binary: cmd/vxmlserve) exposes a Database over
-// JSON HTTP: POST /documents ingests XML, POST /views compiles named views,
+// JSON HTTP: POST /documents ingests XML, PUT/DELETE /documents/{name}
+// replace and remove documents, POST /views compiles named views,
 // POST /search runs ranked keyword queries, and GET /stats reports corpus
 // and cache counters. Example round trip:
 //
@@ -147,6 +162,57 @@ func (db *Database) MustAdd(name, xmlText string) {
 	if err := db.Add(name, xmlText); err != nil {
 		panic(err)
 	}
+}
+
+// Replace atomically swaps the document registered under name for a new
+// parse of xmlText. Views are virtual, so every subsequent search — by
+// literal fn:doc reference or collection pattern, on any pipeline — runs
+// against the replacement; the query-result cache is invalidated exactly as
+// by Add. The replacement is a new document in global document order (it
+// receives a fresh document ID), so collection views enumerate it after the
+// documents that were already present. Searches already in flight complete
+// against the old contents. Replacing a name that was never added returns
+// an error wrapping ErrUnknownDocument.
+func (db *Database) Replace(name, xmlText string) error {
+	return db.ReplaceContext(context.Background(), name, xmlText)
+}
+
+// ReplaceContext is Replace with a cancellation pre-flight: a replace
+// against an already-canceled or expired ctx returns its wrapped ctx.Err()
+// without parsing. (Parsing and index construction are CPU-bound and brief;
+// they are not interrupted mid-way.)
+func (db *Database) ReplaceContext(ctx context.Context, name, xmlText string) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("vxml: replace interrupted: %w", err)
+	}
+	if err := db.engine.ReplaceXML(name, xmlText); err != nil {
+		return err
+	}
+	db.cache.Invalidate()
+	return nil
+}
+
+// Delete removes the document registered under name. Every subsequent
+// search runs against the shrunken corpus (a literal fn:doc view over the
+// name simply yields nothing; collection patterns no longer enumerate it),
+// and the query-result cache is invalidated exactly as by Add. Searches
+// already in flight complete against the old contents. Deleting a name that
+// was never added returns an error wrapping ErrUnknownDocument.
+func (db *Database) Delete(name string) error {
+	return db.DeleteContext(context.Background(), name)
+}
+
+// DeleteContext is Delete with a cancellation pre-flight, returning a
+// wrapped ctx.Err() for a dead ctx without touching the corpus.
+func (db *Database) DeleteContext(ctx context.Context, name string) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("vxml: delete interrupted: %w", err)
+	}
+	if err := db.engine.Delete(name); err != nil {
+		return err
+	}
+	db.cache.Invalidate()
+	return nil
 }
 
 // DocumentNames returns the names of all loaded documents.
