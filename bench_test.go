@@ -6,7 +6,7 @@
 // for the full sweep, or use cmd/benchrunner for the paper-style tables.
 // One paper data unit (100MB) maps to benchUnit bytes so the sweeps keep
 // their shape at test scale.
-package vxml
+package vxml_test
 
 import (
 	"fmt"

@@ -1,0 +1,235 @@
+package benchkit
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+)
+
+// SchemaVersion identifies the BENCH_*.json layout this package emits and
+// Validate accepts. Validation is strict — unknown fields are rejected —
+// so the version string fully determines the layout: bump it for ANY field
+// change, additive included, and teach Validate the new layout in the same
+// change.
+const SchemaVersion = "vxmlbench/1"
+
+// Report is the machine-readable output of one vxmlbench run: the perf
+// trajectory artifact committed as BENCH_<n>.json at the repo root and
+// uploaded from CI, schema-versioned so downstream tooling can diff runs
+// across PRs.
+type Report struct {
+	// Schema is SchemaVersion.
+	Schema string `json:"schema"`
+	// Profile names the scale preset the run used (tiny/small/medium/large).
+	Profile string `json:"profile"`
+	// Seed is the data-generation seed, for reproducing the exact corpora.
+	Seed int64 `json:"seed"`
+	// GeneratedBy records the producing command for provenance.
+	GeneratedBy string `json:"generated_by"`
+	// Host describes the machine the numbers were measured on.
+	Host Host `json:"host"`
+	// Scenarios holds one entry per executed scenario, in catalog order.
+	Scenarios []Scenario `json:"scenarios"`
+}
+
+// Host is the measurement environment: perf numbers are meaningless
+// without it.
+type Host struct {
+	// GoVersion is runtime.Version().
+	GoVersion string `json:"go_version"`
+	// GOOS and GOARCH identify the platform.
+	GOOS   string `json:"goos"`
+	GOARCH string `json:"goarch"`
+	// NumCPU is the machine's logical CPU count; GOMAXPROCS the scheduler
+	// limit the run used (parallel speedups are bounded by it).
+	NumCPU     int `json:"num_cpu"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+}
+
+// HostInfo captures the current process's Host record.
+func HostInfo() Host {
+	return Host{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+}
+
+// Scenario is one benchmark scenario's results: a sweep over one axis
+// (data size, keyword count, parallelism, ...) with one Row per point.
+type Scenario struct {
+	// Name is the scenario's stable registry name (e.g. "fig13_approaches").
+	Name string `json:"name"`
+	// Figure maps the scenario to the paper's evaluation figure ("13".."21"),
+	// empty for post-paper scenarios.
+	Figure string `json:"figure,omitempty"`
+	// Description says what the scenario measures, for readers of the JSON.
+	Description string `json:"description"`
+	// Rows are the sweep points in sweep order.
+	Rows []Row `json:"rows"`
+}
+
+// Row is one sweep point of a scenario.
+type Row struct {
+	// Label identifies the point (e.g. "size=3", "parallelism=4").
+	Label string `json:"label"`
+	// Measurement carries ns/op, allocs/op, bytes/op and the iteration
+	// count behind them.
+	Measurement
+	// BytesFetched is the base-data bytes fetched per operation (the
+	// store's materialization counter delta), when the scenario tracks it.
+	BytesFetched float64 `json:"bytes_fetched,omitempty"`
+	// IndexProbes is the number of index probes (path-index B+-tree probes
+	// plus inverted-list keyword lookups) per operation, when tracked.
+	IndexProbes float64 `json:"index_probes,omitempty"`
+	// Extra holds scenario-specific metrics (speedup ratios, PDT sizes,
+	// cache hit costs, fetch savings), keyed by stable snake_case names.
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Encode renders the report as indented, trailing-newline JSON — the
+// canonical on-disk form (stable for git diffs).
+func (r *Report) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return nil, fmt.Errorf("benchkit: encoding report: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// WriteFile validates the report and writes it atomically (temp file +
+// rename), so a crashed run never leaves a half-written artifact and an
+// invalid report is never written at all.
+func (r *Report) WriteFile(path string) error {
+	data, err := r.Encode()
+	if err != nil {
+		return err
+	}
+	if err := Validate(data); err != nil {
+		return fmt.Errorf("benchkit: refusing to write invalid report: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".bench-*.json")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return os.Rename(name, path)
+}
+
+// Validate checks that data is a structurally valid SchemaVersion report:
+// correct schema tag, no unknown fields, host metadata present, at least
+// one scenario, and every row carrying a label and positive measurement.
+// CI runs it against the emitted artifact so a schema regression fails the
+// build instead of silently corrupting the perf trajectory.
+func Validate(data []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var r Report
+	if err := dec.Decode(&r); err != nil {
+		return fmt.Errorf("report does not decode as %s: %w", SchemaVersion, err)
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data after the report object")
+	}
+	if r.Schema != SchemaVersion {
+		return fmt.Errorf("schema is %q, want %q", r.Schema, SchemaVersion)
+	}
+	if r.Profile == "" {
+		return fmt.Errorf("missing profile")
+	}
+	h := r.Host
+	if h.GoVersion == "" || h.GOOS == "" || h.GOARCH == "" || h.NumCPU <= 0 || h.GOMAXPROCS <= 0 {
+		return fmt.Errorf("incomplete host metadata: %+v", h)
+	}
+	if len(r.Scenarios) == 0 {
+		return fmt.Errorf("no scenarios")
+	}
+	seen := map[string]bool{}
+	for _, s := range r.Scenarios {
+		if s.Name == "" {
+			return fmt.Errorf("scenario with empty name")
+		}
+		if seen[s.Name] {
+			return fmt.Errorf("duplicate scenario %q", s.Name)
+		}
+		seen[s.Name] = true
+		if len(s.Rows) == 0 {
+			return fmt.Errorf("scenario %q has no rows", s.Name)
+		}
+		for _, row := range s.Rows {
+			if row.Label == "" {
+				return fmt.Errorf("scenario %q has a row with no label", s.Name)
+			}
+			if row.Iters <= 0 || row.NsPerOp <= 0 {
+				return fmt.Errorf("scenario %q row %q has a non-positive measurement", s.Name, row.Label)
+			}
+		}
+	}
+	return nil
+}
+
+// ValidateFile runs Validate over a report file on disk.
+func ValidateFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := Validate(data); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}
+
+// Profile is a scale preset for a vxmlbench run: how big the generated
+// corpora are and how long each sweep point measures. The sweep shapes are
+// identical at every profile — only cost changes — so a tiny CI run and a
+// large workstation run are directly comparable point by point.
+type Profile struct {
+	// Name is the -profile flag value.
+	Name string `json:"name"`
+	// UnitBytes maps the paper's 100MB data unit to a byte size.
+	UnitBytes int `json:"unit_bytes"`
+	// Budget is the measurement loop budget per sweep point.
+	Budget time.Duration `json:"budget_ns"`
+	// CollectionDocs sizes the multi-document corpus used by the
+	// parallelism, throughput, mutation and streaming scenarios.
+	CollectionDocs int `json:"collection_docs"`
+}
+
+// Profiles returns the built-in scale presets, smallest first.
+func Profiles() []Profile {
+	return []Profile{
+		{Name: "tiny", UnitBytes: 32 << 10, Budget: 60 * time.Millisecond, CollectionDocs: 24},
+		{Name: "small", UnitBytes: 128 << 10, Budget: 150 * time.Millisecond, CollectionDocs: 60},
+		{Name: "medium", UnitBytes: 512 << 10, Budget: 300 * time.Millisecond, CollectionDocs: 120},
+		{Name: "large", UnitBytes: 1 << 20, Budget: 600 * time.Millisecond, CollectionDocs: 240},
+	}
+}
+
+// ProfileByName resolves a -profile flag value.
+func ProfileByName(name string) (Profile, error) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("benchkit: unknown profile %q (tiny, small, medium, large)", name)
+}

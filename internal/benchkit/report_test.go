@@ -1,0 +1,157 @@
+package benchkit
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"vxml/internal/xmltree"
+)
+
+// tinyConfig is the smallest viable run, for tests.
+func tinyConfig() Config {
+	p, err := ProfileByName("tiny")
+	if err != nil {
+		panic(err)
+	}
+	p.Budget = 5 * time.Millisecond
+	p.CollectionDocs = 6
+	return Config{Profile: p, Seed: 42}
+}
+
+// TestReportRoundTrip runs a pair of cheap scenarios end to end, writes the
+// report and validates it — the same gate CI applies to the artifact.
+func TestReportRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measurement loops are slow in -short mode")
+	}
+	cfg := tinyConfig()
+	report, err := RunReport(cfg, []string{"cache_hit_miss", "hot_paths"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Scenarios) != 2 {
+		t.Fatalf("scenarios = %d, want 2", len(report.Scenarios))
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := report.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateFile(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestValidateRejectsBadReports pins the validator's failure modes.
+func TestValidateRejectsBadReports(t *testing.T) {
+	cases := map[string]string{
+		"not json":        `{`,
+		"wrong schema":    `{"schema":"other/9","profile":"tiny","seed":1,"generated_by":"x","host":{"go_version":"go","goos":"linux","goarch":"amd64","num_cpu":1,"gomaxprocs":1},"scenarios":[{"name":"a","description":"d","rows":[{"label":"l","iters":1,"ns_per_op":1,"allocs_per_op":0,"bytes_per_op":0}]}]}`,
+		"unknown field":   `{"schema":"vxmlbench/1","bogus":true,"profile":"tiny","seed":1,"generated_by":"x","host":{"go_version":"go","goos":"linux","goarch":"amd64","num_cpu":1,"gomaxprocs":1},"scenarios":[{"name":"a","description":"d","rows":[{"label":"l","iters":1,"ns_per_op":1,"allocs_per_op":0,"bytes_per_op":0}]}]}`,
+		"no scenarios":    `{"schema":"vxmlbench/1","profile":"tiny","seed":1,"generated_by":"x","host":{"go_version":"go","goos":"linux","goarch":"amd64","num_cpu":1,"gomaxprocs":1},"scenarios":[]}`,
+		"empty host":      `{"schema":"vxmlbench/1","profile":"tiny","seed":1,"generated_by":"x","host":{"go_version":"","goos":"","goarch":"","num_cpu":0,"gomaxprocs":0},"scenarios":[{"name":"a","description":"d","rows":[{"label":"l","iters":1,"ns_per_op":1,"allocs_per_op":0,"bytes_per_op":0}]}]}`,
+		"zero iters":      `{"schema":"vxmlbench/1","profile":"tiny","seed":1,"generated_by":"x","host":{"go_version":"go","goos":"linux","goarch":"amd64","num_cpu":1,"gomaxprocs":1},"scenarios":[{"name":"a","description":"d","rows":[{"label":"l","iters":0,"ns_per_op":1,"allocs_per_op":0,"bytes_per_op":0}]}]}`,
+		"duplicate names": `{"schema":"vxmlbench/1","profile":"tiny","seed":1,"generated_by":"x","host":{"go_version":"go","goos":"linux","goarch":"amd64","num_cpu":1,"gomaxprocs":1},"scenarios":[{"name":"a","description":"d","rows":[{"label":"l","iters":1,"ns_per_op":1,"allocs_per_op":0,"bytes_per_op":0}]},{"name":"a","description":"d","rows":[{"label":"l","iters":1,"ns_per_op":1,"allocs_per_op":0,"bytes_per_op":0}]}]}`,
+	}
+	for name, data := range cases {
+		if err := Validate([]byte(data)); err == nil {
+			t.Errorf("Validate accepted case %q", name)
+		}
+	}
+}
+
+// TestRunReportUnknownScenario pins the error for a bad -scenarios value.
+func TestRunReportUnknownScenario(t *testing.T) {
+	_, err := RunReport(tinyConfig(), []string{"no_such_scenario"})
+	if err == nil || !strings.Contains(err.Error(), "unknown scenario") {
+		t.Fatalf("err = %v, want unknown scenario", err)
+	}
+}
+
+// TestScenarioCatalogIsWellFormed: stable names, no duplicates, figures
+// 13-21 all present — the mapping docs/BENCHMARKS.md documents.
+func TestScenarioCatalogIsWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	figures := map[string]bool{}
+	for _, def := range ScenarioCatalog() {
+		if def.Name == "" || def.Description == "" || def.Run == nil {
+			t.Fatalf("malformed scenario def %+v", def)
+		}
+		if seen[def.Name] {
+			t.Fatalf("duplicate scenario %q", def.Name)
+		}
+		seen[def.Name] = true
+		if def.Figure != "" {
+			figures[def.Figure] = true
+		}
+	}
+	for fig := 13; fig <= 21; fig++ {
+		if !figures[itoa(fig)] {
+			t.Errorf("no scenario maps to paper figure %d", fig)
+		}
+	}
+	for _, name := range []string{"parallelism_sweep", "concurrent_throughput", "mutation_mix", "cache_hit_miss", "streaming_early_break", "hot_paths"} {
+		if !seen[name] {
+			t.Errorf("missing scenario %q", name)
+		}
+	}
+}
+
+func itoa(n int) string { return string(rune('0'+n/10)) + string(rune('0'+n%10)) }
+
+// TestHotPathReferencesMatchOptimized is the equivalence oracle for the
+// hot_paths scenario: the reference (pre-optimization) implementations must
+// produce exactly the optimized paths' results, or the before/after
+// comparison would be comparing different computations.
+func TestHotPathReferencesMatchOptimized(t *testing.T) {
+	cfg := tinyConfig()
+	p := baseParams(cfg)
+	p.SizeUnits = 1
+	w, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := w.Corpus.INEX
+	kws := []string{"thomas", "control", "İstanbul"} // incl. a non-ASCII keyword
+
+	if got, want := xmltree.SubtreeTF(doc.Root, kws), referenceSubtreeTF(doc.Root, kws); !reflect.DeepEqual(got, want) {
+		t.Errorf("SubtreeTF = %v, reference = %v", got, want)
+	}
+
+	sample := doc.Root.Children[0]
+	if got, want := sample.Clone().XMLString(" "), referenceClone(sample).XMLString(" "); got != want {
+		t.Error("Clone diverges from reference clone")
+	}
+
+	w.Engine.RLock()
+	iix := w.Engine.InvIndex(doc.Name)
+	w.Engine.RUnlock()
+	pl := iix.Lookup("thomas")
+	for _, n := range doc.Root.Children {
+		refLo, refHi := referenceRangeProbe(pl.Postings, n.ID)
+		refTF := 0
+		for i := refLo; i < refHi; i++ {
+			refTF += pl.Postings[i].TF
+		}
+		if got := pl.SubtreeTF(n.ID); got != refTF {
+			t.Fatalf("SubtreeTF(%v) = %d, reference range sum = %d", n.ID, got, refTF)
+		}
+	}
+
+	// Tokenizer parity on mixed-case and non-ASCII text.
+	for _, text := range []string{
+		"Plain lowercase words", "MIXED Case-Tokens 42x",
+		"Ünïcode İstanbul Text with K (Kelvin)", "", "  ", "a",
+	} {
+		var streamed []string
+		xmltree.VisitTokens(text, func(tok string) bool {
+			streamed = append(streamed, tok)
+			return true
+		})
+		if want := referenceTokenize(text); !reflect.DeepEqual(streamed, want) {
+			t.Errorf("VisitTokens(%q) = %v, reference = %v", text, streamed, want)
+		}
+	}
+}

@@ -1,0 +1,711 @@
+package benchkit
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"vxml"
+	"vxml/internal/core"
+	"vxml/internal/dewey"
+	"vxml/internal/invindex"
+	"vxml/internal/xmltree"
+)
+
+// Config parameterizes a vxmlbench run: the scale profile and the data
+// generation seed shared by every scenario.
+type Config struct {
+	// Profile selects corpus sizes and per-point measurement budgets.
+	Profile Profile
+	// Seed drives every deterministic corpus generator in the run.
+	Seed int64
+}
+
+// ScenarioDef is one entry of the scenario catalog.
+type ScenarioDef struct {
+	// Name is the stable registry name used by -scenarios and in the JSON.
+	Name string
+	// Figure is the paper figure the scenario reproduces ("" for
+	// post-paper scenarios).
+	Figure string
+	// Description says what the scenario measures.
+	Description string
+	// Run executes the scenario.
+	Run func(cfg Config) (*Scenario, error)
+}
+
+// ScenarioCatalog returns every scenario in report order: the paper's
+// figures 13-21 first, then the post-paper scenarios (parallelism,
+// throughput, mutation, caching, streaming) and the hot-path
+// reference-vs-optimized comparison.
+func ScenarioCatalog() []ScenarioDef {
+	return []ScenarioDef{
+		{Name: "fig13_approaches", Figure: "13", Description: "total run time of the four approaches (Efficient, Baseline, GTP, Proj) vs data size, with speedup ratios", Run: runFig13},
+		{Name: "fig14_data_size", Figure: "14", Description: "Efficient module breakdown (PDT / eval / post) vs data size", Run: sweepScenario("fig14_data_size", "14", "Efficient module breakdown (PDT / eval / post) vs data size", sizePoints)},
+		{Name: "fig15_keywords", Figure: "15", Description: "Efficient module breakdown vs number of query keywords (1-5)", Run: sweepScenario("fig15_keywords", "15", "Efficient module breakdown vs number of query keywords (1-5)", keywordPoints)},
+		{Name: "fig16_selectivity", Figure: "16", Description: "Efficient module breakdown vs keyword selectivity (low/medium/high)", Run: sweepScenario("fig16_selectivity", "16", "Efficient module breakdown vs keyword selectivity (low/medium/high)", selectivityPoints)},
+		{Name: "fig17_joins", Figure: "17", Description: "Efficient module breakdown vs number of value joins (0-4)", Run: sweepScenario("fig17_joins", "17", "Efficient module breakdown vs number of value joins (0-4)", joinPoints)},
+		{Name: "fig18_join_selectivity", Figure: "18", Description: "Efficient module breakdown vs join selectivity (1X down to 0.1X)", Run: sweepScenario("fig18_join_selectivity", "18", "Efficient module breakdown vs join selectivity (1X down to 0.1X)", joinSelectivityPoints)},
+		{Name: "fig19_nesting", Figure: "19", Description: "Efficient module breakdown vs view nesting level (1-4)", Run: sweepScenario("fig19_nesting", "19", "Efficient module breakdown vs view nesting level (1-4)", nestingPoints)},
+		{Name: "fig20_topk", Figure: "20", Description: "Efficient module breakdown vs K in top-K", Run: sweepScenario("fig20_topk", "20", "Efficient module breakdown vs K in top-K", topkPoints)},
+		{Name: "fig21_elem_size", Figure: "21", Description: "Efficient run time and PDT size vs average view element size (§5.2.3 other results)", Run: sweepScenario("fig21_elem_size", "21", "Efficient run time and PDT size vs average view element size (§5.2.3 other results)", elemSizePoints)},
+		{Name: "parallelism_sweep", Description: "one ranked collection-view search at Parallelism 1, 2, 4 and GOMAXPROCS, with speedup vs sequential", Run: runParallelismSweep},
+		{Name: "concurrent_throughput", Description: "concurrent clients hammering one Database: queries/sec at increasing goroutine counts", Run: runConcurrentThroughput},
+		{Name: "mutation_mix", Description: "document lifecycle cost: replace, delete+add, and search-after-invalidation over a live corpus", Run: runMutationMix},
+		{Name: "cache_hit_miss", Description: "query-result cache: uncached search vs cache hit, with the hit speedup", Run: runCacheHitMiss},
+		{Name: "streaming_early_break", Description: "deferred delivery: full materialization vs streaming with an early break, with base-data fetch savings", Run: runStreamingEarlyBreak},
+		{Name: "hot_paths", Description: "allocation hot paths, reference (pre-optimization) implementation vs optimized, with allocs/op reduction", Run: runHotPaths},
+	}
+}
+
+// RunReport executes the named scenarios (nil or empty: all) and wraps the
+// results in a schema-versioned Report.
+func RunReport(cfg Config, names []string) (*Report, error) {
+	catalog := ScenarioCatalog()
+	selected := map[string]bool{}
+	for _, n := range names {
+		found := false
+		for _, def := range catalog {
+			if def.Name == n {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("benchkit: unknown scenario %q (use -list)", n)
+		}
+		selected[n] = true
+	}
+	report := &Report{
+		Schema:      SchemaVersion,
+		Profile:     cfg.Profile.Name,
+		Seed:        cfg.Seed,
+		GeneratedBy: "vxmlbench -profile " + cfg.Profile.Name,
+		Host:        HostInfo(),
+	}
+	for _, def := range catalog {
+		if len(selected) > 0 && !selected[def.Name] {
+			continue
+		}
+		s, err := def.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("benchkit: scenario %s: %w", def.Name, err)
+		}
+		s.Name, s.Figure, s.Description = def.Name, def.Figure, def.Description
+		report.Scenarios = append(report.Scenarios, *s)
+	}
+	return report, nil
+}
+
+// baseParams maps a Config to the Table 1 defaults at the profile's scale.
+func baseParams(cfg Config) Params {
+	p := Default()
+	p.UnitBytes = cfg.Profile.UnitBytes
+	p.Seed = cfg.Seed
+	return p
+}
+
+// sweepPoint is one x-axis point of a figure sweep.
+type sweepPoint struct {
+	label string
+	mut   func(*Params)
+}
+
+func sizePoints() []sweepPoint {
+	var pts []sweepPoint
+	for _, size := range []int{1, 2, 3, 4, 5} {
+		size := size
+		pts = append(pts, sweepPoint{fmt.Sprintf("size=%d", size), func(p *Params) { p.SizeUnits = size }})
+	}
+	return pts
+}
+
+func keywordPoints() []sweepPoint {
+	var pts []sweepPoint
+	for n := 1; n <= 5; n++ {
+		n := n
+		pts = append(pts, sweepPoint{fmt.Sprintf("keywords=%d", n), func(p *Params) { p.NumKeywords = n }})
+	}
+	return pts
+}
+
+func selectivityPoints() []sweepPoint {
+	var pts []sweepPoint
+	for _, sel := range []string{"low", "medium", "high"} {
+		sel := sel
+		pts = append(pts, sweepPoint{"selectivity=" + sel, func(p *Params) { p.Selectivity = sel }})
+	}
+	return pts
+}
+
+func joinPoints() []sweepPoint {
+	var pts []sweepPoint
+	for j := 0; j <= 4; j++ {
+		j := j
+		pts = append(pts, sweepPoint{fmt.Sprintf("joins=%d", j), func(p *Params) { p.NumJoins = j }})
+	}
+	return pts
+}
+
+func joinSelectivityPoints() []sweepPoint {
+	var pts []sweepPoint
+	for _, pt := range []struct {
+		label string
+		parts int
+	}{{"1X", 1}, {"0.5X", 2}, {"0.2X", 5}, {"0.1X", 10}} {
+		pt := pt
+		pts = append(pts, sweepPoint{"selectivity=" + pt.label, func(p *Params) { p.JoinPartitions = pt.parts }})
+	}
+	return pts
+}
+
+func nestingPoints() []sweepPoint {
+	var pts []sweepPoint
+	for level := 1; level <= 4; level++ {
+		level := level
+		pts = append(pts, sweepPoint{fmt.Sprintf("nesting=%d", level), func(p *Params) { p.Nesting = level }})
+	}
+	return pts
+}
+
+func topkPoints() []sweepPoint {
+	var pts []sweepPoint
+	for _, k := range []int{1, 10, 20, 30, 40} {
+		k := k
+		pts = append(pts, sweepPoint{fmt.Sprintf("k=%d", k), func(p *Params) { p.TopK = k }})
+	}
+	return pts
+}
+
+func elemSizePoints() []sweepPoint {
+	var pts []sweepPoint
+	for x := 1; x <= 5; x++ {
+		x := x
+		pts = append(pts, sweepPoint{fmt.Sprintf("elemsize=%dX", x), func(p *Params) { p.ElemSizeX = x }})
+	}
+	return pts
+}
+
+// sweepScenario builds a figure-sweep runner: one Efficient measurement per
+// point, with the module breakdown, PDT sizes, base-data bytes and index
+// probes in Extra.
+func sweepScenario(name, figure, desc string, points func() []sweepPoint) func(cfg Config) (*Scenario, error) {
+	return func(cfg Config) (*Scenario, error) {
+		s := &Scenario{Name: name, Figure: figure, Description: desc}
+		for _, pt := range points() {
+			p := baseParams(cfg)
+			pt.mut(&p)
+			w, err := Build(p)
+			if err != nil {
+				return nil, err
+			}
+			row, err := efficientRow(w, pt.label, cfg.Profile.Budget)
+			if err != nil {
+				return nil, err
+			}
+			s.Rows = append(s.Rows, row)
+		}
+		return s, nil
+	}
+}
+
+// efficientRow measures the Efficient pipeline on one workload and packs
+// the per-module breakdown and counter deltas into a Row.
+func efficientRow(w *Workload, label string, budget time.Duration) (Row, error) {
+	if _, err := w.RunEfficient(); err != nil {
+		return Row{}, err
+	}
+	var last *core.Stats
+	bytesBefore := w.Engine.Store.BytesFetched()
+	pp0, kl0 := w.Engine.IndexProbes()
+	m := Measure(budget, func() {
+		if s, err := w.RunEfficient(); err == nil {
+			last = s
+		}
+	})
+	bytesAfter := w.Engine.Store.BytesFetched()
+	pp1, kl1 := w.Engine.IndexProbes()
+	runs := float64(m.Iters + 1) // the counters also saw Measure's warm-up run
+	row := Row{
+		Label:        label,
+		Measurement:  m,
+		BytesFetched: float64(bytesAfter-bytesBefore) / runs,
+		IndexProbes:  float64(pp1-pp0+kl1-kl0) / runs,
+		Extra: map[string]float64{
+			"pdt_ns":       float64(last.PDTTime.Nanoseconds()),
+			"eval_ns":      float64(last.EvalTime.Nanoseconds()),
+			"post_ns":      float64(last.PostTime.Nanoseconds()),
+			"pdt_nodes":    float64(last.PDTNodes),
+			"pdt_bytes":    float64(last.PDTBytes),
+			"view_results": float64(last.ViewResults),
+			"matched":      float64(last.Matched),
+			"data_bytes":   float64(w.Engine.Store.TotalBytes()),
+		},
+	}
+	return row, nil
+}
+
+// runFig13 measures all four approaches per data size and reports the
+// paper's headline speedup ratios.
+func runFig13(cfg Config) (*Scenario, error) {
+	s := &Scenario{}
+	for _, size := range []int{1, 3, 5} {
+		p := baseParams(cfg)
+		p.SizeUnits = size
+		w, err := Build(p)
+		if err != nil {
+			return nil, err
+		}
+		row, err := efficientRow(w, fmt.Sprintf("size=%d", size), cfg.Profile.Budget)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := w.RunBaseline(); err != nil {
+			return nil, err
+		}
+		base := Measure(cfg.Profile.Budget, func() { w.RunBaseline() }) //nolint:errcheck // pre-flighted above
+		if _, err := w.RunGTP(); err != nil {
+			return nil, err
+		}
+		gtp := Measure(cfg.Profile.Budget, func() { w.RunGTP() }) //nolint:errcheck // pre-flighted above
+		proj := Measure(cfg.Profile.Budget, func() { w.RunProj() })
+		row.Extra["baseline_ns"] = base.NsPerOp
+		row.Extra["gtp_ns"] = gtp.NsPerOp
+		row.Extra["proj_ns"] = proj.NsPerOp
+		row.Extra["speedup_vs_baseline"] = base.NsPerOp / row.NsPerOp
+		row.Extra["speedup_vs_gtp"] = gtp.NsPerOp / row.NsPerOp
+		s.Rows = append(s.Rows, row)
+	}
+	return s, nil
+}
+
+// CollectionVocabulary is the word list of the collection corpora, shared
+// with the root-package parallel benchmarks (and mirroring the equivalence
+// suites' list): "copper" and "quartz" are the planted search terms,
+// repeated so term frequencies vary per article.
+var CollectionVocabulary = []string{
+	"copper", "quartz", "basalt", "granite", "mica", "shale",
+	"copper", "quartz", "system", "survey", "archive", "ledger",
+}
+
+// partXML builds one deterministic part document for the collection
+// corpora; variant perturbs the content so replacements differ.
+func partXML(rng *rand.Rand, part, articles, variant int) string {
+	var sb strings.Builder
+	sb.WriteString("<books>")
+	for a := 0; a < articles; a++ {
+		var body strings.Builder
+		for w, n := 0, 30+rng.Intn(90); w < n; w++ {
+			if w > 0 {
+				body.WriteByte(' ')
+			}
+			body.WriteString(CollectionVocabulary[rng.Intn(len(CollectionVocabulary))])
+		}
+		fmt.Fprintf(&sb,
+			`<article><fm><tl>study %d rev %d</tl><au>author%d</au><yr>%d</yr></fm><bdy>%s</bdy></article>`,
+			part*1000+a, variant, rng.Intn(8), 1985+rng.Intn(16), body.String())
+	}
+	sb.WriteString("</books>")
+	return sb.String()
+}
+
+// CollectionView joins a part-* collection against the authors document —
+// the view every collection-corpus scenario and benchmark searches.
+const CollectionView = `
+for $a in fn:collection("part-*")/books//article
+return <rec><t>{$a/fm/tl}</t>,
+  {for $u in fn:doc(authors.xml)/authors//author
+   where $u/name = $a/fm/au
+   return <inst>{$u/affil}</inst>},
+  {$a/bdy}</rec>`
+
+// CollectionKeywords returns the planted search terms of the collection
+// corpora.
+func CollectionKeywords() []string { return []string{"copper", "quartz"} }
+
+// BuildCollectionCorpus deterministically ingests a part-* collection
+// corpus (docs part documents with articlesPerDoc articles each, plus the
+// authors document CollectionView joins against) into db. The same builder
+// feeds the vxmlbench scenarios and the root-package parallel benchmarks,
+// so the two measure one corpus shape.
+func BuildCollectionCorpus(db *vxml.Database, docs, articlesPerDoc int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	for d := 0; d < docs; d++ {
+		if err := db.Add(fmt.Sprintf("part-%03d.xml", d), partXML(rng, d, articlesPerDoc, 0)); err != nil {
+			return err
+		}
+	}
+	var authors strings.Builder
+	authors.WriteString("<authors>")
+	for i := 0; i < 8; i++ {
+		fmt.Fprintf(&authors, `<author><name>author%d</name><affil>institute %d</affil></author>`, i, i)
+	}
+	authors.WriteString("</authors>")
+	return db.Add("authors.xml", authors.String())
+}
+
+// buildCollectionDB assembles the shared multi-document corpus the
+// post-paper scenarios run against.
+func buildCollectionDB(cfg Config) (*vxml.Database, *vxml.View, []string, error) {
+	db := vxml.Open()
+	if err := BuildCollectionCorpus(db, cfg.Profile.CollectionDocs, 8, cfg.Seed); err != nil {
+		return nil, nil, nil, err
+	}
+	view, err := db.DefineView(CollectionView)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return db, view, CollectionKeywords(), nil
+}
+
+// runParallelismSweep measures the same top-10 ranked search at fixed pool
+// sizes and at GOMAXPROCS (Parallelism 0).
+func runParallelismSweep(cfg Config) (*Scenario, error) {
+	db, view, kws, err := buildCollectionDB(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Scenario{}
+	var seqNs float64
+	for _, par := range []int{1, 2, 4, 0} {
+		opts := &vxml.Options{TopK: 10, Parallelism: par}
+		if _, _, err := db.Search(view, kws, opts); err != nil {
+			return nil, err
+		}
+		m := Measure(cfg.Profile.Budget, func() { db.Search(view, kws, opts) }) //nolint:errcheck // pre-flighted above
+		label := fmt.Sprintf("parallelism=%d", par)
+		if par == 0 {
+			label = "parallelism=gomaxprocs"
+		}
+		row := Row{Label: label, Measurement: m, Extra: map[string]float64{}}
+		if par == 1 {
+			seqNs = m.NsPerOp
+		} else if seqNs > 0 {
+			row.Extra["speedup_vs_sequential"] = seqNs / m.NsPerOp
+		}
+		s.Rows = append(s.Rows, row)
+	}
+	return s, nil
+}
+
+// runConcurrentThroughput measures aggregate search throughput with G
+// concurrent clients sharing one Database (the HTTP service's shape).
+func runConcurrentThroughput(cfg Config) (*Scenario, error) {
+	db, view, kws, err := buildCollectionDB(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := db.Search(view, kws, &vxml.Options{TopK: 10, Parallelism: 1}); err != nil {
+		return nil, err
+	}
+	s := &Scenario{}
+	for _, g := range []int{1, 2, 4, 8} {
+		g := g
+		// One op = each of the G clients completing one sequential search;
+		// per-search parallelism stays 1 so added clients are the only
+		// concurrency.
+		m := Measure(cfg.Profile.Budget, func() {
+			var wg sync.WaitGroup
+			wg.Add(g)
+			for i := 0; i < g; i++ {
+				go func() {
+					defer wg.Done()
+					db.Search(view, kws, &vxml.Options{TopK: 10, Parallelism: 1}) //nolint:errcheck // pre-flighted above
+				}()
+			}
+			wg.Wait()
+		})
+		s.Rows = append(s.Rows, Row{
+			Label:       fmt.Sprintf("clients=%d", g),
+			Measurement: m,
+			Extra: map[string]float64{
+				"queries_per_sec": float64(g) * 1e9 / m.NsPerOp,
+			},
+		})
+	}
+	return s, nil
+}
+
+// runMutationMix measures the document lifecycle: in-place replacement,
+// delete+re-add churn, and the cost of the first (cache-cold) search after
+// an invalidating mutation.
+func runMutationMix(cfg Config) (*Scenario, error) {
+	db, view, kws, err := buildCollectionDB(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	docs := cfg.Profile.CollectionDocs
+	variant := 1
+	s := &Scenario{}
+
+	name := func(i int) string { return fmt.Sprintf("part-%03d.xml", i%docs) }
+	replace := Measure(cfg.Profile.Budget, func() {
+		if err := db.Replace(name(variant), partXML(rng, variant%docs, 8, variant)); err != nil {
+			panic(err)
+		}
+		variant++
+	})
+	s.Rows = append(s.Rows, Row{Label: "replace", Measurement: replace})
+
+	deleteAdd := Measure(cfg.Profile.Budget, func() {
+		n := name(variant)
+		if err := db.Delete(n); err != nil {
+			panic(err)
+		}
+		if err := db.Add(n, partXML(rng, variant%docs, 8, variant)); err != nil {
+			panic(err)
+		}
+		variant++
+	})
+	s.Rows = append(s.Rows, Row{Label: "delete_add", Measurement: deleteAdd})
+
+	// Each op replaces one document (invalidating the cache) and runs the
+	// search that must recompute against the mutated corpus.
+	searchAfter := Measure(cfg.Profile.Budget, func() {
+		if err := db.Replace(name(variant), partXML(rng, variant%docs, 8, variant)); err != nil {
+			panic(err)
+		}
+		variant++
+		db.Search(view, kws, &vxml.Options{TopK: 10, Cache: true}) //nolint:errcheck // view/kws pre-flighted by buildCollectionDB scenarios
+	})
+	s.Rows = append(s.Rows, Row{Label: "replace_then_search", Measurement: searchAfter, Extra: map[string]float64{
+		"replace_ns": replace.NsPerOp,
+	}})
+	return s, nil
+}
+
+// runCacheHitMiss compares an uncached search (the cost every miss pays)
+// with a warm cache hit of the same query.
+func runCacheHitMiss(cfg Config) (*Scenario, error) {
+	db, view, kws, err := buildCollectionDB(cfg)
+	if err != nil {
+		return nil, err
+	}
+	uncachedOpts := &vxml.Options{TopK: 10}
+	if _, _, err := db.Search(view, kws, uncachedOpts); err != nil {
+		return nil, err
+	}
+	uncached := Measure(cfg.Profile.Budget, func() { db.Search(view, kws, uncachedOpts) }) //nolint:errcheck // pre-flighted above
+	cachedOpts := &vxml.Options{TopK: 10, Cache: true}
+	if _, _, err := db.Search(view, kws, cachedOpts); err != nil {
+		return nil, err
+	}
+	hit := Measure(cfg.Profile.Budget, func() { db.Search(view, kws, cachedOpts) }) //nolint:errcheck // pre-flighted above
+	stats := db.CacheStats()
+	s := &Scenario{}
+	s.Rows = append(s.Rows, Row{Label: "uncached", Measurement: uncached})
+	s.Rows = append(s.Rows, Row{Label: "hit", Measurement: hit, Extra: map[string]float64{
+		"speedup_vs_uncached": uncached.NsPerOp / hit.NsPerOp,
+		"cache_hits":          float64(stats.Hits),
+		"cache_entries":       float64(stats.Entries),
+	}})
+	return s, nil
+}
+
+// runStreamingEarlyBreak compares materializing a full unranked result set
+// with streaming the same ranking and breaking after a few results — the
+// deferred-materialization payoff in fetch counts.
+func runStreamingEarlyBreak(cfg Config) (*Scenario, error) {
+	db, view, kws, err := buildCollectionDB(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+	full := func() {
+		if _, _, err := db.Search(view, kws, &vxml.Options{}); err != nil {
+			panic(err)
+		}
+	}
+	const keep = 3
+	streamed := func() {
+		n := 0
+		for _, err := range db.Results(ctx, view, kws, &vxml.Options{}) {
+			if err != nil {
+				panic(err)
+			}
+			if n++; n >= keep {
+				break
+			}
+		}
+	}
+	full()
+	streamed()
+	fullFetches := fetchesPerOp(db, cfg.Profile.Budget, full)
+	streamFetches := fetchesPerOp(db, cfg.Profile.Budget, streamed)
+	s := &Scenario{}
+	s.Rows = append(s.Rows, Row{Label: "full_materialization", Measurement: fullFetches.m, Extra: map[string]float64{
+		"subtree_fetches": fullFetches.fetches,
+	}})
+	saved := 0.0
+	if fullFetches.fetches > 0 {
+		saved = 1 - streamFetches.fetches/fullFetches.fetches
+	}
+	s.Rows = append(s.Rows, Row{Label: fmt.Sprintf("streamed_break_after_%d", keep), Measurement: streamFetches.m, Extra: map[string]float64{
+		"subtree_fetches":        streamFetches.fetches,
+		"fetch_fraction_saved":   saved,
+		"speedup_vs_full":        fullFetches.m.NsPerOp / streamFetches.m.NsPerOp,
+		"results_kept_per_query": keep,
+	}})
+	return s, nil
+}
+
+// fetchResult pairs a measurement with the store fetch counter delta.
+type fetchResult struct {
+	m       Measurement
+	fetches float64
+}
+
+// fetchesPerOp measures fn and attributes the store's subtree-fetch
+// counter delta per operation (including Measure's warm-up run).
+func fetchesPerOp(db *vxml.Database, budget time.Duration, fn func()) fetchResult {
+	before := db.SubtreeFetches()
+	m := Measure(budget, fn)
+	after := db.SubtreeFetches()
+	return fetchResult{m: m, fetches: float64(after-before) / float64(m.Iters+1)}
+}
+
+// ---------------------------------------------------------- hot paths ----
+
+// runHotPaths measures the optimized allocation hot paths against
+// reference implementations of the same computation (the pre-optimization
+// algorithms, kept here verbatim), so every emitted report carries its own
+// machine-honest before/after allocs-per-op comparison. The references are
+// also equivalence-checked against the optimized paths in the package
+// tests.
+func runHotPaths(cfg Config) (*Scenario, error) {
+	p := baseParams(cfg)
+	p.SizeUnits = 1
+	w, err := Build(p)
+	if err != nil {
+		return nil, err
+	}
+	doc := w.Corpus.INEX
+	kws := []string{"thomas", "control"}
+	budget := cfg.Profile.Budget
+
+	s := &Scenario{}
+	pair := func(label string, ref, opt func()) {
+		before := Measure(budget, ref)
+		after := Measure(budget, opt)
+		reduction := 0.0
+		if before.AllocsPerOp > 0 {
+			reduction = 1 - after.AllocsPerOp/before.AllocsPerOp
+		}
+		s.Rows = append(s.Rows, Row{Label: label, Measurement: after, Extra: map[string]float64{
+			"before_ns_per_op":     before.NsPerOp,
+			"before_allocs_per_op": before.AllocsPerOp,
+			"before_bytes_per_op":  before.BytesPerOp,
+			"allocs_reduction":     reduction,
+			"speedup":              before.NsPerOp / after.NsPerOp,
+		}})
+	}
+
+	// Tokenization + subtree term frequencies (FromBase scoring, indexing).
+	pair("subtree_tf",
+		func() { referenceSubtreeTF(doc.Root, kws) },
+		func() { xmltree.SubtreeTF(doc.Root, kws) })
+
+	// Winner materialization: deep-copying a fetched base subtree.
+	sample := doc.Root
+	if len(sample.Children) > 0 {
+		sample = sample.Children[0]
+	}
+	pair("materialize_clone",
+		func() { referenceClone(sample) },
+		func() { sample.Clone() })
+
+	// Inverted-list subtree range probes (PDT generation's tf source). The
+	// index is immutable once built, so it is safe to keep probing it after
+	// the lock is released.
+	w.Engine.RLock()
+	iix := w.Engine.InvIndex(doc.Name)
+	w.Engine.RUnlock()
+	pl := iix.Lookup(kws[0])
+	targets := doc.Root.Children
+	if len(targets) == 0 {
+		targets = []*xmltree.Node{doc.Root}
+	}
+	pair("dewey_range_probe",
+		func() {
+			for _, t := range targets {
+				referenceRangeProbe(pl.Postings, t.ID)
+			}
+		},
+		func() {
+			for _, t := range targets {
+				pl.SubtreeTF(t.ID)
+			}
+		})
+	return s, nil
+}
+
+// referenceSubtreeTF is the pre-optimization SubtreeTF: a Unicode-folding
+// tokenizer materializing a token slice per text node.
+func referenceSubtreeTF(n *xmltree.Node, keywords []string) []int {
+	tf := make([]int, len(keywords))
+	n.Walk(func(x *xmltree.Node) {
+		if x.Value == "" {
+			return
+		}
+		for _, tok := range referenceTokenize(x.Value) {
+			for i, k := range keywords {
+				if tok == k {
+					tf[i]++
+				}
+			}
+		}
+	})
+	return tf
+}
+
+// referenceTokenize is the pre-optimization tokenizer: lower the whole
+// text, then slice tokens out of the copy.
+func referenceTokenize(text string) []string {
+	var tokens []string
+	start := -1
+	lower := strings.ToLower(text)
+	for i, r := range lower {
+		alnum := r >= 'a' && r <= 'z' || r >= '0' && r <= '9'
+		if alnum && start < 0 {
+			start = i
+		}
+		if !alnum && start >= 0 {
+			tokens = append(tokens, lower[start:i])
+			start = -1
+		}
+	}
+	if start >= 0 {
+		tokens = append(tokens, lower[start:])
+	}
+	return tokens
+}
+
+// referenceClone is the pre-optimization deep copy: one node, one ID and
+// one child append chain per element.
+func referenceClone(n *xmltree.Node) *xmltree.Node {
+	c := &xmltree.Node{Tag: n.Tag, Value: n.Value, ID: n.ID.Clone(), ByteLen: n.ByteLen}
+	for _, ch := range n.Children {
+		cc := referenceClone(ch)
+		cc.Parent = c
+		c.Children = append(c.Children, cc)
+	}
+	return c
+}
+
+// referenceRangeProbe is the pre-optimization subtree range probe: it
+// materializes id.Successor() for the upper bound of every probe.
+func referenceRangeProbe(postings []invindex.Posting, id dewey.ID) (lo, hi int) {
+	succ := id.Successor()
+	lo = sort.Search(len(postings), func(i int) bool {
+		return dewey.Compare(postings[i].ID, id) >= 0
+	})
+	hi = sort.Search(len(postings), func(i int) bool {
+		return dewey.Compare(postings[i].ID, succ) >= 0
+	})
+	return lo, hi
+}

@@ -104,6 +104,24 @@ func (e *Engine) InvIndex(name string) *invindex.Index {
 	return e.shards[e.Store.ShardOf(name)].inv[name]
 }
 
+// IndexProbes sums the served index-probe counters across the whole
+// corpus: path-index B+-tree probes and inverted-list keyword lookups.
+// Benchmarks report deltas of these to show that the number of probes per
+// query depends on the query, never on the data size (paper Figure 7).
+func (e *Engine) IndexProbes() (pathProbes, keywordLookups int) {
+	e.RLock()
+	defer e.RUnlock()
+	for _, sh := range e.shards {
+		for _, ix := range sh.path {
+			pathProbes += ix.Probes()
+		}
+		for _, ix := range sh.inv {
+			keywordLookups += ix.Lookups()
+		}
+	}
+	return pathProbes, keywordLookups
+}
+
 // New builds an engine over an existing store, indexing every document.
 func New(st *store.Store) *Engine {
 	e := &Engine{

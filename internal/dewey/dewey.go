@@ -157,6 +157,49 @@ func (id ID) Successor() ID {
 	return s
 }
 
+// CompareToSuccessor compares a against id.Successor() in document order
+// without materializing the successor — the subtree-range probes of the
+// inverted index run once per candidate element per keyword, and the
+// successor clone was their only allocation.
+func CompareToSuccessor(a, id ID) int {
+	if len(id) == 0 {
+		// Successor of the virtual root is ID{1 << 30}.
+		if len(a) == 0 {
+			return -1
+		}
+		switch {
+		case a[0] < 1<<30:
+			return -1
+		case a[0] > 1<<30:
+			return 1
+		}
+		if len(a) == 1 {
+			return 0
+		}
+		return 1
+	}
+	n := min(len(a), len(id))
+	for i := 0; i < n; i++ {
+		want := id[i]
+		if i == len(id)-1 {
+			want++ // the successor's bumped last component
+		}
+		switch {
+		case a[i] < want:
+			return -1
+		case a[i] > want:
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(id):
+		return -1
+	case len(a) > len(id):
+		return 1
+	}
+	return 0
+}
+
 // CommonPrefixLen returns the length of the longest common prefix of a and b.
 func CommonPrefixLen(a, b ID) int {
 	n := len(a)

@@ -226,3 +226,33 @@ func TestCloneIndependence(t *testing.T) {
 		t.Error("Clone of nil should be nil")
 	}
 }
+
+// TestCompareToSuccessorMatchesMaterialized pins the allocation-free range
+// comparison to the definitional form: for random IDs,
+// CompareToSuccessor(a, id) == Compare(a, id.Successor()).
+func TestCompareToSuccessorMatchesMaterialized(t *testing.T) {
+	f := func(aRaw, idRaw []uint8) bool {
+		toID := func(raw []uint8) ID {
+			if len(raw) > 6 {
+				raw = raw[:6]
+			}
+			id := make(ID, len(raw))
+			for i, c := range raw {
+				id[i] = int32(c % 4)
+			}
+			return id
+		}
+		a, id := toID(aRaw), toID(idRaw)
+		return CompareToSuccessor(a, id) == Compare(a, id.Successor())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+	// The virtual root's successor and its exact boundary.
+	if CompareToSuccessor(ID{1 << 30}, nil) != 0 {
+		t.Error("successor of virtual root should compare equal to {1<<30}")
+	}
+	if CompareToSuccessor(nil, nil) != -1 {
+		t.Error("virtual root precedes its own successor")
+	}
+}

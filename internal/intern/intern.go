@@ -1,0 +1,23 @@
+// Package intern canonicalizes frequently repeated strings through the
+// runtime's unique package: element tag names, indexed keyword tokens and
+// root-to-element paths recur across every document of a corpus (and across
+// every shard of the store), so retaining one canonical copy instead of one
+// copy per document bounds index memory by the vocabulary, not the corpus.
+//
+// unique.Make keeps canonical values alive only while something references
+// them (weak interning), so a deleted corpus's vocabulary is reclaimed with
+// it — a plain map-based interner would leak it forever.
+package intern
+
+import "unique"
+
+// String returns the canonical copy of s. Callers that retain many equal
+// strings (index builders) intern once per distinct value, not per
+// occurrence: the canonical copy is shared process-wide, across documents
+// and shards.
+func String(s string) string {
+	if s == "" {
+		return ""
+	}
+	return unique.Make(s).Value()
+}

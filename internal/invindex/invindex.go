@@ -15,6 +15,7 @@ import (
 
 	"vxml/internal/btree"
 	"vxml/internal/dewey"
+	"vxml/internal/intern"
 	"vxml/internal/xmltree"
 )
 
@@ -46,34 +47,58 @@ type Index struct {
 // concurrently with reads.
 func (ix *Index) Lookups() int { return int(ix.lookups.Load()) }
 
-// Build constructs the inverted index for doc in one walk.
+// Build constructs the inverted index for doc in one walk. The walk is in
+// document order, so each list's postings arrive already Dewey-sorted and a
+// token of the current element always extends the list's last posting —
+// which is what lets the builder stream tokens straight into the lists with
+// one document-level map instead of allocating per-element scratch.
 func Build(doc *xmltree.Document) *Index {
 	ix := &Index{dict: btree.New()}
+	lists := map[string]*PostingList{}
+	var curID dewey.ID
+	var pos int32
+	// Position slices are carved from chunked arenas: most postings hold a
+	// single position, and a full-capacity subslice keeps the rare multi-
+	// occurrence append from bleeding into a neighbor (it reallocates).
+	var posChunk []int32
+	newPositions := func(p int32) []int32 {
+		if len(posChunk) == cap(posChunk) {
+			posChunk = make([]int32, 0, 1024)
+		}
+		posChunk = append(posChunk, p)
+		return posChunk[len(posChunk)-1 : len(posChunk) : len(posChunk)]
+	}
+	add := func(tok string) bool {
+		pl := lists[tok]
+		if pl == nil {
+			// First sight of the word in this document: intern it so every
+			// document (and every shard) retains one canonical copy of the
+			// corpus vocabulary.
+			kw := intern.String(tok)
+			pl = &PostingList{Keyword: kw}
+			lists[kw] = pl
+		}
+		if k := len(pl.Postings) - 1; k >= 0 && dewey.Equal(pl.Postings[k].ID, curID) {
+			p := &pl.Postings[k]
+			p.TF++
+			p.Positions = append(p.Positions, pos)
+		} else {
+			pl.Postings = append(pl.Postings, Posting{ID: curID, TF: 1, Positions: newPositions(pos)})
+		}
+		pos++
+		return true
+	}
 	doc.Root.Walk(func(n *xmltree.Node) {
 		ix.elements++
 		if n.Value == "" {
 			return
 		}
-		tokens := xmltree.Tokenize(n.Value)
-		byWord := map[string][]int32{}
-		for pos, tok := range tokens {
-			byWord[tok] = append(byWord[tok], int32(pos))
-		}
-		for word, positions := range byWord {
-			var pl *PostingList
-			if v, ok := ix.dict.Get([]byte(word)); ok {
-				pl = v.(*PostingList)
-			} else {
-				pl = &PostingList{Keyword: word}
-				ix.dict.Put([]byte(word), pl)
-			}
-			pl.Postings = append(pl.Postings, Posting{ID: n.ID, TF: len(positions), Positions: positions})
-		}
+		curID, pos = n.ID, 0
+		xmltree.VisitTokens(n.Value, add)
 	})
-	// Document-order walk appends postings already sorted; build prefix sums.
-	it := ix.dict.Min()
-	for ; it.Valid(); it.Next() {
-		it.Value().(*PostingList).buildPrefix()
+	for kw, pl := range lists {
+		pl.buildPrefix()
+		ix.dict.Put([]byte(kw), pl)
 	}
 	return ix
 }
@@ -114,13 +139,15 @@ func (pl *PostingList) TotalTF() int {
 }
 
 // rangeBounds returns the posting index range covering the subtree of id.
+// The upper bound compares against id's successor without materializing it
+// (dewey.CompareToSuccessor), keeping the probe allocation-free — it runs
+// once per candidate element per keyword during PDT generation.
 func (pl *PostingList) rangeBounds(id dewey.ID) (lo, hi int) {
-	succ := id.Successor()
 	lo = sort.Search(len(pl.Postings), func(i int) bool {
 		return dewey.Compare(pl.Postings[i].ID, id) >= 0
 	})
 	hi = sort.Search(len(pl.Postings), func(i int) bool {
-		return dewey.Compare(pl.Postings[i].ID, succ) >= 0
+		return dewey.CompareToSuccessor(pl.Postings[i].ID, id) >= 0
 	})
 	return lo, hi
 }

@@ -1,0 +1,67 @@
+// Microbenchmarks for inverted-index construction and subtree-TF probing —
+// the two invindex paths on the ingest and PDT-generation hot loops.
+// vxmlbench's hot_paths scenario reports the same comparison
+// machine-readably.
+package invindex
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"vxml/internal/xmltree"
+)
+
+func benchDoc(b *testing.B, articles int) *xmltree.Document {
+	b.Helper()
+	var sb strings.Builder
+	sb.WriteString("<books>")
+	for i := 0; i < articles; i++ {
+		fmt.Fprintf(&sb,
+			"<article><tl>study %d of fuzzy systems</tl><bdy>fuzzy neural control systems thomas moore parallel data ieee computing item-%d</bdy></article>",
+			i, i)
+	}
+	sb.WriteString("</books>")
+	doc, err := xmltree.ParseString(sb.String(), "bench.xml", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return doc
+}
+
+func BenchmarkBuild(b *testing.B) {
+	doc := benchDoc(b, 100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(doc)
+	}
+}
+
+func BenchmarkSubtreeTFProbe(b *testing.B) {
+	doc := benchDoc(b, 100)
+	ix := Build(doc)
+	pl := ix.Lookup("fuzzy")
+	articles := doc.Root.Children
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, a := range articles {
+			pl.SubtreeTF(a.ID)
+		}
+	}
+}
+
+func BenchmarkContainsSubtreeProbe(b *testing.B) {
+	doc := benchDoc(b, 100)
+	ix := Build(doc)
+	pl := ix.Lookup("moore")
+	articles := doc.Root.Children
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, a := range articles {
+			pl.ContainsSubtree(a.ID)
+		}
+	}
+}

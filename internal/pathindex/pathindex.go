@@ -22,6 +22,7 @@ import (
 
 	"vxml/internal/btree"
 	"vxml/internal/dewey"
+	"vxml/internal/intern"
 	"vxml/internal/pred"
 	"vxml/internal/xmltree"
 )
@@ -110,7 +111,9 @@ func Build(doc *xmltree.Document) *Index {
 	})
 	ix.paths = make([]string, 0, len(pathSet))
 	for p := range pathSet {
-		ix.paths = append(ix.paths, p)
+		// Full data paths recur across every document of a corpus-shaped
+		// collection (and across shards); retain the canonical copy.
+		ix.paths = append(ix.paths, intern.String(p))
 	}
 	sort.Strings(ix.paths)
 	return ix

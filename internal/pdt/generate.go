@@ -2,6 +2,7 @@ package pdt
 
 import (
 	"sort"
+	"sync"
 
 	"vxml/internal/dewey"
 	"vxml/internal/pathindex"
@@ -92,33 +93,52 @@ type generator struct {
 	stack  []*ctNode
 	out    []*emitInfo
 	filter *KeywordFilter
+	// layout is the QPT's DescendantMap bit layout, computed once per QPT
+	// (qpt.MandatoryLayout) and shared read-only across generator runs.
+	layout *qpt.MandLayout
 	// free lists: CT nodes and items die when finalized, so the generator
-	// recycles them to keep the merge allocation-free in steady state.
+	// recycles them to keep the merge allocation-free in steady state. The
+	// generator itself is recycled through genPool, so the free lists (and
+	// the merge cursors and emission-record chunks below) survive across
+	// documents and searches.
 	nodePool []*ctNode
 	itemPool []*ctItem
-	// mandBit[q] is (1 << position of q among its parent's mandatory
-	// children); mandCount[p] is the number of mandatory children of p.
-	mandBit   map[*qpt.Node]uint64
-	mandCount map[*qpt.Node]int
+	cursors  []int
+	recChunk []emitInfo
+	// tfChunk arenas the per-'c'-node TF slices. Unlike the scratch above
+	// it escapes into the PDT's NodeMeta payloads (which outlive the run,
+	// e.g. in SkipMaterialize results), so reset drops it instead of
+	// recycling it — the win is one allocation per chunk, not per node.
+	tfChunk []int
 }
 
-// indexMandatory precomputes the DescendantMap bit layout of every QPT node.
-func (g *generator) indexMandatory() {
-	g.mandBit = map[*qpt.Node]uint64{}
-	g.mandCount = map[*qpt.Node]int{}
-	var walk func(n *qpt.Node)
-	walk = func(n *qpt.Node) {
-		pos := 0
-		for _, e := range n.Edges {
-			if e.Mandatory {
-				g.mandBit[e.Child] = 1 << pos
-				pos++
-			}
-			walk(e.Child)
+// genPool recycles generators across GenerateFiltered calls: a search runs
+// one generation per candidate document, and the Candidate-Tree scratch
+// (stack, free lists, cursors) is identical in shape every time.
+var genPool = sync.Pool{New: func() any { return &generator{} }}
+
+// record returns the node's emission record, carving it from the
+// generator's chunk arena on first use. Payload fields are final by the
+// time any emission can happen, because an element's own postings always
+// precede its descendants in Dewey order. Records are referenced only
+// until the PDT is assembled, so the chunks are recycled with the
+// generator.
+func (g *generator) record(n *ctNode) *emitInfo {
+	if n.rec == nil {
+		if len(g.recChunk) == cap(g.recChunk) {
+			g.recChunk = make([]emitInfo, 0, 256)
 		}
-		g.mandCount[n] = pos
+		g.recChunk = append(g.recChunk, emitInfo{
+			ID:       n.id,
+			Tag:      n.tag,
+			Value:    n.value,
+			HasValue: n.hasValue,
+			ByteLen:  n.byteLen,
+			TFs:      n.tfs,
+		})
+		n.rec = &g.recChunk[len(g.recChunk)-1]
 	}
-	walk(g.q.Root)
+	return n.rec
 }
 
 // KeywordFilter enables the monotone special case of the paper's "avoid
@@ -142,16 +162,19 @@ func Generate(q *qpt.QPT, lists *Lists, sourceName string) *PDT {
 }
 
 // GenerateFiltered is Generate with an optional keyword filter for
-// selection views.
+// selection views. Generators are recycled through a pool: the Candidate
+// Tree scratch, free lists and emission-record chunks survive across
+// candidate documents, so steady-state generation allocates only for the
+// PDT it emits.
 func GenerateFiltered(q *qpt.QPT, lists *Lists, sourceName string, filter *KeywordFilter) *PDT {
-	g := &generator{q: q, lists: lists, filter: filter}
-	g.indexMandatory()
+	g := genPool.Get().(*generator)
+	g.q, g.lists, g.filter, g.layout = q, lists, filter, q.MandatoryLayout()
 	// Virtual root CT node: the document itself, always in the PDT.
-	rootItem := &ctItem{q: q.Root, inPdt: true, need: g.mandCount[q.Root]}
+	rootItem := &ctItem{q: q.Root, inPdt: true, need: g.layout.Count[q.Root]}
 	rootItem.candidate = rootItem.need == 0
 	virtual := &ctNode{depth: 0, items: []*ctItem{rootItem}}
 	rootItem.owner = virtual
-	g.stack = []*ctNode{virtual}
+	g.stack = append(g.stack[:0], virtual)
 
 	g.mergeLists()
 
@@ -167,12 +190,37 @@ func GenerateFiltered(q *qpt.QPT, lists *Lists, sourceName string, filter *Keywo
 			}
 		}
 	}
-	return g.build(sourceName)
+	pdt := g.build(sourceName)
+	g.reset()
+	genPool.Put(g)
+	return pdt
+}
+
+// reset clears the per-run state while keeping the recycled scratch (free
+// lists, cursor and record chunks, slice backings) for the next run.
+func (g *generator) reset() {
+	g.q, g.lists, g.filter, g.layout = nil, nil, nil, nil
+	g.stack = g.stack[:0]
+	for i := range g.out {
+		g.out[i] = nil
+	}
+	g.out = g.out[:0]
+	// Records emitted in previous runs are dead once their PDT is
+	// assembled; reuse the final chunk's storage.
+	g.recChunk = g.recChunk[:0]
+	// TF payloads escaped into the PDT: drop the arena, never reuse it.
+	g.tfChunk = nil
 }
 
 // mergeLists is the single k-way merge pass over the ordered ID lists.
 func (g *generator) mergeLists() {
-	cursors := make([]int, len(g.lists.Paths))
+	for len(g.cursors) < len(g.lists.Paths) {
+		g.cursors = append(g.cursors, 0)
+	}
+	cursors := g.cursors[:len(g.lists.Paths)]
+	for i := range cursors {
+		cursors[i] = 0
+	}
 	for {
 		minIdx := -1
 		for i, pl := range g.lists.Paths {
@@ -339,9 +387,12 @@ func (g *generator) push(id dewey.ID, depth int, tag string, qnodes []*qpt.Node)
 }
 
 // release recycles a finalized CT node and its items. Safe because after
-// finalize nothing references them: cache-entry ParentLists are rewritten
-// to live ancestors before the node pops, and the emission record has its
-// own allocation.
+// finalize nothing references the structs themselves: cache-entry
+// ParentLists are rewritten to live ancestors before the node pops, and the
+// emission record has its own allocation. The pl slice backings must NOT be
+// reused, though — pending cache-entry groups alias them (finalize hands
+// item.pl to entryGroups), so a recycled item appending into an old backing
+// would corrupt a live group's ParentList.
 func (g *generator) release(n *ctNode) {
 	for _, it := range n.items {
 		*it = ctItem{}
@@ -364,7 +415,7 @@ func (g *generator) addItem(n *ctNode, qn *qpt.Node) {
 	} else {
 		item = &ctItem{}
 	}
-	item.q, item.owner, item.need = qn, n, g.mandCount[qn]
+	item.q, item.owner, item.need = qn, n, g.layout.Count[qn]
 	parentQ := g.q.Root
 	axis := pathindex.Child
 	if qn.Parent != nil {
@@ -394,9 +445,21 @@ func (g *generator) addItem(n *ctNode, qn *qpt.Node) {
 }
 
 // subtreeTFs aggregates per-keyword term frequencies for the subtree of id
-// from the inverted lists (index-only, O(log n) per keyword).
+// from the inverted lists (index-only, O(log n) per keyword). The slices
+// are carved full-capacity from tfChunk, whose chunks live as long as the
+// PDT payloads referencing them.
 func (g *generator) subtreeTFs(id dewey.ID) []int {
-	tfs := make([]int, len(g.lists.Inv))
+	n := len(g.lists.Inv)
+	if cap(g.tfChunk)-len(g.tfChunk) < n {
+		size := 256
+		if n > size {
+			size = n
+		}
+		g.tfChunk = make([]int, 0, size)
+	}
+	start := len(g.tfChunk)
+	g.tfChunk = g.tfChunk[:start+n]
+	tfs := g.tfChunk[start : start+n : start+n]
 	for i, pl := range g.lists.Inv {
 		tfs[i] = pl.SubtreeTF(id)
 	}
@@ -430,13 +493,13 @@ func (g *generator) finalize(n *ctNode) {
 			}
 		}
 		if item.inPdt {
-			g.emit(n.record(), item.q)
+			g.emit(g.record(n), item.q)
 		} else if len(item.pl) > 0 {
 			pending = append(pending, &entryGroup{q: item.q, pl: item.pl})
 		}
 	}
 	if len(pending) > 0 {
-		parent.cache = append(parent.cache, &cacheEntry{info: n.record(), groups: pending})
+		parent.cache = append(parent.cache, &cacheEntry{info: g.record(n), groups: pending})
 	}
 	// Process the node's PdtCache: entry groups reference items of n or of
 	// live ancestors (the upward-rewrite invariant).
@@ -474,30 +537,13 @@ func (g *generator) finalize(n *ctNode) {
 	g.release(n)
 }
 
-// record returns the node's emission record, creating it on first use.
-// Payload fields are final by the time any emission can happen, because an
-// element's own postings always precede its descendants in Dewey order.
-func (n *ctNode) record() *emitInfo {
-	if n.rec == nil {
-		n.rec = &emitInfo{
-			ID:       n.id,
-			Tag:      n.tag,
-			Value:    n.value,
-			HasValue: n.hasValue,
-			ByteLen:  n.byteLen,
-			TFs:      n.tfs,
-		}
-	}
-	return n.rec
-}
-
 // propagate sets the DescendantMap bit of every parent item and cascades
 // candidate promotion upward; promoted ancestors whose own ancestor
 // constraints are already resolved become InPdt immediately and are emitted
 // (paper §4.2.2.1), which is what lets descendants emit directly instead of
 // travelling through PdtCaches.
 func (g *generator) propagate(item *ctItem) {
-	bit := g.mandBit[item.q]
+	bit := g.layout.Bit[item.q]
 	if bit == 0 {
 		return // item.q is an optional child: no DescendantMap entry
 	}
@@ -514,7 +560,7 @@ func (g *generator) propagate(item *ctItem) {
 				for _, pp := range p.pl {
 					if pp.inPdt {
 						p.inPdt = true
-						g.emit(p.owner.record(), p.q)
+						g.emit(g.record(p.owner), p.q)
 						break
 					}
 				}
@@ -532,15 +578,22 @@ func anyPLInPdt(pl []*ctItem) bool {
 	return false
 }
 
+// dedupeItems removes duplicate items in place. ParentLists are a handful
+// of entries, so the quadratic scan beats allocating a set.
 func dedupeItems(items []*ctItem) []*ctItem {
 	if len(items) < 2 {
 		return items
 	}
-	seen := map[*ctItem]bool{}
 	out := items[:0]
 	for _, it := range items {
-		if !seen[it] {
-			seen[it] = true
+		dup := false
+		for _, o := range out {
+			if o == it {
+				dup = true
+				break
+			}
+		}
+		if !dup {
 			out = append(out, it)
 		}
 	}
@@ -584,21 +637,33 @@ func BuildPruned(elements []*Element, sourceName string) *PDT {
 
 // assemble turns a Dewey-sorted element list into a pruned xmltree
 // document: every element's parent is its closest emitted ancestor
-// (Definition 3).
+// (Definition 3). Nodes and scoring payloads are carved from slabs sized
+// by the element list, so assembling a PDT costs a fixed handful of
+// allocations plus child-slice growth.
 func assemble(infos []*emitInfo, sourceName string) *PDT {
 	pdt := &PDT{SourceName: sourceName}
 	if len(infos) == 0 {
 		return pdt
 	}
-	var root *xmltree.Node
-	var chain []*xmltree.Node // current root-to-leaf construction chain
+	slab := make([]xmltree.Node, len(infos))
+	nMeta := 0
 	for _, info := range infos {
-		node := &xmltree.Node{Tag: info.Tag, ID: info.ID, ByteLen: info.ByteLen}
+		if info.NeedC {
+			nMeta++
+		}
+	}
+	metaSlab := make([]xmltree.NodeMeta, 0, nMeta)
+	var root *xmltree.Node
+	chain := make([]*xmltree.Node, 0, 16) // current root-to-leaf construction chain
+	for i, info := range infos {
+		node := &slab[i]
+		node.Tag, node.ID, node.ByteLen = info.Tag, info.ID, info.ByteLen
 		if info.NeedV && info.HasValue {
 			node.Value = info.Value
 		}
 		if info.NeedC {
-			node.Meta = &xmltree.NodeMeta{SrcID: info.ID, SrcLen: info.ByteLen, TFs: info.TFs}
+			metaSlab = append(metaSlab, xmltree.NodeMeta{SrcID: info.ID, SrcLen: info.ByteLen, TFs: info.TFs})
+			node.Meta = &metaSlab[len(metaSlab)-1]
 		}
 		pdt.Nodes++
 		pdt.Bytes += 2*len(info.Tag) + 5 + len(node.Value)

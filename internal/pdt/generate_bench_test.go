@@ -1,0 +1,58 @@
+// Microbenchmark for PDT generation — the per-candidate-document inner
+// loop of every Efficient search. vxmlbench's figure scenarios measure the
+// same pipeline end to end; this isolates Generate (merge + Candidate Tree
+// maintenance + emission) over prepared lists.
+package pdt
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"vxml/internal/invindex"
+	"vxml/internal/pathindex"
+	"vxml/internal/xmltree"
+	"vxml/internal/xq"
+
+	"vxml/internal/qpt"
+)
+
+func benchWorkload(b *testing.B, articles int) (*qpt.QPT, *Lists) {
+	b.Helper()
+	var sb strings.Builder
+	sb.WriteString("<books>")
+	for i := 0; i < articles; i++ {
+		fmt.Fprintf(&sb,
+			"<book><isbn>%d</isbn><title>xml search volume %d</title><year>%d</year></book>",
+			i, i, 1990+i%20)
+	}
+	sb.WriteString("</books>")
+	doc, err := xmltree.ParseString(sb.String(), "books.xml", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := xq.Parse(`
+for $book in fn:doc(books.xml)/books//book
+where $book/year > 1995
+return <r>{$book/isbn}, {$book/title}</r>`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qpts, err := qpt.Generate(q.Body, q.Functions)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lists := PrepareLists(qpts[0], pathindex.Build(doc), invindex.Build(doc), []string{"xml", "search"})
+	return qpts[0], lists
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	q, lists := benchWorkload(b, 200)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if p := Generate(q, lists, "books.xml"); p.Nodes == 0 {
+			b.Fatal("empty PDT")
+		}
+	}
+}

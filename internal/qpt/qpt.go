@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"vxml/internal/pathindex"
 	"vxml/internal/pred"
@@ -49,6 +50,46 @@ type Edge struct {
 type QPT struct {
 	Doc  string // document name from fn:doc
 	Root *Node  // virtual document node
+
+	layoutOnce sync.Once
+	layout     *MandLayout
+}
+
+// MandLayout is the DescendantMap bit layout of a QPT: for every node, the
+// bit it occupies among its parent's mandatory children, and for every
+// parent, how many mandatory children it has. PDT generation consults it
+// for every element of every candidate document, and a QPT is immutable
+// after Generate, so the layout is computed once per QPT and shared
+// (read-only) by concurrent searches instead of being rebuilt per document.
+type MandLayout struct {
+	// Bit maps a node to 1 << (its position among the parent's mandatory
+	// children); absent for optional children.
+	Bit map[*Node]uint64
+	// Count maps a node to its number of mandatory children.
+	Count map[*Node]int
+}
+
+// MandatoryLayout returns the QPT's DescendantMap bit layout, computing it
+// on first use. Safe for concurrent callers.
+func (q *QPT) MandatoryLayout() *MandLayout {
+	q.layoutOnce.Do(func() {
+		l := &MandLayout{Bit: map[*Node]uint64{}, Count: map[*Node]int{}}
+		var walk func(n *Node)
+		walk = func(n *Node) {
+			pos := 0
+			for _, e := range n.Edges {
+				if e.Mandatory {
+					l.Bit[e.Child] = 1 << pos
+					pos++
+				}
+				walk(e.Child)
+			}
+			l.Count[n] = pos
+		}
+		walk(q.Root)
+		q.layout = l
+	})
+	return q.layout
 }
 
 // addChild appends a child node and returns it.

@@ -1,0 +1,48 @@
+// Microbenchmark for top-k materialization — the only base-data access of
+// the Efficient pipeline. Its cost is dominated by deep-copying the fetched
+// subtree, so Clone's allocation behavior is what this measures.
+package scoring
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"vxml/internal/dewey"
+	"vxml/internal/xmltree"
+)
+
+// docFetcher serves subtree fetches straight from one parsed document.
+type docFetcher struct{ doc *xmltree.Document }
+
+func (f docFetcher) Subtree(id dewey.ID) *xmltree.Node { return f.doc.FindByID(id) }
+
+func BenchmarkMaterialize(b *testing.B) {
+	var sb strings.Builder
+	sb.WriteString("<books>")
+	for i := 0; i < 60; i++ {
+		fmt.Fprintf(&sb,
+			"<article><fm><tl>study %d</tl><au>author%d</au></fm><bdy>fuzzy neural control systems thomas moore parallel data</bdy></article>",
+			i, i%8)
+	}
+	sb.WriteString("</books>")
+	doc, err := xmltree.ParseString(sb.String(), "books.xml", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// A pruned winner referencing the whole document subtree via Meta, as
+	// PDT generation produces for a 'c' node.
+	winner := &xmltree.Node{
+		Tag:  doc.Root.Tag,
+		ID:   doc.Root.ID,
+		Meta: &xmltree.NodeMeta{SrcID: doc.Root.ID, SrcLen: doc.Root.ByteLen},
+	}
+	f := docFetcher{doc: doc}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if n := Materialize(winner, f); n == nil {
+			b.Fatal("nil materialization")
+		}
+	}
+}

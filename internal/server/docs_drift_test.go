@@ -1,0 +1,102 @@
+// Docs-drift test: docs/API.md documents every route as a heading of the
+// form "## METHOD /v1/path". This test holds that document to the server's
+// actual routing table in both directions — a route added without
+// documentation fails, and so does documentation for a route that no
+// longer exists — so the API reference cannot rot silently.
+package server
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"vxml"
+)
+
+// apiDocPath locates docs/API.md relative to this package.
+const apiDocPath = "../../docs/API.md"
+
+var routeHeading = regexp.MustCompile(`(?m)^## (GET|POST|PUT|DELETE|PATCH|HEAD) (/v1\S*)`)
+
+func TestDocsAPIMatchesRegisteredRoutes(t *testing.T) {
+	data, err := os.ReadFile(filepath.FromSlash(apiDocPath))
+	if err != nil {
+		t.Fatalf("reading %s: %v", apiDocPath, err)
+	}
+	documented := map[string]bool{}
+	for _, m := range routeHeading.FindAllStringSubmatch(string(data), -1) {
+		documented[m[1]+" "+m[2]] = true
+	}
+	if len(documented) == 0 {
+		t.Fatalf("%s contains no '## METHOD /v1/...' route headings; the drift check needs them", apiDocPath)
+	}
+
+	registered := map[string]bool{}
+	for _, r := range New(vxml.Open()).Routes() {
+		registered[r] = true
+	}
+
+	for r := range registered {
+		if !documented[r] {
+			t.Errorf("route %q is registered by internal/server but has no '## %s' heading in %s", r, r, apiDocPath)
+		}
+	}
+	for d := range documented {
+		if !registered[d] {
+			t.Errorf("%s documents %q but internal/server does not register it", apiDocPath, d)
+		}
+	}
+}
+
+// TestRoutesServeUnderBothPrefixes pins the alias contract the docs
+// state: every non-v1-only route answers a scripted request sequence with
+// the same statuses under the bare and the /v1 prefix, and none of those
+// statuses is a router miss (404/405) — each run uses a fresh server so
+// the sequences are independent.
+func TestRoutesServeUnderBothPrefixes(t *testing.T) {
+	// One step per aliased route, in an order that makes every step
+	// succeed: ingest, replace, delete (the name exists thanks to the
+	// ingest), re-ingest for the view/search steps, view, search, stats.
+	steps := []struct {
+		method, path, body string
+	}{
+		{"POST", "/documents", `{"name":"a.xml","xml":"<notes><note><body>xml search</body></note></notes>"}`},
+		{"PUT", "/documents/a.xml", `{"xml":"<notes><note><body>xml revised</body></note></notes>"}`},
+		{"DELETE", "/documents/a.xml", ""},
+		{"POST", "/documents", `{"name":"b.xml","xml":"<notes><note><body>xml again</body></note></notes>"}`},
+		{"POST", "/views", `{"name":"all","xquery":"for $n in fn:collection(\"*.xml\")/notes//note return <hit>{$n/body}</hit>"}`},
+		{"POST", "/search", `{"view":"all","keywords":["xml"]}`},
+		{"GET", "/stats", ""},
+	}
+	statuses := func(prefix string) []int {
+		h := New(vxml.Open()).Handler()
+		var out []int
+		for _, st := range steps {
+			var body io.Reader
+			if st.body != "" {
+				body = strings.NewReader(st.body)
+			}
+			req := httptest.NewRequest(st.method, prefix+st.path, body)
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			out = append(out, rec.Code)
+		}
+		return out
+	}
+	bare, v1 := statuses(""), statuses("/v1")
+	for i, st := range steps {
+		if bare[i] != v1[i] {
+			t.Errorf("%s %s: alias status %d != /v1 status %d", st.method, st.path, bare[i], v1[i])
+		}
+		for _, code := range []int{bare[i], v1[i]} {
+			if code == http.StatusNotFound || code == http.StatusMethodNotAllowed {
+				t.Errorf("%s %s: status %d looks like a router miss, not a handler answer", st.method, st.path, code)
+			}
+		}
+	}
+}

@@ -89,6 +89,43 @@ func (s *Server) viewCount() int {
 	return len(s.views)
 }
 
+// route is one entry of the server's routing table: the canonical /v1
+// method and path, the handler, and whether the route also serves an
+// unversioned alias (every pre-versioning route does; routes added after
+// versioning are /v1-only).
+type route struct {
+	method  string
+	path    string // versionless, e.g. "/documents/{name}"
+	handler http.HandlerFunc
+	v1Only  bool
+}
+
+// routes is the single source of the routing table: Handler registers it
+// and Routes exposes it, so the docs-drift test can hold docs/API.md to
+// exactly this list.
+func (s *Server) routes() []route {
+	return []route{
+		{method: "POST", path: "/documents", handler: s.handleAddDocument},
+		{method: "PUT", path: "/documents/{name}", handler: s.handleReplaceDocument},
+		{method: "DELETE", path: "/documents/{name}", handler: s.handleDeleteDocument},
+		{method: "POST", path: "/views", handler: s.handleDefineView},
+		{method: "POST", path: "/search", handler: s.handleSearch},
+		{method: "POST", path: "/search/stream", handler: s.handleSearchStream, v1Only: true},
+		{method: "GET", path: "/stats", handler: s.handleStats},
+	}
+}
+
+// Routes returns every registered route in its canonical /v1 form, e.g.
+// "POST /v1/search". The docs-drift test cross-checks this list against
+// docs/API.md in both directions, so the API reference cannot rot silently.
+func (s *Server) Routes() []string {
+	var out []string
+	for _, r := range s.routes() {
+		out = append(out, r.method+" /v1"+r.path)
+	}
+	return out
+}
+
 // Handler returns the HTTP routing table: the /v1 routes plus unversioned
 // aliases of the same handlers. Pre-versioning request and success-response
 // shapes are unchanged; error statuses follow the v1 taxonomy everywhere,
@@ -99,15 +136,12 @@ func (s *Server) viewCount() int {
 // an unversioned ancestor).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	for _, prefix := range []string{"", "/v1"} {
-		mux.HandleFunc("POST "+prefix+"/documents", s.handleAddDocument)
-		mux.HandleFunc("PUT "+prefix+"/documents/{name}", s.handleReplaceDocument)
-		mux.HandleFunc("DELETE "+prefix+"/documents/{name}", s.handleDeleteDocument)
-		mux.HandleFunc("POST "+prefix+"/views", s.handleDefineView)
-		mux.HandleFunc("POST "+prefix+"/search", s.handleSearch)
-		mux.HandleFunc("GET "+prefix+"/stats", s.handleStats)
+	for _, r := range s.routes() {
+		mux.HandleFunc(r.method+" /v1"+r.path, r.handler)
+		if !r.v1Only {
+			mux.HandleFunc(r.method+" "+r.path, r.handler)
+		}
 	}
-	mux.HandleFunc("POST /v1/search/stream", s.handleSearchStream)
 	return mux
 }
 

@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"vxml/internal/dewey"
+	"vxml/internal/intern"
 )
 
 // Node is an XML element. Text content directly inside the element is
@@ -85,12 +86,15 @@ func Parse(r io.Reader, name string, docID int32) (*Document, error) {
 		}
 		switch t := tok.(type) {
 		case xml.StartElement:
-			n := NewElement(t.Name.Local)
+			// Tag names recur across every element, document and shard;
+			// interning retains one canonical copy per distinct name instead
+			// of one per element.
+			n := NewElement(intern.String(t.Name.Local))
 			for _, a := range t.Attr {
 				if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
 					continue
 				}
-				n.AppendLeaf(a.Name.Local, a.Value)
+				n.AppendLeaf(intern.String(a.Name.Local), a.Value)
 			}
 			if len(stack) == 0 {
 				if root != nil {
@@ -213,13 +217,54 @@ func (n *Node) NodeCount() int {
 }
 
 // Clone deep-copies the subtree rooted at n. The copy keeps IDs and byte
-// lengths but has a nil parent.
+// lengths but has a nil parent. Allocation is O(1) in the subtree size:
+// one sizing walk, then nodes, child-pointer slices and Dewey-ID storage
+// are carved from three arenas — materializing a top-k winner is a handful
+// of allocations instead of several per element.
 func (n *Node) Clone() *Node {
-	c := &Node{Tag: n.Tag, Value: n.Value, ID: n.ID.Clone(), ByteLen: n.ByteLen}
-	for _, ch := range n.Children {
-		c.AppendChild(ch.Clone())
+	nodes, comps := cloneSize(n)
+	slab := make([]Node, nodes)
+	childArena := make([]*Node, nodes-1)
+	idArena := make([]int32, comps)
+	var nodeCur, childCur, idCur int
+	var build func(src *Node) *Node
+	build = func(src *Node) *Node {
+		dst := &slab[nodeCur]
+		nodeCur++
+		dst.Tag, dst.Value, dst.ByteLen = src.Tag, src.Value, src.ByteLen
+		if src.ID != nil {
+			// Full-capacity subslice: an append on the cloned ID can never
+			// bleed into the next node's components.
+			seg := idArena[idCur : idCur+len(src.ID) : idCur+len(src.ID)]
+			copy(seg, src.ID)
+			dst.ID = seg
+			idCur += len(src.ID)
+		}
+		if len(src.Children) > 0 {
+			seg := childArena[childCur : childCur+len(src.Children) : childCur+len(src.Children)]
+			childCur += len(src.Children)
+			dst.Children = seg
+			for i, c := range src.Children {
+				cc := build(c)
+				cc.Parent = dst
+				seg[i] = cc
+			}
+		}
+		return dst
 	}
-	return c
+	return build(n)
+}
+
+// cloneSize sizes Clone's arenas: the subtree's node count and total Dewey
+// ID components.
+func cloneSize(n *Node) (nodes, comps int) {
+	nodes, comps = 1, len(n.ID)
+	for _, c := range n.Children {
+		cn, cc := cloneSize(c)
+		nodes += cn
+		comps += cc
+	}
+	return nodes, comps
 }
 
 // WriteXML serializes the subtree rooted at n to w with proper escaping.
@@ -273,8 +318,82 @@ func escape(s string) string {
 
 // Tokenize splits text into lowercase keyword tokens: maximal runs of
 // letters and digits. It is the single tokenizer used by indexing, scoring
-// and the baselines, so term frequencies agree across pipelines.
+// and the baselines, so term frequencies agree across pipelines. Callers on
+// hot paths that only consume the tokens should prefer VisitTokens, which
+// produces the same tokens without building the slice.
 func Tokenize(text string) []string {
+	var tokens []string
+	VisitTokens(text, func(tok string) bool {
+		tokens = append(tokens, tok)
+		return true
+	})
+	return tokens
+}
+
+// VisitTokens streams the tokens of Tokenize(text) to fn in order; fn
+// returns false to stop early. ASCII text — the overwhelmingly common case
+// — is tokenized without allocating: tokens that are already lowercase are
+// substrings of text, and only tokens containing uppercase letters are
+// copied (to their lowered form). Text with any non-ASCII byte falls back
+// to the generic Unicode-folding path, so the emitted tokens are identical
+// to Tokenize's for every input.
+func VisitTokens(text string, fn func(tok string) bool) {
+	for i := 0; i < len(text); i++ {
+		if text[i] >= 0x80 {
+			for _, tok := range tokenizeUnicode(text) {
+				if !fn(tok) {
+					return
+				}
+			}
+			return
+		}
+	}
+	// ASCII: lowering maps only 'A'-'Z', so token boundaries (bytes outside
+	// [A-Za-z0-9]) and the lowered forms are computable in place.
+	start := -1
+	hasUpper := false
+	for i := 0; i <= len(text); i++ {
+		var alnum, upper bool
+		if i < len(text) {
+			c := text[i]
+			upper = c >= 'A' && c <= 'Z'
+			alnum = upper || c >= 'a' && c <= 'z' || c >= '0' && c <= '9'
+		}
+		switch {
+		case alnum && start < 0:
+			start, hasUpper = i, upper
+		case alnum:
+			hasUpper = hasUpper || upper
+		case start >= 0:
+			if !fn(lowerASCII(text[start:i], hasUpper)) {
+				return
+			}
+			start = -1
+		}
+	}
+}
+
+// lowerASCII lowers an all-ASCII token, returning tok itself when it has no
+// uppercase letters (the caller tracked that during the scan).
+func lowerASCII(tok string, hasUpper bool) string {
+	if !hasUpper {
+		return tok
+	}
+	b := make([]byte, len(tok))
+	for i := 0; i < len(tok); i++ {
+		c := tok[i]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		b[i] = c
+	}
+	return string(b)
+}
+
+// tokenizeUnicode is the generic tokenizer for text containing non-ASCII
+// bytes: Unicode-fold the whole text, then split. Kept verbatim as the
+// semantics VisitTokens's ASCII fast path must reproduce.
+func tokenizeUnicode(text string) []string {
 	var tokens []string
 	start := -1
 	lower := strings.ToLower(text)
@@ -298,17 +417,19 @@ func Tokenize(text string) []string {
 // its descendants (the paper's tf(e,k)). Keywords must be lowercase.
 func SubtreeTF(n *Node, keywords []string) []int {
 	tf := make([]int, len(keywords))
+	count := func(tok string) bool {
+		for i, k := range keywords {
+			if tok == k {
+				tf[i]++
+			}
+		}
+		return true
+	}
 	n.Walk(func(x *Node) {
 		if x.Value == "" {
 			return
 		}
-		for _, tok := range Tokenize(x.Value) {
-			for i, k := range keywords {
-				if tok == k {
-					tf[i]++
-				}
-			}
-		}
+		VisitTokens(x.Value, count)
 	})
 	return tf
 }
@@ -317,16 +438,18 @@ func SubtreeTF(n *Node, keywords []string) []int {
 // keyword k in its text content (the paper's contains(u,k) predicate).
 func Contains(n *Node, k string) bool {
 	found := false
+	match := func(tok string) bool {
+		if tok == k {
+			found = true
+			return false
+		}
+		return true
+	}
 	n.Walk(func(x *Node) {
 		if found || x.Value == "" {
 			return
 		}
-		for _, tok := range Tokenize(x.Value) {
-			if tok == k {
-				found = true
-				return
-			}
-		}
+		VisitTokens(x.Value, match)
 	})
 	return found
 }

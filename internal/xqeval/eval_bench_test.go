@@ -1,0 +1,63 @@
+// Microbenchmark for FLWOR evaluation — the per-binding environment churn
+// of the evaluator, which runs once per view result during every search.
+package xqeval
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"vxml/internal/xmltree"
+	"vxml/internal/xq"
+)
+
+func benchCatalog(b *testing.B, books, reviews int) MapCatalog {
+	b.Helper()
+	var sb strings.Builder
+	sb.WriteString("<books>")
+	for i := 0; i < books; i++ {
+		fmt.Fprintf(&sb, "<book><isbn>%d</isbn><title>xml search volume %d</title><year>%d</year></book>", i, i, 1990+i%20)
+	}
+	sb.WriteString("</books>")
+	bdoc, err := xmltree.ParseString(sb.String(), "books.xml", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sb.Reset()
+	sb.WriteString("<reviews>")
+	for i := 0; i < reviews; i++ {
+		fmt.Fprintf(&sb, "<review><isbn>%d</isbn><content>review of volume %d</content></review>", i%books, i)
+	}
+	sb.WriteString("</reviews>")
+	rdoc, err := xmltree.ParseString(sb.String(), "reviews.xml", 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return MapCatalog{"books.xml": bdoc, "reviews.xml": rdoc}
+}
+
+func BenchmarkEvalFLWOR(b *testing.B) {
+	cat := benchCatalog(b, 100, 200)
+	q, err := xq.Parse(`
+for $book in fn:doc(books.xml)/books//book
+where $book/year > 1995
+return <r>{$book/title},
+  {for $rev in fn:doc(reviews.xml)/reviews//review
+   where $rev/isbn = $book/isbn
+   return $rev/content}</r>`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := New(cat, q.Functions)
+		out, err := ev.Eval(q.Body, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) == 0 {
+			b.Fatal("no results")
+		}
+	}
+}

@@ -163,7 +163,7 @@ func (e *Evaluator) OuterBindings(x *xq.FLWORExpr) ([]Item, bool, error) {
 // and the concatenation of their outputs in binding order reproduces the
 // single-evaluator result exactly.
 func (e *Evaluator) EvalTail(x *xq.FLWORExpr, binding Item) ([]Item, error) {
-	return e.evalClauses(x, 1, (*env)(nil).bind(x.Clauses[0].Var, []Item{binding}))
+	return e.evalClauses(x, 1, (*env)(nil).bind1(x.Clauses[0].Var, binding))
 }
 
 func (e *Evaluator) evalClauses(x *xq.FLWORExpr, idx int, en *env) ([]Item, error) {
@@ -204,7 +204,7 @@ func (e *Evaluator) evalClauses(x *xq.FLWORExpr, idx int, en *env) ([]Item, erro
 		if err := e.ctxErr(); err != nil {
 			return nil, err
 		}
-		v, err := e.evalClauses(x, idx+1, en.bind(cl.Var, []Item{item}))
+		v, err := e.evalClauses(x, idx+1, en.bind1(cl.Var, item))
 		if err != nil {
 			return nil, err
 		}
@@ -245,7 +245,7 @@ func (e *Evaluator) tryHashJoin(x *xq.FLWORExpr, cl xq.ForLetClause, en *env) ([
 			if err := e.ctxErr(); err != nil {
 				return nil, true, err
 			}
-			keys, err := e.Eval(keyExpr, (*env)(nil).bind(cl.Var, []Item{item}))
+			keys, err := e.Eval(keyExpr, (*env)(nil).bind1(cl.Var, item))
 			if err != nil {
 				return nil, true, err
 			}
@@ -281,7 +281,7 @@ func (e *Evaluator) tryHashJoin(x *xq.FLWORExpr, cl xq.ForLetClause, en *env) ([
 		if err := e.ctxErr(); err != nil {
 			return nil, true, err
 		}
-		v, err := e.Eval(x.Return, en.bind(cl.Var, []Item{ji.items[i]}))
+		v, err := e.Eval(x.Return, en.bind1(cl.Var, ji.items[i]))
 		if err != nil {
 			return nil, true, err
 		}

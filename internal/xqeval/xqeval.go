@@ -147,6 +147,22 @@ func (en *env) bind(name string, value []Item) *env {
 	return &env{name: name, value: value, parent: en}
 }
 
+// env1 carries a single-item binding and its one-item sequence in a single
+// allocation. FLWOR loops, filters and hash-join probes bind one item per
+// iteration, so the separate []Item{item} literal of the generic bind was
+// half the evaluator's environment churn.
+type env1 struct {
+	e   env
+	buf [1]Item
+}
+
+// bind1 binds a one-item sequence, allocating once instead of twice.
+func (en *env) bind1(name string, item Item) *env {
+	x := &env1{buf: [1]Item{item}}
+	x.e = env{name: name, value: x.buf[:1:1], parent: en}
+	return &x.e
+}
+
 func (en *env) lookup(name string) ([]Item, bool) {
 	for cur := en; cur != nil; cur = cur.parent {
 		if cur.name == name {
@@ -213,7 +229,7 @@ func (e *Evaluator) Eval(expr xq.Expr, en *env) ([]Item, error) {
 			if err := e.ctxErr(); err != nil {
 				return nil, err
 			}
-			ok, err := e.evalBool(x.Pred, en.bind(".", []Item{item}))
+			ok, err := e.evalBool(x.Pred, en.bind1(".", item))
 			if err != nil {
 				return nil, err
 			}

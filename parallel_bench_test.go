@@ -5,74 +5,46 @@
 //
 //	go test -bench=ShardedParallel -benchtime=10x
 //
-// The parallel configuration must return byte-identical results; the
-// benchmark asserts that once before measuring.
-package vxml
+// The corpus, view and keywords come from internal/benchkit's collection
+// builder — the same shape cmd/vxmlbench measures — so benchmark and
+// harness numbers are directly comparable. The parallel configuration must
+// return byte-identical results; the benchmark asserts that once before
+// measuring.
+package vxml_test
 
 import (
-	"fmt"
-	"math/rand"
-	"strings"
 	"testing"
+
+	"vxml"
+	"vxml/internal/benchkit"
 )
 
-// buildBenchCorpus loads nDocs synthetic part documents, each with several
-// keyword-bearing articles, plus the authors document the join view needs.
-func buildBenchCorpus(b *testing.B, nDocs, articlesPerDoc int) *Database {
+// buildBenchCorpus loads the deterministic 120-part collection corpus plus
+// the authors document the join view needs.
+func buildBenchCorpus(b *testing.B, nDocs, articlesPerDoc int) *vxml.Database {
 	b.Helper()
-	rng := rand.New(rand.NewSource(4242))
-	db := Open()
-	for d := 0; d < nDocs; d++ {
-		var sb strings.Builder
-		sb.WriteString("<books>")
-		for a := 0; a < articlesPerDoc; a++ {
-			var body strings.Builder
-			for w, n := 0, 40+rng.Intn(120); w < n; w++ {
-				if w > 0 {
-					body.WriteByte(' ')
-				}
-				body.WriteString(eqVocabulary[rng.Intn(len(eqVocabulary))])
-			}
-			fmt.Fprintf(&sb,
-				`<article><fm><tl>study %d of %s</tl><au>author%d</au><yr>%d</yr></fm><bdy>%s</bdy></article>`,
-				d*1000+a, eqVocabulary[rng.Intn(len(eqVocabulary))], rng.Intn(8), 1985+rng.Intn(16), body.String())
-		}
-		sb.WriteString("</books>")
-		db.MustAdd(fmt.Sprintf("part-%03d.xml", d), sb.String())
+	db := vxml.Open()
+	if err := benchkit.BuildCollectionCorpus(db, nDocs, articlesPerDoc, 4242); err != nil {
+		b.Fatal(err)
 	}
-	var authors strings.Builder
-	authors.WriteString("<authors>")
-	for i := 0; i < 8; i++ {
-		fmt.Fprintf(&authors, `<author><name>author%d</name><affil>institute %d</affil></author>`, i, i)
-	}
-	authors.WriteString("</authors>")
-	db.MustAdd("authors.xml", authors.String())
 	return db
 }
-
-const benchCollectionView = `
-for $a in fn:collection("part-*")/books//article
-return <rec><t>{$a/fm/tl}</t>,
-  {for $u in fn:doc(authors.xml)/authors//author
-   where $u/name = $a/fm/au
-   return <inst>{$u/affil}</inst>},
-  {$a/bdy}</rec>`
 
 // BenchmarkShardedParallelSearch measures the same top-10 ranked search
 // over a 120-document collection view at Parallelism 1 (sequential legacy
 // path) and Parallelism 0 (worker pool sized by GOMAXPROCS).
 func BenchmarkShardedParallelSearch(b *testing.B) {
 	db := buildBenchCorpus(b, 120, 8)
-	view, err := db.DefineView(benchCollectionView)
+	view, err := db.DefineView(benchkit.CollectionView)
 	if err != nil {
 		b.Fatal(err)
 	}
-	kws := []string{"copper", "quartz"}
-	seq, _, err := db.Search(view, kws, &Options{TopK: 10, Parallelism: 1})
+	kws := benchkit.CollectionKeywords()
+	seq, _, err := db.Search(view, kws, &vxml.Options{TopK: 10, Parallelism: 1})
 	if err != nil {
 		b.Fatal(err)
 	}
-	par, _, err := db.Search(view, kws, &Options{TopK: 10})
+	par, _, err := db.Search(view, kws, &vxml.Options{TopK: 10})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -86,7 +58,7 @@ func BenchmarkShardedParallelSearch(b *testing.B) {
 	}
 	for name, parallelism := range map[string]int{"sequential": 1, "parallel": 0} {
 		b.Run(name, func(b *testing.B) {
-			opts := &Options{TopK: 10, Parallelism: parallelism}
+			opts := &vxml.Options{TopK: 10, Parallelism: parallelism}
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, _, err := db.Search(view, kws, opts); err != nil {

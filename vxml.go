@@ -230,6 +230,13 @@ func (db *Database) TotalBytes() int {
 	return db.engine.Store.TotalBytes()
 }
 
+// SubtreeFetches reports the cumulative count of base-data subtree fetches
+// the store has served (the Efficient pipeline's only base-data access,
+// performed for materialized winners). Benchmarks report deltas of it to
+// show deferred materialization paying off; per-search counts are in
+// Stats.BaseData.
+func (db *Database) SubtreeFetches() int { return db.engine.Store.SubtreeFetches() }
+
 // CacheStats returns a snapshot of the query-result cache counters.
 func (db *Database) CacheStats() qcache.Stats { return db.cache.Stats() }
 
