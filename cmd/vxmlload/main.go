@@ -1,0 +1,197 @@
+// Command vxmlload is the traffic-shaped load and soak harness: it reads
+// a declarative scenario spec (internal/loadkit), drives it against a
+// real vxml HTTP server — a self-served one by default, or an externally
+// booted one via -target — and writes a schema-versioned vxmlload/1
+// report with per-phase latency quantiles, sustained QPS, an error
+// taxonomy, goroutine/heap ceilings and (in soak mode) oracle
+// byte-identity results.
+//
+// Usage:
+//
+//	vxmlload -spec scenarios/steady-read.json            # self-serve -> BENCH_LOAD_steady-read.json
+//	vxmlload -spec scenarios/mutation-soak.json -out /tmp/soak.json
+//	vxmlload -spec scenarios/steady-read.json -target http://localhost:8344
+//	vxmlload -spec scenarios/steady-read.json -duration-scale 0.3 -rate-scale 0.3
+//	vxmlload -validate BENCH_LOAD_steady-read.json       # schema-check an existing report
+//
+// The exit status is the verdict: 0 for a clean run, 1 when the report
+// records serving failures (5xx responses, transport errors, accepted
+// pathological input, oracle mismatches) or cannot be written, 2 for
+// usage errors. CI runs the steady-read scenario at tiny scale against a
+// live vxmlserve on every push and validates the artifact.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"vxml/internal/loadkit"
+)
+
+func main() {
+	spec := flag.String("spec", "", "scenario spec file (see docs/BENCHMARKS.md for the format)")
+	out := flag.String("out", "", "output report path (default BENCH_LOAD_<spec name>.json)")
+	target := flag.String("target", "", "base URL of an already-running server (default: self-serve the spec's corpus in-process)")
+	durationScale := flag.Float64("duration-scale", 1, "multiply phase durations (CI uses < 1)")
+	rateScale := flag.Float64("rate-scale", 1, "multiply open-loop arrival rates")
+	validate := flag.String("validate", "", "validate an existing report file and exit")
+	quiet := flag.Bool("quiet", false, "suppress progress output")
+	flag.Parse()
+
+	if *validate != "" {
+		if err := loadkit.ValidateFile(*validate); err != nil {
+			fmt.Fprintf(os.Stderr, "vxmlload: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: valid %s report\n", *validate, loadkit.SchemaVersion)
+		return
+	}
+	if *spec == "" {
+		fmt.Fprintln(os.Stderr, "vxmlload: -spec is required (or -validate)")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *durationScale <= 0 || *rateScale <= 0 {
+		fmt.Fprintln(os.Stderr, "vxmlload: -duration-scale and -rate-scale must be > 0")
+		os.Exit(2)
+	}
+
+	s, err := loadkit.LoadSpec(*spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vxmlload: %v\n", err)
+		os.Exit(2)
+	}
+	outPath := *out
+	if outPath == "" {
+		outPath = "BENCH_LOAD_" + s.Name + ".json"
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	base, label := *target, *target
+	if base == "" {
+		var shutdown func()
+		base, shutdown, err = loadkit.SelfServe(s)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vxmlload: self-serve: %v\n", err)
+			os.Exit(1)
+		}
+		defer shutdown()
+		label = "self"
+	}
+
+	r := &loadkit.Runner{
+		Spec:          s,
+		Target:        base,
+		TargetLabel:   label,
+		DurationScale: *durationScale,
+		RateScale:     *rateScale,
+	}
+	if !*quiet {
+		r.Logf = func(format string, args ...any) {
+			fmt.Printf("vxmlload: "+format+"\n", args...)
+		}
+	}
+
+	start := time.Now()
+	fmt.Printf("vxmlload: spec=%s target=%s duration-scale=%g rate-scale=%g\n",
+		s.Name, label, *durationScale, *rateScale)
+	report, err := r.Run(ctx)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vxmlload: %v\n", err)
+		os.Exit(1)
+	}
+	if err := report.WriteFile(outPath); err != nil {
+		fmt.Fprintf(os.Stderr, "vxmlload: %v\n", err)
+		os.Exit(1)
+	}
+
+	printSummary(report)
+	fmt.Printf("vxmlload: report -> %s (%.1fs)\n", outPath, time.Since(start).Seconds())
+	if verdict := failureVerdict(report); verdict != "" {
+		fmt.Fprintf(os.Stderr, "vxmlload: FAIL: %s\n", verdict)
+		os.Exit(1)
+	}
+	fmt.Println("vxmlload: PASS")
+}
+
+// printSummary renders the human-readable digest of a report.
+func printSummary(r *loadkit.Report) {
+	fmt.Printf("%-12s %9s %8s %8s %9s %9s %9s %9s\n",
+		"PHASE", "REQUESTS", "ERRORS", "QPS", "P50", "P95", "P99", "P999")
+	row := func(name string, t loadkit.Totals) {
+		l := t.Latency
+		fmt.Printf("%-12s %9d %8d %8.1f %9s %9s %9s %9s\n", name, t.Requests, t.Errors, t.QPS,
+			micros(l.P50Micros), micros(l.P95Micros), micros(l.P99Micros), micros(l.P999Micros))
+	}
+	for _, p := range r.Phases {
+		row(p.Name, p.Totals)
+	}
+	row("overall", r.Overall)
+	if len(r.Errors) > 0 {
+		keys := make([]string, 0, len(r.Errors))
+		for k := range r.Errors {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, len(keys))
+		for i, k := range keys {
+			parts[i] = fmt.Sprintf("%s=%d", k, r.Errors[k])
+		}
+		fmt.Printf("errors: %s\n", strings.Join(parts, " "))
+	}
+	res := r.Resources
+	fmt.Printf("resources: goroutines %d -> max %d -> drained %d (baseline %v), heap max %.1f MiB\n",
+		res.GoroutinesBaseline, res.GoroutinesMax, res.GoroutinesAfterDrain,
+		res.DrainedToBaseline, float64(res.HeapBytesMax)/(1<<20))
+	if s := r.Soak; s != nil {
+		fmt.Printf("soak: %d churn ops (%d replaces, %d deletes), %d spot checks, %d mismatches\n",
+			s.ChurnOps, s.Replaces, s.Deletes, s.SpotChecks, s.Mismatches)
+	}
+	for _, f := range r.Failures {
+		fmt.Printf("failure: op=%s phase=%s status=%d: %s\n", f.Op, f.Phase, f.Status, f.Error)
+		if f.Explain != "" {
+			fmt.Printf("  trace:\n%s\n", indent(f.Explain, "    "))
+		}
+	}
+}
+
+// failureVerdict decides the exit status: any serving-side failure class
+// in the taxonomy, or a soak mismatch, fails the run.
+func failureVerdict(r *loadkit.Report) string {
+	var bad []string
+	for key, n := range r.Errors {
+		switch {
+		case strings.HasPrefix(key, "http_5"):
+			bad = append(bad, fmt.Sprintf("%d server errors (%s)", n, key))
+		case key == "transport":
+			bad = append(bad, fmt.Sprintf("%d transport failures", n))
+		case key == "pathological_unexpected":
+			bad = append(bad, fmt.Sprintf("%d pathological inputs not rejected", n))
+		case key == "oracle_mismatch":
+			bad = append(bad, fmt.Sprintf("%d oracle mismatches", n))
+		}
+	}
+	if s := r.Soak; s != nil && s.Mismatches > 0 {
+		bad = append(bad, fmt.Sprintf("soak recorded %d byte-identity mismatches", s.Mismatches))
+	}
+	return strings.Join(bad, "; ")
+}
+
+// micros renders a microsecond quantile human-readably.
+func micros(us int64) string {
+	return time.Duration(us * int64(time.Microsecond)).Round(10 * time.Microsecond).String()
+}
+
+// indent prefixes every line of s.
+func indent(s, prefix string) string {
+	return prefix + strings.ReplaceAll(strings.TrimRight(s, "\n"), "\n", "\n"+prefix)
+}

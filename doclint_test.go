@@ -81,10 +81,10 @@ func TestEveryPackageHasDocComment(t *testing.T) {
 // symbolDocDirs are the package directories whose exported symbols must
 // all carry doc comments: the public root package, plus the internal
 // packages whose surfaces back the documentation set — the benchmark
-// substrate (docs/BENCHMARKS.md describes its Report schema), the scoring
-// module and the document store (both central to docs/ARCHITECTURE.md and
-// docs/TUNING.md).
-var symbolDocDirs = []string{".", "internal/benchkit", "internal/scoring", "internal/store"}
+// substrate and the load harness (docs/BENCHMARKS.md describes both
+// report schemas), the scoring module and the document store (both
+// central to docs/ARCHITECTURE.md and docs/TUNING.md).
+var symbolDocDirs = []string{".", "internal/benchkit", "internal/loadkit", "internal/scoring", "internal/store"}
 
 // TestPublicAPIExportedSymbolsDocumented asserts every exported top-level
 // declaration of the root vxml package — and of the internal packages the

@@ -116,6 +116,14 @@ func (r *Report) WriteFile(path string) error {
 	if err := Validate(data); err != nil {
 		return fmt.Errorf("benchkit: refusing to write invalid report: %w", err)
 	}
+	return AtomicWriteFile(path, data)
+}
+
+// AtomicWriteFile writes data to path via a same-directory temp file and
+// rename, so a crashed or interrupted writer never leaves a half-written
+// artifact behind. It is the shared sink for every report in the
+// BENCH_*.json family (vxmlbench's vxmlbench/1, vxmlload's vxmlload/1).
+func AtomicWriteFile(path string, data []byte) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".bench-*.json")
 	if err != nil {

@@ -1,0 +1,294 @@
+// HTTP driver: thin typed wrappers over the server's /v1 surface, built
+// for being hammered — one shared Transport sized to the client count, no
+// hidden retries, and raw result bytes surfaced so the oracle can compare
+// byte-for-byte.
+package loadkit
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// requestTimeout bounds any single harness request; streams get the
+// longer streamTimeout since they legitimately run for a while.
+const (
+	requestTimeout = 30 * time.Second
+	streamTimeout  = 120 * time.Second
+)
+
+// Client drives one vxml HTTP server.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient builds a client for base (no trailing slash) with a
+// connection pool sized for maxConns concurrent workers.
+func NewClient(base string, maxConns int) *Client {
+	if maxConns < 2 {
+		maxConns = 2
+	}
+	tr := &http.Transport{
+		MaxIdleConns:        maxConns * 2,
+		MaxIdleConnsPerHost: maxConns * 2,
+		IdleConnTimeout:     30 * time.Second,
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{Transport: tr}}
+}
+
+// Close releases idle connections so post-run goroutine drain checks see
+// the true baseline.
+func (c *Client) Close() { c.hc.CloseIdleConnections() }
+
+// searchBody renders a template as the /v1/search (and stream, and
+// explain-compatible) request JSON.
+func searchBody(t RequestTemplate) []byte {
+	m := map[string]any{"view": t.View, "keywords": t.Keywords}
+	if t.TopK != 0 {
+		m["top_k"] = t.TopK
+	}
+	if t.Offset != 0 {
+		m["offset"] = t.Offset
+	}
+	if t.Disjunctive {
+		m["disjunctive"] = true
+	}
+	if t.Cache {
+		m["cache"] = true
+	}
+	if t.Parallelism != 0 {
+		m["parallelism"] = t.Parallelism
+	}
+	data, _ := json.Marshal(m) //nolint:errcheck // map of marshalable primitives
+	return data
+}
+
+// post issues one JSON POST and returns the response; the caller owns the
+// body.
+func (c *Client) post(ctx context.Context, path string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.hc.Do(req)
+}
+
+// Search runs one /v1/search request and returns the status plus the raw
+// per-result JSON objects (exactly the bytes the server sent, for oracle
+// comparison).
+func (c *Client) Search(ctx context.Context, t RequestTemplate) (status int, results []json.RawMessage, err error) {
+	ctx, cancel := context.WithTimeout(ctx, requestTimeout)
+	defer cancel()
+	resp, err := c.post(ctx, "/v1/search", searchBody(t))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close() //nolint:errcheck
+	if resp.StatusCode != http.StatusOK {
+		drain(resp)
+		return resp.StatusCode, nil, nil
+	}
+	var body struct {
+		Results []json.RawMessage `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return resp.StatusCode, nil, fmt.Errorf("decoding search response: %w", err)
+	}
+	return resp.StatusCode, body.Results, nil
+}
+
+// StreamResult is what one /v1/search/stream request yielded.
+type StreamResult struct {
+	// Status is the HTTP status of the stream opening.
+	Status int
+	// Lines counts result lines received.
+	Lines int
+	// ErrorLine carries the in-band {"error": ...} diagnostic, when the
+	// stream ended with one.
+	ErrorLine string
+}
+
+// Stream runs one /v1/search/stream request, consuming the whole NDJSON
+// body.
+func (c *Client) Stream(ctx context.Context, t RequestTemplate) (StreamResult, error) {
+	ctx, cancel := context.WithTimeout(ctx, streamTimeout)
+	defer cancel()
+	resp, err := c.post(ctx, "/v1/search/stream", searchBody(t))
+	if err != nil {
+		return StreamResult{}, err
+	}
+	defer resp.Body.Close() //nolint:errcheck
+	out := StreamResult{Status: resp.StatusCode}
+	if resp.StatusCode != http.StatusOK {
+		drain(resp)
+		return out, nil
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 16<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var probe struct {
+			Error string `json:"error"`
+			Rank  int    `json:"rank"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			return out, fmt.Errorf("malformed NDJSON line %q: %w", line, err)
+		}
+		if probe.Error != "" {
+			out.ErrorLine = probe.Error
+			return out, nil
+		}
+		out.Lines++
+	}
+	return out, sc.Err()
+}
+
+// Replace PUTs new content for a document.
+func (c *Client) Replace(ctx context.Context, name, xml string) (int, error) {
+	ctx, cancel := context.WithTimeout(ctx, requestTimeout)
+	defer cancel()
+	body, _ := json.Marshal(map[string]string{"xml": xml}) //nolint:errcheck
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, c.base+"/v1/documents/"+name, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	drain(resp)
+	return resp.StatusCode, nil
+}
+
+// Delete removes a document.
+func (c *Client) Delete(ctx context.Context, name string) (int, error) {
+	ctx, cancel := context.WithTimeout(ctx, requestTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.base+"/v1/documents/"+name, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	drain(resp)
+	return resp.StatusCode, nil
+}
+
+// Add POSTs a new document.
+func (c *Client) Add(ctx context.Context, name, xml string) (int, error) {
+	ctx, cancel := context.WithTimeout(ctx, requestTimeout)
+	defer cancel()
+	body, _ := json.Marshal(map[string]string{"name": name, "xml": xml}) //nolint:errcheck
+	resp, err := c.post(ctx, "/v1/documents", body)
+	if err != nil {
+		return 0, err
+	}
+	drain(resp)
+	return resp.StatusCode, nil
+}
+
+// Explain captures the query plan for a template through POST
+// /v1/explain — the execution trace attached to flagged requests. A
+// failure to explain is reported as text, never as an error: trace
+// capture must not mask the failure it documents.
+func (c *Client) Explain(ctx context.Context, t RequestTemplate) string {
+	ctx, cancel := context.WithTimeout(ctx, requestTimeout)
+	defer cancel()
+	body, _ := json.Marshal(map[string]any{"view": t.View, "keywords": t.Keywords}) //nolint:errcheck
+	resp, err := c.post(ctx, "/v1/explain", body)
+	if err != nil {
+		return fmt.Sprintf("(explain unavailable: %v)", err)
+	}
+	defer resp.Body.Close() //nolint:errcheck
+	var out struct {
+		Plan  string `json:"plan"`
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return fmt.Sprintf("(explain undecodable: %v)", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Sprintf("(explain answered %d: %s)", resp.StatusCode, out.Error)
+	}
+	return out.Plan
+}
+
+// pathologicalRequests are the malformed inputs the "pathological" op
+// cycles through; each must draw a 4xx — anything else (a 5xx, or a 200
+// that accepted garbage) flags the server.
+var pathologicalRequests = []struct {
+	// Name keys the case in failure records.
+	Name string
+	// Path is the route; Body the raw (deliberately broken) payload.
+	Path string
+	Body string
+}{
+	{"unknown-view", "/v1/search", `{"view":"no-such-view-anywhere","keywords":["xml"]}`},
+	{"empty-keywords", "/v1/search", `{"view":"q","keywords":[]}`},
+	{"negative-top-k", "/v1/search", `{"view":"q","keywords":["xml"],"top_k":-3}`},
+	{"unknown-approach", "/v1/search", `{"view":"q","keywords":["xml"],"approach":"quantum"}`},
+	{"truncated-json", "/v1/search", `{"view":"q","keywords":["xml"`},
+	{"unknown-field", "/v1/search", `{"view":"q","keywords":["xml"],"vibes":"immaculate"}`},
+	{"negative-offset-stream", "/v1/search/stream", `{"view":"q","keywords":["xml"],"offset":-1}`},
+	{"explain-no-keywords", "/v1/explain", `{"view":"q"}`},
+}
+
+// Pathological sends the i-th (mod len) pathological request and reports
+// its name and status.
+func (c *Client) Pathological(ctx context.Context, i int) (name string, status int, err error) {
+	ctx, cancel := context.WithTimeout(ctx, requestTimeout)
+	defer cancel()
+	p := pathologicalRequests[i%len(pathologicalRequests)]
+	resp, err := c.post(ctx, p.Path, []byte(p.Body))
+	if err != nil {
+		return p.Name, 0, err
+	}
+	drain(resp)
+	return p.Name, resp.StatusCode, nil
+}
+
+// WaitReady polls /v1/stats until the server answers or the deadline
+// passes — how the harness knows an externally booted target is up.
+func (c *Client) WaitReady(ctx context.Context, deadline time.Duration) error {
+	ctx, cancel := context.WithTimeout(ctx, deadline)
+	defer cancel()
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/stats", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := c.hc.Do(req)
+		if err == nil {
+			drain(resp)
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("server at %s not ready: %w", c.base, ctx.Err())
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+// drain discards (up to a cap) and closes a response body so the
+// connection returns to the pool.
+func drain(resp *http.Response) {
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20)) //nolint:errcheck
+	resp.Body.Close()                                     //nolint:errcheck
+}

@@ -1,0 +1,139 @@
+// Log-linear latency histogram: HDR-style bucketing with bounded relative
+// error, so a multi-minute soak can record millions of latencies in a few
+// KB of counters and still report a meaningful p999.
+package loadkit
+
+import "math/bits"
+
+// histSubBuckets is the linear resolution inside each power-of-two coarse
+// bucket: 16 sub-buckets bound the relative quantile error at ~6%.
+const histSubBuckets = 16
+
+// histBuckets covers values up to 2^40 µs (~13 days) — far beyond any
+// plausible request latency.
+const histBuckets = histSubBuckets + 40*histSubBuckets
+
+// Histogram records non-negative microsecond latencies into log-linear
+// buckets. It is not safe for concurrent use; the collector serializes
+// access.
+type Histogram struct {
+	counts [histBuckets]int64
+	count  int64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+// histIndex maps a microsecond value to its bucket.
+func histIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < histSubBuckets {
+		return int(v)
+	}
+	// v >= 16: coarse bucket = bit length, linear position = the 4 bits
+	// below the leading one.
+	coarse := bits.Len64(uint64(v)) // >= 5 here
+	idx := histSubBuckets + (coarse-5)*histSubBuckets + int((v>>(coarse-5))&(histSubBuckets-1))
+	if idx >= histBuckets {
+		idx = histBuckets - 1
+	}
+	return idx
+}
+
+// histValue reconstructs a bucket's representative (midpoint) value.
+func histValue(idx int) int64 {
+	if idx < histSubBuckets {
+		return int64(idx)
+	}
+	exp := (idx - histSubBuckets) / histSubBuckets
+	sub := (idx - histSubBuckets) % histSubBuckets
+	lo := int64(histSubBuckets+sub) << exp
+	return lo + (int64(1)<<exp)/2
+}
+
+// Record adds one latency observation in microseconds.
+func (h *Histogram) Record(micros int64) {
+	if micros < 0 {
+		micros = 0
+	}
+	h.counts[histIndex(micros)]++
+	h.count++
+	h.sum += micros
+	if h.count == 1 || micros < h.min {
+		h.min = micros
+	}
+	if micros > h.max {
+		h.max = micros
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Merge folds other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	if other.count == 0 {
+		return
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	if h.count == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	h.count += other.count
+	h.sum += other.sum
+}
+
+// Quantile returns the value at quantile q (0 < q <= 1), clamped to the
+// observed min/max so bucket midpoints cannot report a p50 below the
+// fastest or a p999 above the slowest request. Zero observations yield 0.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	target := int64(q * float64(h.count))
+	if target < 1 {
+		target = 1
+	}
+	if target > h.count {
+		target = h.count
+	}
+	var seen int64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= target {
+			v := histValue(i)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// Summary renders the histogram as the report's latency block.
+func (h *Histogram) Summary() LatencySummary {
+	if h.count == 0 {
+		return LatencySummary{}
+	}
+	return LatencySummary{
+		Count:      h.count,
+		MinMicros:  h.min,
+		MeanMicros: h.sum / h.count,
+		P50Micros:  h.Quantile(0.50),
+		P95Micros:  h.Quantile(0.95),
+		P99Micros:  h.Quantile(0.99),
+		P999Micros: h.Quantile(0.999),
+		MaxMicros:  h.max,
+	}
+}

@@ -1,0 +1,69 @@
+package loadkit
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for v := int64(1); v <= 10000; v++ {
+		h.Record(v)
+	}
+	if h.Count() != 10000 {
+		t.Fatalf("count = %d, want 10000", h.Count())
+	}
+	s := h.Summary()
+	if s.MinMicros != 1 || s.MaxMicros != 10000 {
+		t.Fatalf("min/max = %d/%d, want exact 1/10000", s.MinMicros, s.MaxMicros)
+	}
+	// Log-linear buckets with 16 sub-buckets guarantee ~6% relative
+	// error; allow 8% slack.
+	check := func(name string, got, want int64) {
+		t.Helper()
+		if math.Abs(float64(got-want)) > 0.08*float64(want) {
+			t.Errorf("%s = %d, want within 8%% of %d", name, got, want)
+		}
+	}
+	check("p50", s.P50Micros, 5000)
+	check("p95", s.P95Micros, 9500)
+	check("p99", s.P99Micros, 9900)
+	check("p999", s.P999Micros, 9990)
+	check("mean", s.MeanMicros, 5000)
+	for _, q := range []int64{s.P50Micros, s.P95Micros, s.P99Micros, s.P999Micros} {
+		if q < s.MinMicros || q > s.MaxMicros {
+			t.Errorf("quantile %d escapes [min, max]", q)
+		}
+	}
+}
+
+func TestHistogramSingleValueAndEmpty(t *testing.T) {
+	var h Histogram
+	if s := h.Summary(); s != (LatencySummary{}) {
+		t.Fatalf("empty histogram summarizes to %+v, want zero", s)
+	}
+	h.Record(742)
+	s := h.Summary()
+	if s.MinMicros != 742 || s.MaxMicros != 742 || s.P50Micros != 742 || s.P999Micros != 742 {
+		t.Fatalf("single observation must clamp every quantile to it: %+v", s)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for v := int64(1); v <= 100; v++ {
+		a.Record(v)
+		b.Record(v * 100)
+	}
+	a.Merge(&b)
+	if a.Count() != 200 {
+		t.Fatalf("merged count = %d, want 200", a.Count())
+	}
+	s := a.Summary()
+	if s.MinMicros != 1 || s.MaxMicros != 10000 {
+		t.Fatalf("merged min/max = %d/%d, want 1/10000", s.MinMicros, s.MaxMicros)
+	}
+	if s.P95Micros < 5000 {
+		t.Fatalf("p95 = %d: merge lost b's heavy tail", s.P95Micros)
+	}
+}

@@ -1,0 +1,165 @@
+package loadkit
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// e2eSpec is a miniature of the committed mutation-soak scenario: a
+// generated corpus, a join view, a closed-loop mixed phase plus an
+// open-loop ramp, and churn with delete cycles and oracle spot checks.
+func e2eSpec() *Spec {
+	return &Spec{
+		Schema: SpecSchemaVersion,
+		Name:   "e2e",
+		Corpus: Corpus{Books: 16, Seed: 3},
+		Views: []ViewSpec{{Name: "q", XQuery: `
+			for $book in fn:doc(books.xml)/books//book
+			return <bookrevs>
+			         <book>{$book/title}</book>,
+			         {for $rev in fn:doc(reviews.xml)/reviews//review
+			          where $rev/isbn = $book/isbn
+			          return $rev/content}
+			       </bookrevs>`}},
+		// "ieee"/"computing" are the generator's low-selectivity planted
+		// markers — present in any seed at this corpus size.
+		Requests: []RequestTemplate{
+			{View: "q", Keywords: []string{"ieee"}, TopK: 5},
+			{View: "q", Keywords: []string{"computing", "ieee"}, Disjunctive: true, TopK: 3},
+		},
+		Phases: []Phase{
+			{Name: "mixed", Duration: Duration(500 * time.Millisecond), Clients: 4,
+				Mix: map[string]float64{"search": 4, "stream": 2, "paginate": 1, "pathological": 1}},
+			{Name: "ramp", Duration: Duration(400 * time.Millisecond), Clients: 4,
+				Rate: 60, RateEnd: 150, Mix: map[string]float64{"search": 1}},
+		},
+		Churn: &Churn{
+			Interval:       Duration(25 * time.Millisecond),
+			Documents:      []string{"books.xml", "reviews.xml"},
+			DeleteEvery:    3,
+			SpotCheckEvery: 2,
+		},
+	}
+}
+
+func TestRunnerEndToEnd(t *testing.T) {
+	spec := e2eSpec()
+	base, shutdown, err := SelfServe(spec)
+	if err != nil {
+		t.Fatalf("SelfServe: %v", err)
+	}
+	defer shutdown()
+
+	r := &Runner{Spec: spec, Target: base, TargetLabel: "self", Logf: t.Logf}
+	report, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	// The emitted artifact must pass its own strict validation.
+	data, err := report.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if err := Validate(data); err != nil {
+		t.Fatalf("run produced an invalid report: %v\n%s", err, data)
+	}
+
+	if report.Overall.Requests == 0 {
+		t.Fatalf("no traffic recorded")
+	}
+	if len(report.Phases) != 2 || report.Phases[0].Name != "mixed" || report.Phases[1].Name != "ramp" {
+		t.Fatalf("phases recorded oddly: %+v", report.Phases)
+	}
+	mixed := report.Phases[0]
+	for _, kind := range []string{"search", "stream", "paginate", "pathological"} {
+		if mixed.Ops[kind].Requests == 0 {
+			t.Errorf("mixed phase issued no %q ops: %+v", kind, mixed.Ops)
+		}
+	}
+	if lat := report.Overall.Latency; lat.Count == 0 || lat.P50Micros == 0 || lat.P999Micros < lat.P50Micros {
+		t.Errorf("overall latency summary is degenerate: %+v", lat)
+	}
+
+	// The server must have taken the mixed traffic cleanly: no 5xx, no
+	// pathological acceptance, no transport failures.
+	for key, n := range report.Errors {
+		t.Errorf("error taxonomy non-empty: %s=%d", key, n)
+	}
+	for _, f := range report.Failures {
+		t.Errorf("flagged request: %+v", f)
+	}
+
+	// Soak: the churner ran, deleted, and every spot check matched the
+	// single-threaded oracle byte-for-byte.
+	soak := report.Soak
+	if soak == nil {
+		t.Fatalf("no soak report despite configured churn")
+	}
+	if soak.ChurnOps == 0 || soak.Replaces == 0 || soak.Deletes == 0 {
+		t.Errorf("churn barely ran: %+v", soak)
+	}
+	if soak.SpotChecks == 0 {
+		t.Errorf("no oracle spot checks ran: %+v", soak)
+	}
+	if soak.Mismatches != 0 {
+		t.Errorf("%d oracle mismatches — concurrent serving diverged from sequential ground truth", soak.Mismatches)
+	}
+
+	res := report.Resources
+	if res.Samples == 0 || res.GoroutinesMax < res.GoroutinesBaseline {
+		t.Errorf("resource sampling is degenerate: %+v", res)
+	}
+	if !res.DrainedToBaseline {
+		t.Errorf("goroutines did not drain: baseline %d, after drain %d",
+			res.GoroutinesBaseline, res.GoroutinesAfterDrain)
+	}
+}
+
+// TestOracleCompareCatchesDivergence proves the byte-identity check has
+// teeth: a single corrupted byte in a server response must be flagged.
+func TestOracleCompareCatchesDivergence(t *testing.T) {
+	spec := e2eSpec()
+	oracle, err := NewOracle(spec)
+	if err != nil {
+		t.Fatalf("NewOracle: %v", err)
+	}
+	tmpl := spec.Requests[0]
+	want, err := oracle.Search(tmpl)
+	if err != nil {
+		t.Fatalf("oracle search: %v", err)
+	}
+	if len(want) == 0 {
+		t.Fatalf("oracle search returned no results — spec keywords miss the corpus")
+	}
+	clean := rawCopy(want)
+	if diff, err := oracle.Compare(tmpl, clean); err != nil || diff != "" {
+		t.Fatalf("identical responses compared unequal: diff=%q err=%v", diff, err)
+	}
+	tampered := rawCopy(want)
+	last := len(tampered[0]) - 2
+	tampered[0][last] ^= 1
+	diff, err := oracle.Compare(tmpl, tampered)
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if diff == "" {
+		t.Fatalf("single-byte corruption went undetected")
+	}
+	short := rawCopy(want)[:len(want)-1]
+	if diff, _ := oracle.Compare(tmpl, short); diff == "" {
+		t.Fatalf("dropped result went undetected")
+	}
+}
+
+// rawCopy deep-copies oracle result lines into the client's raw-message
+// shape.
+func rawCopy(in [][]byte) []json.RawMessage {
+	out := make([]json.RawMessage, len(in))
+	for i, b := range in {
+		out[i] = append(json.RawMessage(nil), b...)
+	}
+	return out
+}

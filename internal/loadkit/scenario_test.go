@@ -1,0 +1,45 @@
+package loadkit
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestCommittedScenarios keeps the specs under scenarios/ honest: each
+// must parse, its views must compile over its corpus, and every request
+// template must actually hit the corpus — a template whose keywords the
+// generator stopped planting would otherwise quietly load-test the
+// empty-result path.
+func TestCommittedScenarios(t *testing.T) {
+	paths, err := filepath.Glob("../../scenarios/*.json")
+	if err != nil {
+		t.Fatalf("glob: %v", err)
+	}
+	if len(paths) < 4 {
+		t.Fatalf("found %d committed scenarios, want at least 4: %v", len(paths), paths)
+	}
+	for _, path := range paths {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			spec, err := LoadSpec(path)
+			if err != nil {
+				t.Fatalf("LoadSpec: %v", err)
+			}
+			// NewOracle builds the corpus and compiles every view — the
+			// same setup SelfServe performs, minus the listener.
+			oracle, err := NewOracle(spec)
+			if err != nil {
+				t.Fatalf("building corpus/views: %v", err)
+			}
+			for i, tmpl := range spec.Requests {
+				results, err := oracle.Search(tmpl)
+				if err != nil {
+					t.Errorf("requests[%d] %v: %v", i, tmpl.Keywords, err)
+					continue
+				}
+				if len(results) == 0 {
+					t.Errorf("requests[%d] keywords %v return no results over this corpus", i, tmpl.Keywords)
+				}
+			}
+		})
+	}
+}

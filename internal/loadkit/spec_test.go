@@ -1,0 +1,109 @@
+package loadkit
+
+import (
+	"strings"
+	"testing"
+)
+
+// validSpecJSON is a fully-featured spec exercising every section.
+const validSpecJSON = `{
+  "schema": "vxmlload-spec/1",
+  "name": "unit",
+  "description": "spec used by parser tests",
+  "corpus": {"books": 4, "seed": 11},
+  "views": [{"name": "q", "xquery": "for $b in fn:doc(books.xml)/books//book return <r>{$b/title}</r>"}],
+  "requests": [{"view": "q", "keywords": ["thomas"], "top_k": 5}],
+  "phases": [
+    {"name": "warm", "duration": "200ms", "clients": 2, "mix": {"search": 1}},
+    {"name": "ramp", "duration": "300ms", "clients": 4, "rate": 40, "rate_end": 120,
+     "mix": {"search": 3, "stream": 1, "paginate": 1, "pathological": 0.5}}
+  ],
+  "churn": {"interval": "50ms", "documents": ["books.xml", "reviews.xml"],
+            "delete_every": 3, "spot_check_every": 2}
+}`
+
+func TestParseSpecValid(t *testing.T) {
+	s, err := ParseSpec([]byte(validSpecJSON))
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	if s.Name != "unit" || len(s.Phases) != 2 || s.Churn == nil {
+		t.Fatalf("spec parsed oddly: %+v", s)
+	}
+	if s.Phases[1].RateEnd != 120 {
+		t.Fatalf("rate_end lost: %+v", s.Phases[1])
+	}
+}
+
+// mutate applies a string substitution to the valid spec; the tests below
+// each break one invariant and assert the validator names it.
+func mutate(old, new string) []byte {
+	return []byte(strings.Replace(validSpecJSON, old, new, 1))
+}
+
+func TestParseSpecRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		data []byte
+		want string // substring of the expected error
+	}{
+		{"wrong schema", mutate(`"vxmlload-spec/1"`, `"vxmlload-spec/99"`), "schema"},
+		{"unknown field", mutate(`"name": "unit"`, `"name": "unit", "vibes": 1`), "unknown field"},
+		{"no views", mutate(`"views": [{"name": "q",`, `"views": [],"unused": [{"name": "q",`), ""},
+		{"undefined view ref", mutate(`{"view": "q", "keywords"`, `{"view": "nope", "keywords"`), "undefined view"},
+		{"no keywords", mutate(`"keywords": ["thomas"]`, `"keywords": []`), "no keywords"},
+		{"negative top_k", mutate(`"top_k": 5`, `"top_k": -5`), "negative"},
+		{"zero clients", mutate(`"clients": 2`, `"clients": 0`), "clients"},
+		{"rate_end without rate", mutate(`"rate": 40, `, ``), "rate_end without rate"},
+		{"unknown op kind", mutate(`"mix": {"search": 1}`, `"mix": {"teleport": 1}`), "unknown op"},
+		{"bad duration", mutate(`"duration": "200ms"`, `"duration": "soon"`), "duration"},
+		{"churn foreign doc", mutate(`["books.xml", "reviews.xml"]`, `["books.xml", "other.xml"]`), "generated pair"},
+		{"churn without corpus", mutate(`"corpus": {"books": 4, "seed": 11}`,
+			`"corpus": {"documents": [{"name": "books.xml", "xml": "<books/>"}]}`), "generated corpus"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseSpec(tc.data)
+			if err == nil {
+				t.Fatalf("spec accepted, want rejection")
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseSpecWriteMixNeedsOracleOff(t *testing.T) {
+	data := mutate(`"mix": {"search": 3, "stream": 1, "paginate": 1, "pathological": 0.5}`,
+		`"mix": {"search": 3, "write": 1}`)
+	_, err := ParseSpec(data)
+	if err == nil || !strings.Contains(err.Error(), "spot checks") {
+		t.Fatalf("write mix + spot checks accepted (err=%v); the oracle cannot track racing writers", err)
+	}
+}
+
+func TestMixPickerProportionsAndDeterminism(t *testing.T) {
+	mix := map[string]float64{"search": 3, "stream": 1}
+	a, b := newMixPicker(mix), newMixPicker(mix)
+	counts := map[string]int{}
+	for i := int64(0); i < 64; i++ {
+		ka, kb := a.pick(i), b.pick(i)
+		if ka != kb {
+			t.Fatalf("picker is not deterministic at %d: %q vs %q", i, ka, kb)
+		}
+		counts[ka]++
+	}
+	if counts["search"] < 40 || counts["stream"] < 10 {
+		t.Fatalf("schedule proportions off: %v (want ~48/16)", counts)
+	}
+	// A kind with a tiny weight still gets at least one slot.
+	p := newMixPicker(map[string]float64{"search": 100, "pathological": 0.01})
+	seen := map[string]bool{}
+	for i := int64(0); i < int64(len(p.schedule)); i++ {
+		seen[p.pick(i)] = true
+	}
+	if !seen["pathological"] {
+		t.Fatalf("tiny-weight kind starved out of the schedule")
+	}
+}

@@ -1,0 +1,94 @@
+// Regression test for the read-only toggle: SetReadOnly used to write a
+// plain bool that forbidMutation read from handler goroutines, so flipping
+// read-only on a serving server was a data race. The flag is atomic now;
+// this test pins that by hammering the mutation routes from many
+// goroutines while another flips the flag, and must stay -race clean.
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestReadOnlyToggleUnderConcurrentMutations flips SetReadOnly while
+// concurrent clients add, replace and delete documents. Every response
+// must be a deliberate handler answer — created/OK, 403 from the gate, or
+// 404 when a delete raced a delete — and the run must be race-clean.
+func TestReadOnlyToggleUnderConcurrentMutations(t *testing.T) {
+	ts, srv := newTestServer(t)
+
+	stop := make(chan struct{})
+	var toggles sync.WaitGroup
+	toggles.Add(1)
+	go func() {
+		defer toggles.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				srv.SetReadOnly(false)
+				return
+			default:
+			}
+			srv.SetReadOnly(i%2 == 0)
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	const clients = 8
+	const opsPerClient = 40
+	var wg sync.WaitGroup
+	errs := make(chan error, clients*opsPerClient*3)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < opsPerClient; i++ {
+				name := fmt.Sprintf("doc-%d-%d.xml", c, i)
+				resp, body := postJSON(t, ts.URL+"/v1/documents",
+					map[string]string{"name": name, "xml": "<notes><note><body>toggle race</body></note></notes>"})
+				if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusForbidden {
+					errs <- fmt.Errorf("POST %s: unexpected status %d: %s", name, resp.StatusCode, body)
+					continue
+				}
+				if resp.StatusCode == http.StatusForbidden {
+					continue // gate closed before the add; nothing to mutate
+				}
+				req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/documents/"+name, nil)
+				if err != nil {
+					errs <- err
+					continue
+				}
+				del, err := http.DefaultClient.Do(req)
+				if err != nil {
+					errs <- err
+					continue
+				}
+				del.Body.Close() //nolint:errcheck
+				if del.StatusCode != http.StatusOK && del.StatusCode != http.StatusForbidden {
+					errs <- fmt.Errorf("DELETE %s: unexpected status %d", name, del.StatusCode)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(stop)
+	toggles.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// The gate still enforces and releases deterministically once the
+	// toggling stops.
+	srv.SetReadOnly(true)
+	if resp, _ := postJSON(t, ts.URL+"/v1/documents", map[string]string{"name": "final.xml", "xml": "<a><b>x</b></a>"}); resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("read-only server answered %d to a mutation, want 403", resp.StatusCode)
+	}
+	srv.SetReadOnly(false)
+	if resp, body := postJSON(t, ts.URL+"/v1/documents", map[string]string{"name": "final.xml", "xml": "<a><b>x</b></a>"}); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("writable server answered %d to a mutation, want 201: %s", resp.StatusCode, body)
+	}
+}

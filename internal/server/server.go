@@ -16,6 +16,9 @@
 //	POST /v1/search/stream  same request; responds with NDJSON, one result
 //	                        object per line, written as the pipeline yields
 //	                        each ranked winner (no /v1-less alias)
+//	POST /v1/explain        {"view": "recent", "keywords": ["xml","search"]}
+//	                        renders the query plan without evaluating
+//	                        anything (no /v1-less alias)
 //	GET  /v1/stats
 //
 // Every search runs under the request's context, so a client that
@@ -32,8 +35,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"vxml"
@@ -44,7 +49,17 @@ import (
 type Server struct {
 	db       *vxml.Database
 	started  time.Time
-	readOnly bool
+	readOnly atomic.Bool
+
+	// streamGrace is the rolling per-line write deadline for the NDJSON
+	// streaming endpoint (streamWriteGrace by default; tests shorten it).
+	streamGrace time.Duration
+	// logf is the server's log sink (log.Printf by default; tests capture
+	// it). deadlineLogOnce rate-limits the write-deadline-unsupported
+	// warning to once per server — the condition is a property of the
+	// middleware stack, not of any one request.
+	logf            func(format string, args ...any)
+	deadlineLogOnce sync.Once
 
 	mu    sync.RWMutex
 	views map[string]*vxml.View
@@ -52,14 +67,22 @@ type Server struct {
 
 // New builds a server around db with an empty view registry.
 func New(db *vxml.Database) *Server {
-	return &Server{db: db, started: time.Now(), views: map[string]*vxml.View{}}
+	return &Server{
+		db:          db,
+		started:     time.Now(),
+		streamGrace: streamWriteGrace,
+		logf:        log.Printf,
+		views:       map[string]*vxml.View{},
+	}
 }
 
 // SetReadOnly gates the corpus-mutating routes (POST/PUT/DELETE under
 // /documents): when set, they answer 403 and the corpus can only change
 // through whatever loaded it at startup. Views may still be defined — they
-// are derived, not base data. Call before the handler starts serving.
-func (s *Server) SetReadOnly(v bool) { s.readOnly = v }
+// are derived, not base data. The flag is atomic, so it can be flipped
+// while the handler is serving: requests observe either the old or the new
+// setting, never a torn state.
+func (s *Server) SetReadOnly(v bool) { s.readOnly.Store(v) }
 
 // DefineView compiles and registers a view under name (used by the binary
 // to pre-register views from the command line; the HTTP path is POST
@@ -111,6 +134,7 @@ func (s *Server) routes() []route {
 		{method: "POST", path: "/views", handler: s.handleDefineView},
 		{method: "POST", path: "/search", handler: s.handleSearch},
 		{method: "POST", path: "/search/stream", handler: s.handleSearchStream, v1Only: true},
+		{method: "POST", path: "/explain", handler: s.handleExplain, v1Only: true},
 		{method: "GET", path: "/stats", handler: s.handleStats},
 	}
 }
@@ -216,12 +240,15 @@ type addDocumentResponse struct {
 }
 
 // forbidMutation enforces SetReadOnly for the corpus-mutating handlers,
-// writing the 403 itself when it returns true.
+// writing the 403 itself when it returns true. The flag is loaded exactly
+// once per call, so a concurrent toggle cannot make this answer 403 and
+// then let the mutation through anyway (or vice versa).
 func (s *Server) forbidMutation(w http.ResponseWriter) bool {
-	if s.readOnly {
-		writeError(w, http.StatusForbidden, "server is read-only: document mutation is disabled")
+	if !s.readOnly.Load() {
+		return false
 	}
-	return s.readOnly
+	writeError(w, http.StatusForbidden, "server is read-only: document mutation is disabled")
+	return true
 }
 
 func (s *Server) handleAddDocument(w http.ResponseWriter, r *http.Request) {
@@ -516,13 +543,31 @@ func (s *Server) handleSearchStream(w http.ResponseWriter, r *http.Request) {
 	}
 	enc := json.NewEncoder(w)
 	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
 	// The server's global WriteTimeout is one absolute deadline for the
 	// whole response — fine for one-shot JSON, fatal for a long stream.
 	// Roll the write deadline forward per line instead: a healthy stream
-	// of any length survives, a stalled client still trips it.
+	// of any length survives, a stalled client still trips it. A
+	// middleware-wrapped ResponseWriter may not support per-response
+	// deadlines (http.ErrNotSupported): detect that on the first failure,
+	// log it once per server, and fall back explicitly to the global
+	// WriteTimeout instead of silently retrying every line.
 	rc := http.NewResponseController(w)
+	deadlineSupported := true
 	extendDeadline := func() {
-		rc.SetWriteDeadline(time.Now().Add(streamWriteGrace)) //nolint:errcheck
+		if !deadlineSupported {
+			return
+		}
+		if err := rc.SetWriteDeadline(time.Now().Add(s.streamGrace)); err != nil {
+			deadlineSupported = false
+			s.deadlineLogOnce.Do(func() {
+				s.logf("search/stream: ResponseWriter does not support per-response write deadlines (%v); long streams fall back to the server's global WriteTimeout", err)
+			})
+		}
 	}
 	started := false
 	start := func() {
@@ -538,6 +583,10 @@ func (s *Server) handleSearchStream(w http.ResponseWriter, r *http.Request) {
 			}
 			extendDeadline()
 			enc.Encode(errorBody{Error: err.Error()}) //nolint:errcheck
+			// Flush the in-band error line too: behind a buffering proxy an
+			// unflushed error can sit until connection teardown,
+			// indistinguishable from a truncated stream.
+			flush()
 			return
 		}
 		if !started {
@@ -547,9 +596,7 @@ func (s *Server) handleSearchStream(w http.ResponseWriter, r *http.Request) {
 		if err := enc.Encode(wireResult(res)); err != nil {
 			return // client went away; the ranged loop is not resumed
 		}
-		if flusher != nil {
-			flusher.Flush()
-		}
+		flush()
 	}
 	// An empty result set is still a successful, empty stream.
 	if !started {
@@ -560,6 +607,52 @@ func (s *Server) handleSearchStream(w http.ResponseWriter, r *http.Request) {
 // streamWriteGrace is how long one NDJSON line may take to reach the
 // client before the stream's rolling write deadline kills the connection.
 const streamWriteGrace = 60 * time.Second
+
+// explainRequest is the body of POST /v1/explain: the same view/keywords
+// pair a search takes, with none of the execution options — the plan does
+// not depend on them.
+type explainRequest struct {
+	View     string   `json:"view"`
+	Keywords []string `json:"keywords"`
+}
+
+// explainResponse echoes the request identity alongside the rendered plan,
+// so a captured explanation is self-describing when attached to a load
+// harness failure or stored next to other evidence.
+type explainResponse struct {
+	View     string   `json:"view"`
+	Keywords []string `json:"keywords"`
+	Plan     string   `json:"plan"`
+}
+
+// handleExplain is POST /v1/explain: render the query plan — the QPTs
+// derived from the view definition and the exact index probes PDT
+// generation would issue — for a view/keywords pair, without evaluating
+// anything. This is the execution-trace hook load harnesses attach to
+// flagged requests: any search or stream request body can be replayed here
+// (extra fields like top_k are rejected, as everywhere) to capture why the
+// engine planned it the way it did.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	var req explainRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Keywords) == 0 {
+		writeError(w, http.StatusBadRequest, "keywords are required")
+		return
+	}
+	view := s.view(req.View)
+	if view == nil {
+		writeError(w, statusFor(vxml.ErrUnknownView), "unknown view %q", req.View)
+		return
+	}
+	plan, err := s.db.ExplainContext(r.Context(), view, req.Keywords)
+	if err != nil {
+		writeError(w, statusFor(err), "explain: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, explainResponse{View: req.View, Keywords: req.Keywords, Plan: plan})
+}
 
 type statsResponse struct {
 	Documents  []string    `json:"documents"`
