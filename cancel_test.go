@@ -3,7 +3,7 @@
 // one work unit, releasing all shard read locks, leaking no pool
 // goroutine, and never inserting a partial computation into the
 // query-result cache. Run with -race.
-package vxml
+package vxml_test
 
 import (
 	"context"
@@ -13,67 +13,36 @@ import (
 	"runtime"
 	"testing"
 	"time"
+
+	"vxml"
+	"vxml/internal/testkit"
 )
-
-// wantCtxErr asserts err wraps exactly the expected context error.
-func wantCtxErr(t *testing.T, label string, err, want error) {
-	t.Helper()
-	if err == nil {
-		t.Fatalf("%s: expected an error wrapping %v, got nil", label, want)
-	}
-	if !errors.Is(err, want) {
-		t.Fatalf("%s: error %q does not wrap %v", label, err, want)
-	}
-	if errors.Is(err, context.Canceled) && errors.Is(err, context.DeadlineExceeded) {
-		t.Fatalf("%s: error %q wraps both context errors", label, err)
-	}
-}
-
-// waitGoroutines waits for the goroutine count to settle back to at most
-// `limit` (worker pools drain cooperatively, so a just-canceled search may
-// briefly still be winding down).
-func waitGoroutines(t *testing.T, label string, limit int) {
-	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		n := runtime.NumGoroutine()
-		if n <= limit {
-			return
-		}
-		if time.Now().After(deadline) {
-			buf := make([]byte, 1<<20)
-			t.Fatalf("%s: %d goroutines still alive (limit %d)\n%s",
-				label, n, limit, buf[:runtime.Stack(buf, true)])
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
-}
 
 // TestPreCanceledContextFailsEveryEntryPoint: a context that is already
 // canceled must stop each ctx-taking entry point before it does any work,
 // with a wrapped context.Canceled.
 func TestPreCanceledContextFailsEveryEntryPoint(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
-	db := buildEqCorpus(t, rng, 6)
-	view, err := db.DefineView(eqViews[0])
+	db := testkit.BuildEqCorpus(t, rng, 6)
+	view, err := db.DefineView(testkit.EqViews[0])
 	if err != nil {
 		t.Fatal(err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 
-	for _, approach := range []Approach{Efficient, Baseline, GTPTermJoin} {
-		_, _, err := db.SearchContext(ctx, view, []string{"copper"}, &Options{Approach: approach})
-		wantCtxErr(t, fmt.Sprintf("SearchContext approach=%d", approach), err, context.Canceled)
+	for _, approach := range []vxml.Approach{vxml.Efficient, vxml.Baseline, vxml.GTPTermJoin} {
+		_, _, err := db.SearchContext(ctx, view, []string{"copper"}, &vxml.Options{Approach: approach})
+		testkit.WantCtxErr(t, fmt.Sprintf("SearchContext approach=%d", approach), err, context.Canceled)
 	}
 	// A warm cache must not mask the cancellation: the pre-flight runs
 	// before the cache lookup.
-	if _, _, err := db.Search(view, []string{"copper"}, &Options{Cache: true}); err != nil {
+	if _, _, err := db.Search(view, []string{"copper"}, &vxml.Options{Cache: true}); err != nil {
 		t.Fatal(err)
 	}
-	_, _, err = db.SearchContext(ctx, view, []string{"copper"}, &Options{Cache: true})
-	wantCtxErr(t, "SearchContext warm cache", err, context.Canceled)
-	if _, err := db.DefineViewContext(ctx, eqViews[0]); err == nil || !errors.Is(err, context.Canceled) {
+	_, _, err = db.SearchContext(ctx, view, []string{"copper"}, &vxml.Options{Cache: true})
+	testkit.WantCtxErr(t, "SearchContext warm cache", err, context.Canceled)
+	if _, err := db.DefineViewContext(ctx, testkit.EqViews[0]); err == nil || !errors.Is(err, context.Canceled) {
 		t.Fatalf("DefineViewContext: %v", err)
 	}
 	if _, err := db.ExplainContext(ctx, view, []string{"copper"}); err == nil || !errors.Is(err, context.Canceled) {
@@ -86,7 +55,7 @@ func TestPreCanceledContextFailsEveryEntryPoint(t *testing.T) {
 	}
 	got := 0
 	for _, err := range db.Results(ctx, view, []string{"copper"}, nil) {
-		wantCtxErr(t, "Results", err, context.Canceled)
+		testkit.WantCtxErr(t, "Results", err, context.Canceled)
 		got++
 	}
 	if got != 1 {
@@ -100,8 +69,8 @@ func TestPreCanceledContextFailsEveryEntryPoint(t *testing.T) {
 // the wrapped error and the sequence must stop.
 func TestCancelMidStreamStopsDelivery(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
-	db := buildEqCorpus(t, rng, 12)
-	view, err := db.DefineView(eqViews[0])
+	db := testkit.BuildEqCorpus(t, rng, 12)
+	view, err := db.DefineView(testkit.EqViews[0])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +78,7 @@ func TestCancelMidStreamStopsDelivery(t *testing.T) {
 		ctx, cancel := context.WithCancel(context.Background())
 		var yielded int
 		var streamErr error
-		for r, err := range db.Results(ctx, view, []string{"copper"}, &Options{Parallelism: par}) {
+		for r, err := range db.Results(ctx, view, []string{"copper"}, &vxml.Options{Parallelism: par}) {
 			if err != nil {
 				streamErr = err
 				continue
@@ -124,7 +93,7 @@ func TestCancelMidStreamStopsDelivery(t *testing.T) {
 		if yielded != 1 {
 			t.Fatalf("parallelism %d: %d results yielded after mid-stream cancel, want 1", par, yielded)
 		}
-		wantCtxErr(t, fmt.Sprintf("parallelism %d mid-stream", par), streamErr, context.Canceled)
+		testkit.WantCtxErr(t, fmt.Sprintf("parallelism %d mid-stream", par), streamErr, context.Canceled)
 	}
 }
 
@@ -136,8 +105,8 @@ func TestCancelMidStreamStopsDelivery(t *testing.T) {
 // canceled runs poisoned no cache entry.
 func TestCancelDuringSearchReleasesEverything(t *testing.T) {
 	rng := rand.New(rand.NewSource(21))
-	db := buildEqCorpus(t, rng, 30)
-	view, err := db.DefineView(eqViews[1]) // join view: the slowest shape
+	db := testkit.BuildEqCorpus(t, rng, 30)
+	view, err := db.DefineView(testkit.EqViews[1]) // join view: the slowest shape
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,11 +114,11 @@ func TestCancelDuringSearchReleasesEverything(t *testing.T) {
 
 	baselineGoroutines := runtime.NumGoroutine()
 	canceled, completed, attempt := 0, 0, 0
-	for _, opts := range []*Options{
+	for _, opts := range []*vxml.Options{
 		{Parallelism: 1, Cache: true},
 		{Parallelism: 4, Cache: true},
-		{Parallelism: 4, Approach: Baseline, Cache: true},
-		{Parallelism: 1, Approach: GTPTermJoin, Cache: true},
+		{Parallelism: 4, Approach: vxml.Baseline, Cache: true},
+		{Parallelism: 1, Approach: vxml.GTPTermJoin, Cache: true},
 	} {
 		// Shrink the cancel delay until the cancellation lands mid-search;
 		// a run that finishes first is fine, it just tries again sooner.
@@ -173,7 +142,7 @@ func TestCancelDuringSearchReleasesEverything(t *testing.T) {
 			}
 			cancel()
 			if err != nil {
-				wantCtxErr(t, fmt.Sprintf("opts %+v delay %v", opts, delay), err, context.Canceled)
+				testkit.WantCtxErr(t, fmt.Sprintf("opts %+v delay %v", opts, delay), err, context.Canceled)
 				canceled++
 				break
 			}
@@ -186,7 +155,7 @@ func TestCancelDuringSearchReleasesEverything(t *testing.T) {
 	if canceled == 0 {
 		t.Fatal("no search was actually canceled")
 	}
-	waitGoroutines(t, "after canceled searches", baselineGoroutines)
+	testkit.WaitGoroutines(t, "after canceled searches", baselineGoroutines)
 
 	// Only completed attempts may be resident in the cache: a canceled
 	// computation must never be inserted.
@@ -209,35 +178,36 @@ func TestCancelDuringSearchReleasesEverything(t *testing.T) {
 	}
 
 	// And the pipeline still computes correct, cacheable results.
-	fresh, stats, err := db.SearchContext(context.Background(), view, kws, &Options{Cache: true})
+	fresh, stats, err := db.SearchContext(context.Background(), view, kws, &vxml.Options{Cache: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if stats.CacheHit {
 		t.Fatal("post-cancel search reported a cache hit; canceled runs must not populate the cache")
 	}
-	again, stats2, err := db.Search(view, kws, &Options{Cache: true})
+	again, stats2, err := db.Search(view, kws, &vxml.Options{Cache: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !stats2.CacheHit {
 		t.Fatal("repeat search missed the cache")
 	}
-	mustEqualResults(t, "post-cancel cached vs fresh", fresh, again)
+	testkit.MustEqualResults(t, "post-cancel cached vs fresh", fresh, again)
 }
 
 // TestDeadlineExceededWrapsCorrectly: an expired deadline surfaces as a
-// wrapped context.DeadlineExceeded, distinguishable from a cancel.
+// wrapped context.DeadlineExceeded, distinguishable from a cancel. The
+// deadline is set firmly in the past, so the test never waits on the
+// wall clock.
 func TestDeadlineExceededWrapsCorrectly(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
-	db := buildEqCorpus(t, rng, 10)
-	view, err := db.DefineView(eqViews[0])
+	db := testkit.BuildEqCorpus(t, rng, 10)
+	view, err := db.DefineView(testkit.EqViews[0])
 	if err != nil {
 		t.Fatal(err)
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Hour))
 	defer cancel()
-	time.Sleep(time.Millisecond) // let the deadline pass
 	_, _, err = db.SearchContext(ctx, view, []string{"copper"}, nil)
-	wantCtxErr(t, "expired deadline", err, context.DeadlineExceeded)
+	testkit.WantCtxErr(t, "expired deadline", err, context.DeadlineExceeded)
 }

@@ -1,0 +1,87 @@
+// Command vxmlnode runs one cluster member: a full search engine over its
+// slice of the corpus, speaking the vxmlcluster/1 RPC protocol (rank,
+// materialize, search, mutations, snapshot) under /cluster/v1. Nodes hold
+// no cluster-global state — document placement, generation vectors and the
+// view registry live on the coordinator (vxmlcoord), which is also the only
+// intended client of this process.
+//
+// A node starts empty at generation zero, or bootstraps as a read replica
+// from another node's consistent snapshot with -bootstrap-from. The process
+// drains in-flight requests and exits cleanly on SIGINT/SIGTERM.
+//
+// Examples:
+//
+//	vxmlnode -addr :8351
+//	vxmlnode -addr :8361 -bootstrap-from http://localhost:8351
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"vxml/internal/cluster"
+)
+
+func main() {
+	addr := flag.String("addr", ":8351", "listen address")
+	bootstrapFrom := flag.String("bootstrap-from", "", "base URL of a node to bootstrap this one from (snapshot shipping; replica starts at the snapshot's generation)")
+	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second, "maximum time to drain in-flight requests on shutdown")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	var node *cluster.Node
+	if *bootstrapFrom != "" {
+		n, err := cluster.NewNodeFromSnapshot(ctx, nil, *bootstrapFrom)
+		if err != nil {
+			log.Fatalf("bootstrapping from %s: %v", *bootstrapFrom, err)
+		}
+		log.Printf("bootstrapped %d document(s) at generation %d from %s", n.Documents(), n.Gen(), *bootstrapFrom)
+		node = n
+	} else {
+		node = cluster.NewNode()
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           node.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		// Same bounds as the public server: documents up to the 64MB body
+		// cap must fit, streamed rank/materialize replies must not be cut
+		// short by an aggressive write timeout.
+		ReadTimeout:  5 * time.Minute,
+		WriteTimeout: 60 * time.Second,
+		IdleTimeout:  2 * time.Minute,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("vxmlnode listening on %s (%d documents, generation %d)", *addr, node.Documents(), node.Gen())
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("serve: %v", err)
+		}
+	case <-ctx.Done():
+		log.Printf("shutting down, draining for up to %s", *shutdownGrace)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "shutdown: %v\n", err)
+			os.Exit(1)
+		}
+		log.Printf("bye")
+	}
+}

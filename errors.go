@@ -6,8 +6,10 @@
 //	ErrUnknownView           named view not registered              404
 //	ErrUnknownDocument       view references an absent document     404
 //	ErrDuplicateDocument     Add under an existing document name    409
+//	ErrDuplicateView         define under an existing view name     409
 //	ErrInvalidOptions        unusable Options / request parameters  400
 //	ParseError               malformed XQuery (position + message)  400
+//	ErrPartialCluster        distributed search lost node(s)        502
 //	context.Canceled         caller canceled the context            499
 //	context.DeadlineExceeded the context's deadline passed          408
 //
@@ -36,6 +38,12 @@ var ErrDuplicateDocument = store.ErrDuplicateName
 // after the next Add.
 var ErrUnknownDocument = core.ErrUnknownDocument
 
+// ErrDuplicateView reports defining a view under an already-registered
+// name (compare with errors.Is). Like ErrUnknownView it originates in
+// components that register views by name — internal/server and
+// internal/cluster — not in the Database API itself.
+var ErrDuplicateView = errors.New("vxml: duplicate view")
+
 // ErrUnknownView reports a lookup of a view name that was never defined.
 // The Database API itself passes compiled *View values and cannot fail
 // this way; components that resolve views by registered name (such as
@@ -52,3 +60,10 @@ var ErrInvalidOptions = errors.New("vxml: invalid options")
 // parser stopped at and what it expected. DefineView and Query return it
 // (wrapped; retrieve with errors.As) for syntactically invalid input.
 type ParseError = xq.ParseError
+
+// ErrPartialCluster reports a distributed search that completed without one
+// or more cluster nodes: the results returned alongside it cover only the
+// surviving partitions (never a silently truncated full answer — the error
+// is the marker). Stats.Nodes carries the per-member outcome. Single-process
+// searches never return it.
+var ErrPartialCluster = errors.New("vxml: partial cluster results")

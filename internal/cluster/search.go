@@ -1,0 +1,745 @@
+package cluster
+
+// Distributed search: the scatter-gather merge (rank on every node, sum
+// integer statistics, score and select centrally, materialize winners where
+// they live) and the single-node route for views that cannot scatter. Both
+// routes mirror vxml.Database.SearchContext's option normalization, paging
+// and query-result caching exactly, so a coordinator is a drop-in Database
+// for the serving layer — byte-identical results included.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"iter"
+	"sync"
+	"time"
+
+	"vxml"
+	"vxml/internal/core"
+	"vxml/internal/qcache"
+	"vxml/internal/scoring"
+)
+
+// cachedSearch is the coordinator's query-result cache entry — same shape
+// as vxml's: TF maps normalized, stats frozen at compute time.
+type cachedSearch struct {
+	results []vxml.Result
+	stats   vxml.Stats
+}
+
+// Search runs a ranked keyword search over a registered view, distributed
+// across the cluster, with vxml.Database.SearchContext semantics: same
+// option normalization, same Offset/TopK paging, same query-result cache
+// discipline, byte-identical results. When one or more slots are lost
+// mid-search the surviving partitions' results are returned together with
+// an error wrapping vxml.ErrPartialCluster (and per-member outcomes in
+// Stats.Nodes); partial results are never cached.
+func (c *Coordinator) Search(ctx context.Context, name string, keywords []string, opts *vxml.Options) ([]vxml.Result, *vxml.Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, fmt.Errorf("vxml: search interrupted: %w", err)
+	}
+	opts = normalizeOptions(opts)
+	if opts.Approach != vxml.Efficient {
+		return nil, nil, fmt.Errorf("%w: the cluster serves only the efficient approach", vxml.ErrInvalidOptions)
+	}
+	c.mu.RLock()
+	cv := c.views[name]
+	c.mu.RUnlock()
+	if cv == nil {
+		return nil, nil, fmt.Errorf("cluster: %w: %q", vxml.ErrUnknownView, name)
+	}
+	if opts.Offset > 0 {
+		// Same page-of-a-deeper-ranking semantics as vxml: cached pages
+		// slice one shared unpaged entry, uncached pages rank only the
+		// top Offset+TopK and skip the prefix unmaterialized.
+		if opts.Cache {
+			full := *opts
+			full.Offset, full.TopK = 0, 0
+			results, stats, err := c.Search(ctx, name, keywords, &full)
+			if err != nil {
+				return nil, stats, err
+			}
+			return pageSlice(results, opts.Offset, opts.TopK), stats, nil
+		}
+		window := *opts
+		window.Offset = 0
+		if opts.TopK > 0 {
+			window.TopK = opts.Offset + opts.TopK
+		}
+		return c.searchUncached(ctx, name, cv, keywords, &window, opts.Offset)
+	}
+	var key string
+	var gen int
+	if opts.Cache {
+		key = qcache.Key(cv.text, keywords,
+			qcache.IntPart(opts.TopK),
+			qcache.BoolPart(opts.Disjunctive),
+			qcache.IntPart(int(opts.Approach)))
+		gen = c.cache.Gen()
+		if val, ok := c.cache.Get(key); ok {
+			hit := val.(*cachedSearch)
+			stats := hit.stats
+			stats.CacheHit = true
+			return remapTF(hit.results, keywords), &stats, nil
+		}
+	}
+	out, stats, err := c.searchUncached(ctx, name, cv, keywords, opts, 0)
+	if err != nil {
+		return out, stats, err
+	}
+	if opts.Cache {
+		stored := storedResults(out)
+		c.cache.PutAt(key, &cachedSearch{results: stored, stats: *stats}, gen, resultsFootprint(stored))
+	}
+	return out, stats, nil
+}
+
+// searchUncached re-issues the search while nodes keep answering at newer
+// generations than the snapshot vector (a mutation landed mid-search); the
+// bounded budget turns a mutation storm into ErrStaleGeneration instead of
+// a livelock.
+func (c *Coordinator) searchUncached(ctx context.Context, name string, cv *compiledView, keywords []string, opts *vxml.Options, pageOffset int) ([]vxml.Result, *vxml.Stats, error) {
+	attempts := 1 + c.cfg.SearchRetries
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		results, stats, err := c.searchOnce(ctx, name, cv, keywords, opts, pageOffset)
+		if err == nil || !errors.Is(err, ErrStaleGeneration) {
+			return results, stats, err
+		}
+		lastErr = err
+	}
+	return nil, nil, fmt.Errorf("cluster: search kept racing mutations after %d attempts: %w", attempts, lastErr)
+}
+
+// searchOnce snapshots the generation vector and routing decision, then
+// runs one scatter-gather or single-node pass against that snapshot.
+func (c *Coordinator) searchOnce(ctx context.Context, name string, cv *compiledView, keywords []string, opts *vxml.Options, pageOffset int) ([]vxml.Result, *vxml.Stats, error) {
+	c.mu.RLock()
+	vec := make([]uint64, len(c.gens))
+	copy(vec, c.gens)
+	rt, err := c.classifyLocked(cv)
+	c.mu.RUnlock()
+	if err != nil {
+		return nil, nil, err
+	}
+	if rt.scatter {
+		return c.scatterSearch(ctx, name, keywords, opts, pageOffset, vec)
+	}
+	return c.singleSearch(ctx, name, keywords, opts, pageOffset, vec, rt.slot)
+}
+
+// candRef locates a merged candidate for the materialize phase: the slot
+// that ranked it and its position in that node's local view output.
+type candRef struct {
+	slot int
+	pos  int
+}
+
+// slotRank is one slot's scatter-phase outcome.
+type slotRank struct {
+	resp     *rankResponse
+	member   int // index of the member that answered; -1 if none
+	err      error
+	statuses []vxml.NodeStatus
+}
+
+// scatterSearch is the distributed route: rank on every slot, merge
+// centrally, materialize winners where they live.
+func (c *Coordinator) scatterSearch(ctx context.Context, name string, keywords []string, opts *vxml.Options, pageOffset int, vec []uint64) ([]vxml.Result, *vxml.Stats, error) {
+	start := time.Now()
+	slots := c.cfg.Slots
+	base := rankRequest{Schema: Schema, View: name, Keywords: keywords, Disjunctive: opts.Disjunctive, Parallelism: opts.Parallelism}
+
+	// Phase 1: rank everywhere, concurrently.
+	ranks := make([]slotRank, len(slots))
+	var wg sync.WaitGroup
+	for s := range slots {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			req := base
+			req.Gen = vec[s]
+			ranks[s] = c.rankSlot(ctx, s, req)
+		}(s)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, nil, fmt.Errorf("cluster: search interrupted: %w", err)
+	}
+
+	stats := &vxml.Stats{Workers: 1}
+	failedSlots := 0
+	for s := range ranks {
+		if err := ranks[s].err; err != nil {
+			if errors.Is(err, ErrStaleGeneration) {
+				c.flattenStatuses(stats, ranks)
+				return nil, stats, err
+			}
+			var ne *nodeCallError
+			if errors.As(err, &ne) && ne.Code == codeInvalid {
+				// Deterministic rejection (the view is not scatterable on
+				// the node either): no amount of failover helps.
+				c.flattenStatuses(stats, ranks)
+				return nil, stats, fmt.Errorf("%w: %s", ErrUnroutableView, ne.Msg)
+			}
+			failedSlots++
+		}
+	}
+	if failedSlots == len(slots) {
+		c.flattenStatuses(stats, ranks)
+		return nil, stats, fmt.Errorf("cluster: all %d slot(s) failed: %w", len(slots), vxml.ErrPartialCluster)
+	}
+
+	// Merge: sum the integer statistics, then do the one float64 division
+	// and per-candidate scoring exactly as a single node would.
+	totalView := 0
+	contains := make([]int, len(keywords))
+	for s := range ranks {
+		resp := ranks[s].resp
+		if resp == nil {
+			continue
+		}
+		totalView += resp.ViewSize
+		for j := range contains {
+			if j < len(resp.Contains) {
+				contains[j] += resp.Contains[j]
+			}
+		}
+		stats.Matched += resp.Matched
+		ws := resp.Stats
+		stats.PDTTime += time.Duration(ws.PDTTimeUS) * time.Microsecond
+		stats.EvalTime += time.Duration(ws.EvalTimeUS) * time.Microsecond
+		stats.PostTime += time.Duration(ws.PostTimeUS) * time.Microsecond
+		stats.PDTNodes += ws.PDTNodes
+		stats.Candidates += ws.Candidates
+		stats.ShardsSearched += ws.ShardsSearched
+		if ws.Workers > stats.Workers {
+			stats.Workers = ws.Workers
+		}
+	}
+	stats.ViewSize = totalView
+	idfs := scoring.IDFsFromCounts(totalView, contains)
+	top := scoring.NewTopK(opts.TopK)
+	refs := map[int]candRef{}
+	for s := range ranks {
+		resp := ranks[s].resp
+		if resp == nil {
+			continue
+		}
+		for _, cand := range resp.Candidates {
+			// (doc ID, local view position) is order-isomorphic to the
+			// global view position the oracle breaks ties on: the outer
+			// enumeration is document-ID order and each partitioned
+			// document lives on exactly one node.
+			idx := int(cand.Doc)<<32 | cand.Pos
+			if _, dup := refs[idx]; dup {
+				continue
+			}
+			refs[idx] = candRef{slot: s, pos: cand.Pos}
+			st := scoring.Stats{TFs: cand.TFs, ByteLen: cand.ByteLen}
+			top.Push(scoring.Scored{Stats: st, Score: scoring.Score(st, idfs), Index: idx})
+		}
+	}
+	winners := top.Sorted()
+	if pageOffset >= len(winners) {
+		winners = nil
+	} else {
+		winners = winners[pageOffset:]
+	}
+
+	// Phase 2: materialize the winners on their owning slots, each slot's
+	// batch in winner order so results stream back already ordered.
+	type slotBatch struct {
+		positions []int
+		winnerIdx []int
+	}
+	bySlot := map[int]*slotBatch{}
+	for j, w := range winners {
+		ref := refs[w.Index]
+		b := bySlot[ref.slot]
+		if b == nil {
+			b = &slotBatch{}
+			bySlot[ref.slot] = b
+		}
+		b.positions = append(b.positions, ref.pos)
+		b.winnerIdx = append(b.winnerIdx, j)
+	}
+	type matOut struct {
+		xml, snippet string
+		ok           bool
+	}
+	outs := make([]matOut, len(winners))
+	slotErrs := make([]error, len(slots))
+	var (
+		matMu sync.Mutex
+		matWg sync.WaitGroup
+	)
+	for s, b := range bySlot {
+		matWg.Add(1)
+		go func(s int, b *slotBatch) {
+			defer matWg.Done()
+			req := materializeRequest{rankRequest: base, Positions: b.positions}
+			req.Gen = vec[s]
+			fetches, err := c.materializeSlot(ctx, s, ranks[s].member, req, func(k int, chunk materializeChunk) {
+				outs[b.winnerIdx[k]] = matOut{xml: chunk.XML, snippet: chunk.Snippet, ok: true}
+			})
+			matMu.Lock()
+			if err != nil {
+				slotErrs[s] = err
+				for _, j := range b.winnerIdx {
+					outs[j] = matOut{}
+				}
+			} else {
+				stats.BaseData += fetches
+			}
+			matMu.Unlock()
+		}(s, b)
+	}
+	matWg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, nil, fmt.Errorf("cluster: search interrupted: %w", err)
+	}
+	for s, err := range slotErrs {
+		if err != nil && errors.Is(err, ErrStaleGeneration) {
+			c.flattenStatuses(stats, ranks)
+			return nil, stats, err
+		}
+		if err != nil && ranks[s].member >= 0 {
+			st := &ranks[s].statuses[ranks[s].member]
+			st.State = "failed"
+			st.Err = err.Error()
+			failedSlots++
+		}
+	}
+
+	// Assemble: stop at the first winner whose slot died mid-materialize,
+	// so partial results are always an exact rank prefix (of the surviving
+	// partitions' merge), never a list with silent holes.
+	results := make([]vxml.Result, 0, len(winners))
+	for j, w := range winners {
+		if !outs[j].ok {
+			break
+		}
+		results = append(results, vxml.Result{
+			Rank:    pageOffset + j + 1,
+			Score:   w.Score,
+			TF:      tfMap(keywords, w.Stats.TFs),
+			XML:     outs[j].xml,
+			Snippet: outs[j].snippet,
+		})
+	}
+	stats.Total = time.Since(start)
+	c.flattenStatuses(stats, ranks)
+	if failedSlots > 0 {
+		return results, stats, fmt.Errorf("cluster: %d of %d slot(s) missing from the results: %w", failedSlots, len(slots), vxml.ErrPartialCluster)
+	}
+	return results, stats, nil
+}
+
+// flattenStatuses fills stats.Nodes with every member's outcome, in slot
+// then member order.
+func (c *Coordinator) flattenStatuses(stats *vxml.Stats, ranks []slotRank) {
+	stats.Nodes = stats.Nodes[:0]
+	for s := range ranks {
+		stats.Nodes = append(stats.Nodes, ranks[s].statuses...)
+	}
+}
+
+// rankSlot runs the scatter phase against one slot, failing over across its
+// members: primary first, then replicas. A member answering at a newer
+// generation than the snapshot vector means a mutation landed — the whole
+// search must retry (ErrStaleGeneration); an older one is a lagging replica
+// and the next member is tried.
+func (c *Coordinator) rankSlot(ctx context.Context, slot int, req rankRequest) slotRank {
+	members := c.cfg.Slots[slot]
+	out := slotRank{member: -1, statuses: make([]vxml.NodeStatus, len(members))}
+	for i, m := range members {
+		out.statuses[i] = vxml.NodeStatus{URL: m, Slot: slot, State: "skipped"}
+	}
+	var lastErr error
+	for i, m := range members {
+		resp, err := c.rankMember(ctx, m, req)
+		if err == nil {
+			out.statuses[i].State = "ok"
+			out.statuses[i].Gen = resp.Gen
+			out.resp, out.member = resp, i
+			return out
+		}
+		out.statuses[i].State = "failed"
+		out.statuses[i].Err = err.Error()
+		if gen, ok := staleGen(err); ok {
+			out.statuses[i].Gen = gen
+			if gen > req.Gen {
+				out.err = fmt.Errorf("%w: slot %d answered generation %d, expected %d", ErrStaleGeneration, slot, gen, req.Gen)
+				return out
+			}
+			lastErr = err
+			continue // lagging replica; the next member may be current
+		}
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			out.err = fmt.Errorf("cluster: search interrupted: %w", ctxErr)
+			return out
+		}
+		var ne *nodeCallError
+		if errors.As(err, &ne) && ne.Code == codeInvalid {
+			out.err = err // deterministic rejection; failover cannot help
+			return out
+		}
+		lastErr = err
+	}
+	out.err = fmt.Errorf("slot %d unavailable: %w", slot, lastErr)
+	return out
+}
+
+// rankMember posts one rank request to one member, retrying transport
+// failures up to the configured budget and self-healing a missed view push
+// (unknown_view → push the definition, retry once).
+func (c *Coordinator) rankMember(ctx context.Context, member string, req rankRequest) (*rankResponse, error) {
+	attempts := 1 + c.cfg.Retries
+	healed := false
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		var resp rankResponse
+		err := c.postJSON(ctx, member, "/rank", req, &resp)
+		if err == nil {
+			return &resp, nil
+		}
+		if isUnknownView(err) && !healed {
+			healed = true
+			if c.healView(ctx, member, req.View) {
+				a--
+				continue
+			}
+		}
+		var ne *nodeCallError
+		if errors.As(err, &ne) {
+			return nil, err // the node answered; repeating the request is futile
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return nil, err
+		}
+	}
+	return nil, lastErr
+}
+
+// healView re-pushes a registered view to a member that reported
+// unknown_view (it was down or unborn when DefineView broadcast it).
+func (c *Coordinator) healView(ctx context.Context, member, name string) bool {
+	c.mu.RLock()
+	cv := c.views[name]
+	c.mu.RUnlock()
+	return cv != nil && c.pushView(ctx, member, name, cv.text) == nil
+}
+
+// materializeSlot streams the materialize phase for one slot's winner
+// batch, failing over across members (preferring the member that served
+// the rank). deliver is called once per position, in request order.
+func (c *Coordinator) materializeSlot(ctx context.Context, slot, preferred int, req materializeRequest, deliver func(k int, chunk materializeChunk)) (int, error) {
+	members := c.cfg.Slots[slot]
+	order := make([]int, 0, len(members))
+	if preferred >= 0 && preferred < len(members) {
+		order = append(order, preferred)
+	}
+	for i := range members {
+		if i != preferred {
+			order = append(order, i)
+		}
+	}
+	var lastErr error
+	for _, i := range order {
+		fetches, err := c.materializeMember(ctx, members[i], req, deliver)
+		if err == nil {
+			return fetches, nil
+		}
+		if gen, ok := staleGen(err); ok && gen > req.Gen {
+			return 0, fmt.Errorf("%w: slot %d moved to generation %d during materialization", ErrStaleGeneration, slot, gen)
+		}
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return 0, fmt.Errorf("cluster: search interrupted: %w", ctxErr)
+		}
+		lastErr = err
+	}
+	return 0, fmt.Errorf("slot %d unavailable for materialization: %w", slot, lastErr)
+}
+
+// materializeMember runs one materialize stream against one member. A
+// failover retry re-delivers from position zero; re-delivery is harmless
+// because materialization is deterministic at a pinned generation.
+func (c *Coordinator) materializeMember(ctx context.Context, member string, req materializeRequest, deliver func(k int, chunk materializeChunk)) (int, error) {
+	resp, cancel, err := c.postStream(ctx, member, "/materialize", req)
+	if err != nil {
+		return 0, err
+	}
+	defer cancel()
+	defer resp.Body.Close()
+	dec := json.NewDecoder(resp.Body)
+	k := 0
+	for {
+		var chunk materializeChunk
+		if err := dec.Decode(&chunk); err != nil {
+			return 0, fmt.Errorf("materialize stream from %s: %w", member, err)
+		}
+		switch {
+		case chunk.Error != "":
+			return 0, &nodeCallError{Code: chunk.Code, Msg: chunk.Error, Gen: chunk.Gen}
+		case chunk.Done:
+			if k != len(req.Positions) {
+				return 0, fmt.Errorf("materialize stream from %s: %d of %d positions delivered", member, k, len(req.Positions))
+			}
+			return chunk.Fetches, nil
+		default:
+			if chunk.Pos == nil || k >= len(req.Positions) || *chunk.Pos != req.Positions[k] {
+				return 0, fmt.Errorf("materialize stream from %s: position out of order", member)
+			}
+			deliver(k, chunk)
+			k++
+		}
+	}
+}
+
+// singleSearch is the route for views that cannot scatter: the whole
+// search runs as one streamed RPC on a node that holds every referenced
+// document — the owning slot, or any slot when only broadcast documents
+// are referenced (slot < 0), failing over in slot then member order.
+func (c *Coordinator) singleSearch(ctx context.Context, name string, keywords []string, opts *vxml.Options, pageOffset int, vec []uint64, slot int) ([]vxml.Result, *vxml.Stats, error) {
+	start := time.Now()
+	targets := []int{slot}
+	if slot < 0 {
+		targets = targets[:0]
+		for s := range c.cfg.Slots {
+			targets = append(targets, s)
+		}
+	}
+	var statuses []vxml.NodeStatus
+	var lastErr error
+	for _, s := range targets {
+		req := searchRequest{
+			Schema: Schema, View: name, Keywords: keywords,
+			TopK: opts.TopK, Offset: pageOffset,
+			Disjunctive: opts.Disjunctive, Parallelism: opts.Parallelism,
+			Gen: vec[s],
+		}
+		for i, m := range c.cfg.Slots[s] {
+			results, stats, err := c.searchMember(ctx, m, req)
+			if err == nil {
+				stats.Total = time.Since(start)
+				status := vxml.NodeStatus{URL: m, Slot: s, State: "ok", Gen: vec[s]}
+				stats.Nodes = append(statuses, status)
+				for _, rest := range c.cfg.Slots[s][i+1:] {
+					stats.Nodes = append(stats.Nodes, vxml.NodeStatus{URL: rest, Slot: s, State: "skipped"})
+				}
+				return results, stats, nil
+			}
+			status := vxml.NodeStatus{URL: m, Slot: s, State: "failed", Err: err.Error()}
+			if gen, ok := staleGen(err); ok {
+				status.Gen = gen
+				if gen > req.Gen {
+					statuses = append(statuses, status)
+					st := &vxml.Stats{Nodes: statuses}
+					return nil, st, fmt.Errorf("%w: slot %d answered generation %d, expected %d", ErrStaleGeneration, s, gen, req.Gen)
+				}
+			}
+			statuses = append(statuses, status)
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return nil, nil, fmt.Errorf("cluster: search interrupted: %w", ctxErr)
+			}
+			var ne *nodeCallError
+			if errors.As(err, &ne) && ne.Code == codeInvalid {
+				return nil, &vxml.Stats{Nodes: statuses}, fmt.Errorf("%w: %s", vxml.ErrInvalidOptions, ne.Msg)
+			}
+			lastErr = err
+		}
+	}
+	st := &vxml.Stats{Nodes: statuses}
+	return nil, st, fmt.Errorf("cluster: no node can serve the view (%d member(s) tried, last: %v): %w", len(statuses), lastErr, vxml.ErrPartialCluster)
+}
+
+// searchMember runs one complete streamed search against one member,
+// buffering the ranked page; transport retries and unknown_view healing as
+// in rankMember.
+func (c *Coordinator) searchMember(ctx context.Context, member string, req searchRequest) ([]vxml.Result, *vxml.Stats, error) {
+	attempts := 1 + c.cfg.Retries
+	healed := false
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		results, stats, err := c.searchMemberOnce(ctx, member, req)
+		if err == nil {
+			return results, stats, nil
+		}
+		if isUnknownView(err) && !healed {
+			healed = true
+			if c.healView(ctx, member, req.View) {
+				a--
+				continue
+			}
+		}
+		var ne *nodeCallError
+		if errors.As(err, &ne) {
+			return nil, nil, err
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return nil, nil, err
+		}
+	}
+	return nil, nil, lastErr
+}
+
+func (c *Coordinator) searchMemberOnce(ctx context.Context, member string, req searchRequest) ([]vxml.Result, *vxml.Stats, error) {
+	resp, cancel, err := c.postStream(ctx, member, "/search", req)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer cancel()
+	defer resp.Body.Close()
+	dec := json.NewDecoder(resp.Body)
+	var results []vxml.Result
+	for {
+		var chunk searchChunk
+		if err := dec.Decode(&chunk); err != nil {
+			return nil, nil, fmt.Errorf("search stream from %s: %w", member, err)
+		}
+		switch {
+		case chunk.Error != "":
+			return nil, nil, &nodeCallError{Code: chunk.Code, Msg: chunk.Error, Gen: chunk.Gen}
+		case chunk.Done:
+			stats := &vxml.Stats{}
+			if chunk.Stats != nil {
+				ws := chunk.Stats
+				stats.PDTTime = time.Duration(ws.PDTTimeUS) * time.Microsecond
+				stats.EvalTime = time.Duration(ws.EvalTimeUS) * time.Microsecond
+				stats.PostTime = time.Duration(ws.PostTimeUS) * time.Microsecond
+				stats.PDTNodes = ws.PDTNodes
+				stats.ViewSize = ws.ViewSize
+				stats.Matched = ws.Matched
+				stats.BaseData = ws.BaseData
+				stats.Workers = ws.Workers
+				stats.Candidates = ws.Candidates
+				stats.ShardsSearched = ws.ShardsSearched
+			}
+			return results, stats, nil
+		default:
+			results = append(results, vxml.Result{
+				Rank:    chunk.Rank,
+				Score:   chunk.Score,
+				TF:      tfMap(req.Keywords, chunk.TFs),
+				XML:     chunk.XML,
+				Snippet: chunk.Snippet,
+			})
+		}
+	}
+}
+
+// Results is the coordinator's streaming delivery, mirroring
+// vxml.Database.Results: the yielded sequence is byte-identical to what
+// Search returns for the same arguments; on the scatter route winners are
+// materialized slot by slot while earlier winners are already being
+// yielded. A slot lost mid-stream yields the in-order prefix followed by a
+// final (zero Result, error wrapping vxml.ErrPartialCluster) pair — never a
+// silently truncated sequence. Generation races are retried only before
+// the first yield; after it they surface as the final error pair.
+func (c *Coordinator) Results(ctx context.Context, name string, keywords []string, opts *vxml.Options) iter.Seq2[vxml.Result, error] {
+	return func(yield func(vxml.Result, error) bool) {
+		// The eager path (compute the page, then replay) both serves the
+		// cache contract and keeps partial-cluster delivery uniform: the
+		// prefix is yielded, then the error.
+		results, _, err := c.Search(ctx, name, keywords, opts)
+		for _, r := range results {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				yield(vxml.Result{}, fmt.Errorf("vxml: streaming interrupted: %w", ctxErr))
+				return
+			}
+			if !yield(r, nil) {
+				return
+			}
+		}
+		if err != nil {
+			yield(vxml.Result{}, err)
+		}
+	}
+}
+
+// tfMap keys a candidate's per-keyword term frequencies by the caller's own
+// keyword spellings, exactly as the in-process pipeline's toResult does.
+func tfMap(keywords []string, tfs []int) map[string]int {
+	tf := make(map[string]int, len(keywords))
+	for i := 0; i < len(keywords) && i < len(tfs); i++ {
+		tf[keywords[i]] = tfs[i]
+	}
+	return tf
+}
+
+// The four helpers below mirror vxml's unexported cache/paging plumbing so
+// the coordinator's serving semantics stay byte-for-byte aligned with
+// Database.SearchContext.
+
+func normalizeOptions(opts *vxml.Options) *vxml.Options {
+	if opts == nil {
+		return &vxml.Options{}
+	}
+	if opts.TopK < 0 || opts.Offset < 0 || opts.Parallelism < 0 {
+		o := *opts
+		o.TopK = max(o.TopK, 0)
+		o.Offset = max(o.Offset, 0)
+		if o.Parallelism < 0 {
+			o.Parallelism = 1
+		}
+		return &o
+	}
+	return opts
+}
+
+func pageSlice(results []vxml.Result, offset, k int) []vxml.Result {
+	if offset >= len(results) {
+		return nil
+	}
+	page := results[offset:]
+	if k > 0 && k < len(page) {
+		page = page[:k]
+	}
+	return page
+}
+
+func resultsFootprint(in []vxml.Result) int {
+	n := 0
+	for _, r := range in {
+		n += len(r.XML) + len(r.Snippet) + 64
+		for k := range r.TF {
+			n += len(k) + 16
+		}
+	}
+	return n
+}
+
+func storedResults(in []vxml.Result) []vxml.Result {
+	return copyResultsKeyed(in, core.NormalizeKeyword)
+}
+
+func copyResultsKeyed(in []vxml.Result, keyFn func(string) string) []vxml.Result {
+	out := make([]vxml.Result, len(in))
+	for i, r := range in {
+		tf := make(map[string]int, len(r.TF))
+		for k, v := range r.TF {
+			tf[keyFn(k)] = v
+		}
+		r.TF = tf
+		out[i] = r
+	}
+	return out
+}
+
+func remapTF(in []vxml.Result, keywords []string) []vxml.Result {
+	out := make([]vxml.Result, len(in))
+	for i, r := range in {
+		tf := make(map[string]int, len(keywords))
+		for _, k := range keywords {
+			tf[k] = r.TF[core.NormalizeKeyword(k)]
+		}
+		r.TF = tf
+		out[i] = r
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+package cluster
+
+// Snapshot shipping: a node streams its persisted corpus (the v2 MANIFEST
+// format of store.Save) plus its view registry and generation as one NDJSON
+// response, and NewNodeFromSnapshot rebuilds a byte-identical replica from
+// that stream. Because the snapshot carries coordinator-assigned document
+// IDs and the generation it was cut at, a bootstrapped replica serves reads
+// indistinguishable from its primary for as long as its generation matches
+// the coordinator's vector — and is rejected by the generation check, never
+// silently stale, once the primary moves on.
+
+import (
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"vxml/internal/core"
+	"vxml/internal/store"
+)
+
+// manifestFile is the store's manifest name; it is shipped last so a
+// replica that loads a truncated snapshot fails fast instead of opening a
+// partial corpus.
+const manifestFile = "MANIFEST"
+
+// handleSnapshot streams the node's corpus: header (generation + views),
+// one line per persisted file (manifest last), then an explicit done
+// marker whose absence tells the receiver the stream was truncated. The
+// read lock is held for the whole save, so the snapshot is a consistent
+// cut at exactly the advertised generation.
+func (n *Node) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	dir, err := os.MkdirTemp("", "vxmlsnap-")
+	if err != nil {
+		nodeErrorFor(w, err)
+		return
+	}
+	defer os.RemoveAll(dir)
+	if err := n.engine.Store.Save(dir); err != nil {
+		nodeErrorFor(w, err)
+		return
+	}
+	header := snapshotHeader{Schema: Schema, Gen: n.gen, Views: make([]viewSnapshot, 0, len(n.texts))}
+	for name, text := range n.texts {
+		header.Views = append(header.Views, viewSnapshot{Name: name, XQuery: text})
+	}
+	sort.Slice(header.Views, func(i, j int) bool { return header.Views[i].Name < header.Views[j].Name })
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(header); err != nil {
+		return
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		_ = enc.Encode(snapshotChunk{Error: err.Error(), Code: codeInternal})
+		return
+	}
+	var files []string
+	for _, e := range entries {
+		if e.Name() != manifestFile {
+			files = append(files, e.Name())
+		}
+	}
+	sort.Strings(files)
+	files = append(files, manifestFile)
+	for _, f := range files {
+		data, err := os.ReadFile(filepath.Join(dir, f))
+		if err != nil {
+			_ = enc.Encode(snapshotChunk{Error: err.Error(), Code: codeInternal})
+			return
+		}
+		if err := enc.Encode(snapshotChunk{File: f, Data: base64.StdEncoding.EncodeToString(data)}); err != nil {
+			return
+		}
+	}
+	_ = enc.Encode(snapshotChunk{Done: true})
+}
+
+// NewNodeFromSnapshot bootstraps a node (typically a read replica) from
+// another node's snapshot stream: it fetches GET /cluster/v1/snapshot from
+// baseURL, restores the corpus through store.Load (document IDs and shard
+// count preserved), compiles the shipped views, and adopts the snapshot's
+// generation. A nil client uses http.DefaultClient.
+func NewNodeFromSnapshot(ctx context.Context, client *http.Client, baseURL string) (*Node, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+pathPrefix+"/snapshot", nil)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: snapshot request: %w", err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: fetching snapshot from %s: %w", baseURL, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: snapshot from %s: %s", baseURL, readNodeError(resp))
+	}
+	dec := json.NewDecoder(resp.Body)
+	var header snapshotHeader
+	if err := dec.Decode(&header); err != nil {
+		return nil, fmt.Errorf("cluster: snapshot header: %w", err)
+	}
+	if header.Schema != Schema {
+		return nil, fmt.Errorf("cluster: snapshot schema %q not supported (want %q)", header.Schema, Schema)
+	}
+	dir, err := os.MkdirTemp("", "vxmlboot-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	done := false
+	for !done {
+		var chunk snapshotChunk
+		if err := dec.Decode(&chunk); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("cluster: snapshot stream: %w", err)
+		}
+		switch {
+		case chunk.Error != "":
+			return nil, fmt.Errorf("cluster: snapshot stream: %s", chunk.Error)
+		case chunk.Done:
+			done = true
+		default:
+			if chunk.File == "" || filepath.Base(chunk.File) != chunk.File {
+				return nil, fmt.Errorf("cluster: snapshot names unsafe file %q", chunk.File)
+			}
+			data, err := base64.StdEncoding.DecodeString(chunk.Data)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: snapshot file %s: %w", chunk.File, err)
+			}
+			if err := os.WriteFile(filepath.Join(dir, chunk.File), data, 0o644); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if !done {
+		return nil, fmt.Errorf("cluster: snapshot from %s truncated (no done marker)", baseURL)
+	}
+	st, err := store.Load(dir)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: restoring snapshot: %w", err)
+	}
+	n := &Node{engine: core.New(st), views: map[string]*core.View{}, texts: map[string]string{}}
+	for _, vs := range header.Views {
+		v, err := n.engine.CompileViewUnchecked(vs.XQuery)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: compiling shipped view %q: %w", vs.Name, err)
+		}
+		n.views[vs.Name], n.texts[vs.Name] = v, vs.XQuery
+	}
+	n.gen = header.Gen
+	return n, nil
+}

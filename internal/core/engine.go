@@ -609,6 +609,11 @@ func (e *Engine) rankedSearch(ctx context.Context, v *View, keywords []string, o
 	return ranking.Results, kws, stats, nil
 }
 
+// snippetWidth is the keyword-in-context excerpt width every
+// materialization path cuts snippets at; a single definition keeps local
+// and cluster materialization byte-identical.
+const snippetWidth = 160
+
 // materializeResult expands one ranked winner into a caller-facing Result
 // (phase 4b). It needs no shard lock: subtree fetches resolve through the
 // store's lock-free Dewey map.
@@ -617,7 +622,7 @@ func materializeResult(sc scoring.Scored, rank int, kws []string, opts Options, 
 	snippet := ""
 	if !opts.SkipMaterialize {
 		elem = scoring.Materialize(sc.Result, fetcher)
-		snippet = scoring.Snippet(elem, kws, 160)
+		snippet = scoring.Snippet(elem, kws, snippetWidth)
 	}
 	return Result{Rank: rank, Score: sc.Score, TFs: sc.Stats.TFs, Element: elem, Snippet: snippet}
 }

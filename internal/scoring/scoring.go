@@ -109,6 +109,14 @@ func Rank(results []*xmltree.Node, keywords []string, conjunctive bool, k int, m
 // stats: idf(k) = |V(D)| / |{e in V(D) : contains(e, k)}| (§2.2). Keywords
 // absent from the whole view contribute nothing (idf 0).
 func IDFs(stats []Stats, nKeywords int) []float64 {
+	return IDFsFromCounts(len(stats), Contains(stats, nKeywords))
+}
+
+// Contains counts, for each keyword, the results whose subtree contains it
+// (tf > 0) — the denominator statistic of IDFs. It is exposed separately so
+// a distributed merge can sum per-partition counts before the one float
+// division IDFsFromCounts performs.
+func Contains(stats []Stats, nKeywords int) []int {
 	contains := make([]int, nKeywords) // # results containing keyword i
 	for i := range stats {
 		for j := 0; j < nKeywords && j < len(stats[i].TFs); j++ {
@@ -117,10 +125,19 @@ func IDFs(stats []Stats, nKeywords int) []float64 {
 			}
 		}
 	}
-	idfs := make([]float64, nKeywords)
+	return contains
+}
+
+// IDFsFromCounts computes IDFs from a view size and per-keyword containment
+// counts (see Contains). Both inputs may be integer sums over disjoint
+// corpus partitions: summing exactly and then performing the single float64
+// division here yields IDFs bit-identical to a one-partition computation,
+// which is what keeps distributed scoring byte-identical to single-node.
+func IDFsFromCounts(viewSize int, contains []int) []float64 {
+	idfs := make([]float64, len(contains))
 	for j := range idfs {
 		if contains[j] > 0 {
-			idfs[j] = float64(len(stats)) / float64(contains[j])
+			idfs[j] = float64(viewSize) / float64(contains[j])
 		}
 	}
 	return idfs

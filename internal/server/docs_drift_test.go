@@ -16,6 +16,7 @@ import (
 	"testing"
 
 	"vxml"
+	"vxml/internal/cluster"
 )
 
 // apiDocPath locates docs/API.md relative to this package.
@@ -49,6 +50,42 @@ func TestDocsAPIMatchesRegisteredRoutes(t *testing.T) {
 	for d := range documented {
 		if !registered[d] {
 			t.Errorf("%s documents %q but internal/server does not register it", apiDocPath, d)
+		}
+	}
+}
+
+var clusterRouteHeading = regexp.MustCompile(`(?m)^## (GET|POST|PUT|DELETE|PATCH|HEAD) (/cluster/v1\S*)`)
+
+// TestDocsAPIMatchesNodeRoutes holds docs/API.md to the node RPC routing
+// table the same way the /v1 check holds it to the public surface: every
+// registered /cluster/v1 route needs a heading, and every documented one
+// must exist.
+func TestDocsAPIMatchesNodeRoutes(t *testing.T) {
+	data, err := os.ReadFile(filepath.FromSlash(apiDocPath))
+	if err != nil {
+		t.Fatalf("reading %s: %v", apiDocPath, err)
+	}
+	documented := map[string]bool{}
+	for _, m := range clusterRouteHeading.FindAllStringSubmatch(string(data), -1) {
+		documented[m[1]+" "+m[2]] = true
+	}
+	if len(documented) == 0 {
+		t.Fatalf("%s contains no '## METHOD /cluster/v1/...' route headings; the drift check needs them", apiDocPath)
+	}
+
+	registered := map[string]bool{}
+	for _, r := range cluster.NewNode().Routes() {
+		registered[r] = true
+	}
+
+	for r := range registered {
+		if !documented[r] {
+			t.Errorf("route %q is registered by internal/cluster but has no '## %s' heading in %s", r, r, apiDocPath)
+		}
+	}
+	for d := range documented {
+		if !registered[d] {
+			t.Errorf("%s documents %q but internal/cluster does not register it", apiDocPath, d)
 		}
 	}
 }

@@ -42,12 +42,13 @@ import (
 	"time"
 
 	"vxml"
+	"vxml/internal/cluster"
 )
 
-// Server routes HTTP requests to a shared Database and a named view
-// registry.
+// Server routes HTTP requests to a shared Backend — a single-process
+// Database or a cluster Coordinator — and its named view registry.
 type Server struct {
-	db       *vxml.Database
+	backend  Backend
 	started  time.Time
 	readOnly atomic.Bool
 
@@ -60,19 +61,29 @@ type Server struct {
 	// middleware stack, not of any one request.
 	logf            func(format string, args ...any)
 	deadlineLogOnce sync.Once
-
-	mu    sync.RWMutex
-	views map[string]*vxml.View
 }
 
-// New builds a server around db with an empty view registry.
+// New builds a server around a single-process database with an empty view
+// registry.
 func New(db *vxml.Database) *Server {
+	return NewBackend(newDBBackend(db))
+}
+
+// NewCluster builds a server that serves the public /v1 API through a
+// cluster coordinator: same routes, same wire shapes, byte-identical
+// results — plus the degraded-mode surface (502 partial results with
+// per-node status) only a distributed backend can produce.
+func NewCluster(coord *cluster.Coordinator) *Server {
+	return NewBackend(&coordBackend{coord: coord})
+}
+
+// NewBackend builds a server around an arbitrary Backend.
+func NewBackend(b Backend) *Server {
 	return &Server{
-		db:          db,
+		backend:     b,
 		started:     time.Now(),
 		streamGrace: streamWriteGrace,
 		logf:        log.Printf,
-		views:       map[string]*vxml.View{},
 	}
 }
 
@@ -88,28 +99,8 @@ func (s *Server) SetReadOnly(v bool) { s.readOnly.Store(v) }
 // to pre-register views from the command line; the HTTP path is POST
 // /views). Registering an existing name replaces it.
 func (s *Server) DefineView(name, xquery string) error {
-	view, err := s.db.DefineView(xquery)
-	if err != nil {
-		return err
-	}
-	s.mu.Lock()
-	s.views[name] = view
-	s.mu.Unlock()
-	return nil
-}
-
-// view returns the registered view, or nil.
-func (s *Server) view(name string) *vxml.View {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.views[name]
-}
-
-// viewCount returns the number of registered views.
-func (s *Server) viewCount() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.views)
+	_, err := s.backend.DefineView(context.Background(), name, xquery, true)
+	return err
 }
 
 // route is one entry of the server's routing table: the canonical /v1
@@ -174,10 +165,14 @@ func (s *Server) Handler() http.Handler {
 const statusClientClosedRequest = 499
 
 // statusFor maps the vxml error taxonomy to HTTP statuses:
-// ErrInvalidOptions and ParseError to 400, ErrUnknownView and
-// ErrUnknownDocument to 404, context.DeadlineExceeded to 408,
-// ErrDuplicateDocument to 409, context.Canceled to 499, anything
-// unclassified to 500.
+// ErrInvalidOptions, ParseError and cluster.ErrUnroutableView to 400,
+// ErrUnknownView and ErrUnknownDocument to 404, context.DeadlineExceeded
+// to 408, ErrDuplicateDocument and ErrDuplicateView to 409,
+// context.Canceled to 499, ErrPartialCluster to 502 (the response body
+// still carries the surviving partitions' results),
+// cluster.ErrNodeUnavailable to 502 (a mutation could not reach the
+// owning primary), cluster.ErrStaleGeneration to 503 (transient: the
+// search kept racing mutations; retry), anything unclassified to 500.
 func statusFor(err error) int {
 	var pe *vxml.ParseError
 	switch {
@@ -187,9 +182,13 @@ func statusFor(err error) int {
 		return statusClientClosedRequest
 	case errors.Is(err, vxml.ErrUnknownView), errors.Is(err, vxml.ErrUnknownDocument):
 		return http.StatusNotFound
-	case errors.Is(err, vxml.ErrDuplicateDocument):
+	case errors.Is(err, vxml.ErrDuplicateDocument), errors.Is(err, vxml.ErrDuplicateView):
 		return http.StatusConflict
-	case errors.Is(err, vxml.ErrInvalidOptions), errors.As(err, &pe):
+	case errors.Is(err, vxml.ErrPartialCluster), errors.Is(err, cluster.ErrNodeUnavailable):
+		return http.StatusBadGateway
+	case errors.Is(err, cluster.ErrStaleGeneration):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, vxml.ErrInvalidOptions), errors.Is(err, cluster.ErrUnroutableView), errors.As(err, &pe):
 		return http.StatusBadRequest
 	}
 	return http.StatusInternalServerError
@@ -263,15 +262,18 @@ func (s *Server) handleAddDocument(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "both name and xml are required")
 		return
 	}
-	if err := s.db.Add(req.Name, req.XML); err != nil {
-		status := http.StatusBadRequest
-		if errors.Is(err, vxml.ErrDuplicateDocument) {
-			status = http.StatusConflict
+	if err := s.backend.AddDocument(r.Context(), req.Name, req.XML); err != nil {
+		// statusFor classifies duplicates (409) and cluster conditions
+		// (502); an XML parse failure is unclassified but still the
+		// client's bad body, so the fallback is 400, not 500.
+		status := statusFor(err)
+		if status == http.StatusInternalServerError {
+			status = http.StatusBadRequest
 		}
 		writeError(w, status, "adding document: %v", err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, addDocumentResponse{Name: req.Name, Documents: s.db.DocumentNames()})
+	writeJSON(w, http.StatusCreated, addDocumentResponse{Name: req.Name, Documents: s.backend.DocumentNames()})
 }
 
 // replaceDocumentRequest is the body of PUT /v1/documents/{name}; the name
@@ -299,7 +301,7 @@ func (s *Server) handleReplaceDocument(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "xml is required")
 		return
 	}
-	if err := s.db.ReplaceContext(r.Context(), name, req.XML); err != nil {
+	if err := s.backend.ReplaceDocument(r.Context(), name, req.XML); err != nil {
 		// statusFor classifies unknown-name (404) and context failures; an
 		// XML parse failure is unclassified but still the client's bad
 		// body, so the fallback is 400, not 500.
@@ -310,7 +312,7 @@ func (s *Server) handleReplaceDocument(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, "replacing document: %v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, addDocumentResponse{Name: name, Documents: s.db.DocumentNames()})
+	writeJSON(w, http.StatusOK, addDocumentResponse{Name: name, Documents: s.backend.DocumentNames()})
 }
 
 // handleDeleteDocument is DELETE /v1/documents/{name}: remove the named
@@ -323,11 +325,11 @@ func (s *Server) handleDeleteDocument(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	name := r.PathValue("name")
-	if err := s.db.DeleteContext(r.Context(), name); err != nil {
+	if err := s.backend.DeleteDocument(r.Context(), name); err != nil {
 		writeError(w, statusFor(err), "deleting document: %v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, addDocumentResponse{Name: name, Documents: s.db.DocumentNames()})
+	writeJSON(w, http.StatusOK, addDocumentResponse{Name: name, Documents: s.backend.DocumentNames()})
 }
 
 type defineViewRequest struct {
@@ -350,14 +352,18 @@ func (s *Server) handleDefineView(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Cheap name pre-check so a duplicate registration (e.g. a client
-	// retry) is rejected before paying for the compile; the registry is
-	// re-checked under the lock below, which stays authoritative.
-	if s.view(req.Name) != nil {
+	// retry) is rejected before paying for the compile; the backend
+	// registry re-checks, and stays authoritative.
+	if s.backend.HasView(req.Name) {
 		writeError(w, http.StatusConflict, "view %q already defined", req.Name)
 		return
 	}
-	view, err := s.db.DefineViewContext(r.Context(), req.XQuery)
+	definition, err := s.backend.DefineView(r.Context(), req.Name, req.XQuery, false)
 	if err != nil {
+		if errors.Is(err, vxml.ErrDuplicateView) {
+			writeError(w, http.StatusConflict, "view %q already defined", req.Name)
+			return
+		}
 		// Parse and compile diagnostics go to the caller: a ParseError is
 		// the malformed-XQuery → 400 path, an unknown fn:doc reference →
 		// 404; any other compile rejection still means the client's query
@@ -369,17 +375,7 @@ func (s *Server) handleDefineView(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, "compiling view: %v", err)
 		return
 	}
-	s.mu.Lock()
-	_, dup := s.views[req.Name]
-	if !dup {
-		s.views[req.Name] = view
-	}
-	s.mu.Unlock()
-	if dup {
-		writeError(w, http.StatusConflict, "view %q already defined", req.Name)
-		return
-	}
-	writeJSON(w, http.StatusCreated, defineViewResponse{Name: req.Name, Definition: view.Definition()})
+	writeJSON(w, http.StatusCreated, defineViewResponse{Name: req.Name, Definition: definition})
 }
 
 type searchRequest struct {
@@ -419,11 +415,49 @@ type searchStats struct {
 	Workers        int   `json:"workers"`
 	Candidates     int   `json:"candidates"`
 	ShardsSearched int   `json:"shards_searched"`
+	// Nodes is the per-member outcome of a distributed search (cluster
+	// backend only; absent on single-process servers).
+	Nodes []nodeStatus `json:"nodes,omitempty"`
+}
+
+// nodeStatus is one cluster member's outcome inside searchStats.
+type nodeStatus struct {
+	URL   string `json:"url"`
+	Slot  int    `json:"slot"`
+	State string `json:"state"`
+	Gen   uint64 `json:"gen,omitempty"`
+	Error string `json:"error,omitempty"`
 }
 
 type searchResponse struct {
 	Results []searchResult `json:"results"`
 	Stats   searchStats    `json:"stats"`
+	// Error is set when the response is a degraded partial-cluster answer
+	// (status 502): Results covers only the surviving partitions.
+	Error string `json:"error,omitempty"`
+}
+
+// wireStats converts per-search stats to the wire shape (shared by the
+// one-shot search response and any stats-bearing degraded response).
+func wireStats(stats *vxml.Stats) searchStats {
+	out := searchStats{
+		PDTTimeMicros:  stats.PDTTime.Microseconds(),
+		EvalTimeMicros: stats.EvalTime.Microseconds(),
+		PostTimeMicros: stats.PostTime.Microseconds(),
+		TotalMicros:    stats.Total.Microseconds(),
+		PDTNodes:       stats.PDTNodes,
+		ViewSize:       stats.ViewSize,
+		Matched:        stats.Matched,
+		BaseData:       stats.BaseData,
+		CacheHit:       stats.CacheHit,
+		Workers:        stats.Workers,
+		Candidates:     stats.Candidates,
+		ShardsSearched: stats.ShardsSearched,
+	}
+	for _, n := range stats.Nodes {
+		out.Nodes = append(out.Nodes, nodeStatus{URL: n.URL, Slot: n.Slot, State: n.State, Gen: n.Gen, Error: n.Err})
+	}
+	return out
 }
 
 // parseApproach maps the wire name to the pipeline selector; an unknown
@@ -446,38 +480,37 @@ func parseApproach(name string) (vxml.Approach, error) {
 // HTTP client sending top_k: -1 is confused, and a 400 tells it so — while
 // library callers get normalization; both land on the same canonical
 // options.
-func (s *Server) resolveSearch(w http.ResponseWriter, r *http.Request) (*vxml.View, *vxml.Options, []string, bool) {
+func (s *Server) resolveSearch(w http.ResponseWriter, r *http.Request) (string, *vxml.Options, []string, bool) {
 	var req searchRequest
 	if !decodeBody(w, r, &req) {
-		return nil, nil, nil, false
+		return "", nil, nil, false
 	}
 	if len(req.Keywords) == 0 {
 		writeError(w, http.StatusBadRequest, "keywords are required")
-		return nil, nil, nil, false
+		return "", nil, nil, false
 	}
 	if req.TopK < 0 {
 		writeError(w, http.StatusBadRequest, "top_k must be >= 0 (0 returns all results), got %d", req.TopK)
-		return nil, nil, nil, false
+		return "", nil, nil, false
 	}
 	if req.Offset < 0 {
 		writeError(w, http.StatusBadRequest, "offset must be >= 0, got %d", req.Offset)
-		return nil, nil, nil, false
+		return "", nil, nil, false
 	}
 	if req.Parallelism < 0 {
 		writeError(w, http.StatusBadRequest, "parallelism must be >= 0 (0 uses all CPUs, 1 is sequential), got %d", req.Parallelism)
-		return nil, nil, nil, false
+		return "", nil, nil, false
 	}
-	view := s.view(req.View)
-	if view == nil {
+	if !s.backend.HasView(req.View) {
 		writeError(w, statusFor(vxml.ErrUnknownView), "unknown view %q", req.View)
-		return nil, nil, nil, false
+		return "", nil, nil, false
 	}
 	approach, err := parseApproach(req.Approach)
 	if err != nil {
 		writeError(w, statusFor(err), "%v", err)
-		return nil, nil, nil, false
+		return "", nil, nil, false
 	}
-	return view, &vxml.Options{
+	return req.View, &vxml.Options{
 		TopK:        req.TopK,
 		Offset:      req.Offset,
 		Disjunctive: req.Disjunctive,
@@ -492,30 +525,25 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	results, stats, err := s.db.SearchContext(r.Context(), view, keywords, opts)
-	if err != nil {
+	results, stats, err := s.backend.Search(r.Context(), view, keywords, opts)
+	if err != nil && !(errors.Is(err, vxml.ErrPartialCluster) && stats != nil) {
 		writeError(w, statusFor(err), "search: %v", err)
 		return
 	}
 	resp := searchResponse{
 		Results: make([]searchResult, len(results)),
-		Stats: searchStats{
-			PDTTimeMicros:  stats.PDTTime.Microseconds(),
-			EvalTimeMicros: stats.EvalTime.Microseconds(),
-			PostTimeMicros: stats.PostTime.Microseconds(),
-			TotalMicros:    stats.Total.Microseconds(),
-			PDTNodes:       stats.PDTNodes,
-			ViewSize:       stats.ViewSize,
-			Matched:        stats.Matched,
-			BaseData:       stats.BaseData,
-			CacheHit:       stats.CacheHit,
-			Workers:        stats.Workers,
-			Candidates:     stats.Candidates,
-			ShardsSearched: stats.ShardsSearched,
-		},
+		Stats:   wireStats(stats),
 	}
 	for i, res := range results {
 		resp.Results[i] = wireResult(res)
+	}
+	if err != nil {
+		// Degraded mode: the surviving partitions' results travel with the
+		// 502, and stats.nodes names the members that were lost — the
+		// status is the truncation marker, never a silent one.
+		resp.Error = err.Error()
+		writeJSON(w, statusFor(err), resp)
+		return
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -575,7 +603,7 @@ func (s *Server) handleSearchStream(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		started = true
 	}
-	for res, err := range s.db.Results(r.Context(), view, keywords, opts) {
+	for res, err := range s.backend.Results(r.Context(), view, keywords, opts) {
 		if err != nil {
 			if !started {
 				writeError(w, statusFor(err), "search: %v", err)
@@ -641,12 +669,11 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "keywords are required")
 		return
 	}
-	view := s.view(req.View)
-	if view == nil {
+	if !s.backend.HasView(req.View) {
 		writeError(w, statusFor(vxml.ErrUnknownView), "unknown view %q", req.View)
 		return
 	}
-	plan, err := s.db.ExplainContext(r.Context(), view, req.Keywords)
+	plan, err := s.backend.Explain(r.Context(), req.View, req.Keywords)
 	if err != nil {
 		writeError(w, statusFor(err), "explain: %v", err)
 		return
@@ -686,13 +713,12 @@ type cacheStats struct {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	cs := s.db.CacheStats()
-	shards := s.db.ShardStats()
+	cs := s.backend.CacheStats()
 	resp := statsResponse{
-		Documents:  s.db.DocumentNames(),
-		TotalBytes: s.db.TotalBytes(),
-		Views:      s.viewCount(),
-		Shards:     make([]shardInfo, len(shards)),
+		Documents:  s.backend.DocumentNames(),
+		TotalBytes: s.backend.TotalBytes(),
+		Views:      s.backend.ViewCount(),
+		Shards:     s.backend.Shards(),
 		Cache: cacheStats{
 			Hits:          cs.Hits,
 			Misses:        cs.Misses,
@@ -704,9 +730,6 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			MaxBytes:      cs.MaxBytes,
 			Generation:    cs.Generation,
 		},
-	}
-	for i, sh := range shards {
-		resp.Shards[i] = shardInfo{Shard: sh.Shard, Documents: sh.Documents, Bytes: sh.Bytes, Mutations: sh.Mutations}
 	}
 	resp.Uptime = time.Since(s.started).Round(time.Millisecond).String()
 	writeJSON(w, http.StatusOK, resp)

@@ -303,7 +303,7 @@ func TestConcurrentRequestsShareOneDatabase(t *testing.T) {
 		t.Error(err)
 	}
 	// All ingests landed in the one shared Database.
-	if got, want := len(srv.db.DocumentNames()), 2+3*10; got != want {
+	if got, want := len(srv.backend.DocumentNames()), 2+3*10; got != want {
 		t.Errorf("documents = %d, want %d", got, want)
 	}
 }

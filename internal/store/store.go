@@ -158,6 +158,20 @@ func (s *Store) NextDocID() int32 { return s.nextID.Load() }
 // the ID sequence, which is harmless.
 func (s *Store) ReserveID() int32 { return s.nextID.Add(1) - 1 }
 
+// EnsureNextID raises the ID sequence so the next reservation returns at
+// least id. Callers registering documents under externally assigned IDs
+// (a cluster node ingesting under coordinator-assigned IDs, Load restoring
+// a manifest) use it to keep later local reservations from colliding with
+// IDs already handed out elsewhere. It never lowers the sequence.
+func (s *Store) EnsureNextID(id int32) {
+	for {
+		cur := s.nextID.Load()
+		if cur >= id || s.nextID.CompareAndSwap(cur, id) {
+			return
+		}
+	}
+}
+
 // RegisterParsed registers a document whose DocID was allocated with
 // ReserveID. It returns an error wrapping ErrDuplicateName if the name is
 // already taken.

@@ -1,0 +1,60 @@
+package xmltree
+
+import (
+	"slices"
+	"testing"
+)
+
+// FuzzVisitTokens pins the tokenizer's two-path design: the zero-allocation
+// ASCII fast path must emit byte-identical tokens, in order, to the generic
+// Unicode-folding tokenizer that defines the semantics — for every input,
+// including ones that mix the paths' trigger conditions (uppercase runs,
+// digits at boundaries, high bytes, invalid UTF-8). Divergence here would
+// silently split the posting lists from the query terms.
+func FuzzVisitTokens(f *testing.F) {
+	seeds := []string{
+		"", " ", "hello world", "Hello World", "MiXeD CaSe tOkEnS",
+		"already lowercase text stays shared",
+		"a1b2c3 4d5e 678", "trailing", "trailing ", " leading",
+		"punct,separated;tokens!and(more)",
+		"Grüße aus München",         // non-ASCII letters are boundaries
+		"caf\xc3\xa9 touch\xc3\xa9", // multi-byte UTF-8 mid-token
+		"broken \xff\xfe bytes",     // invalid UTF-8
+		"ASCII then unicode: naïve", // fast path until the high byte scan
+		"ÅNGSTRÖM UPPER",            // folding applies on the slow path
+		"tab\tand\nnewline\rbreaks",
+		"0123456789",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		want := tokenizeUnicode(text)
+
+		var got []string
+		VisitTokens(text, func(tok string) bool {
+			got = append(got, tok)
+			return true
+		})
+		if !slices.Equal(got, want) {
+			t.Fatalf("VisitTokens diverges from the Unicode tokenizer\n text: %q\n  got: %q\n want: %q", text, got, want)
+		}
+		if toks := Tokenize(text); !slices.Equal(toks, want) {
+			t.Fatalf("Tokenize diverges from the Unicode tokenizer\n text: %q\n  got: %q\n want: %q", text, toks, want)
+		}
+
+		// Early stop delivers exactly the prefix: no token is emitted after
+		// fn returns false.
+		if len(want) > 1 {
+			stop := len(want) / 2
+			var prefix []string
+			VisitTokens(text, func(tok string) bool {
+				prefix = append(prefix, tok)
+				return len(prefix) < stop
+			})
+			if !slices.Equal(prefix, want[:stop]) {
+				t.Fatalf("early stop after %d tokens delivered %q, want %q", stop, prefix, want[:stop])
+			}
+		}
+	})
+}

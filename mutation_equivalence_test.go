@@ -7,125 +7,17 @@
 // the query-result cache off and on. A divergence means mutation left
 // residue: stale postings, an unswept tombstone leaking into results, a
 // missed cache invalidation, or an enumeration-order break.
-package vxml
+package vxml_test
 
 import (
 	"fmt"
 	"math/rand"
 	"runtime"
-	"strings"
 	"testing"
+
+	"vxml"
+	"vxml/internal/testkit"
 )
-
-// mutViews are the shapes each trial is searched through: a collection
-// selection (replacements re-enter enumeration at their new position) and
-// a collection-to-fixed-document join (exercises the evaluator's join
-// paths over a mutated catalog).
-var mutViews = []string{
-	`for $a in fn:collection("part-*")/books//article
-	 where $a/fm/yr > 1990
-	 return <art>{$a/fm/tl}, {$a/bdy}</art>`,
-
-	`for $a in fn:collection("part-*")/books//article
-	 return <rec><t>{$a/fm/tl}</t>,
-	   {for $u in fn:doc(authors.xml)/authors//author
-	    where $u/name = $a/fm/au
-	    return <inst>{$u/affil}</inst>},
-	   {$a/bdy}</rec>`,
-}
-
-// randomPartDoc builds one <books> document of 1..4 random articles.
-func randomPartDoc(rng *rand.Rand, salt int) string {
-	var articles strings.Builder
-	for a, n := 0, 1+rng.Intn(4); a < n; a++ {
-		articles.WriteString(randomArticle(rng, salt*100+a))
-	}
-	return "<books>" + articles.String() + "</books>"
-}
-
-// mutateRandomly drives db through 12..30 random lifecycle operations over
-// a bounded name pool, guaranteeing at least one replace and one delete,
-// and returns the final content of every name still present.
-func mutateRandomly(t *testing.T, db *Database, rng *rand.Rand) map[string]string {
-	t.Helper()
-	final := map[string]string{}
-	var present []string
-	addDoc := func() {
-		if len(present) >= 8 {
-			return
-		}
-		name := fmt.Sprintf("part-%02d.xml", len(final)+len(present)*17+rng.Intn(90))
-		if _, ok := final[name]; ok {
-			return
-		}
-		doc := randomPartDoc(rng, len(present))
-		if err := db.Add(name, doc); err != nil {
-			t.Fatal(err)
-		}
-		final[name] = doc
-		present = append(present, name)
-	}
-	replaceDoc := func() {
-		if len(present) == 0 {
-			return
-		}
-		name := present[rng.Intn(len(present))]
-		doc := randomPartDoc(rng, 50+rng.Intn(50))
-		if err := db.Replace(name, doc); err != nil {
-			t.Fatal(err)
-		}
-		final[name] = doc
-	}
-	deleteDoc := func() {
-		if len(present) < 2 {
-			return
-		}
-		i := rng.Intn(len(present))
-		name := present[i]
-		if err := db.Delete(name); err != nil {
-			t.Fatal(err)
-		}
-		delete(final, name)
-		present = append(present[:i], present[i+1:]...)
-	}
-	addDoc()
-	addDoc()
-	for op, n := 0, 12+rng.Intn(18); op < n; op++ {
-		switch rng.Intn(4) {
-		case 0, 1:
-			addDoc()
-		case 2:
-			replaceDoc()
-		default:
-			deleteDoc()
-		}
-	}
-	replaceDoc() // guarantee the lifecycle actually ran
-	deleteDoc()
-	return final
-}
-
-// searchSettings enumerates every (approach, parallelism, cache) cell the
-// equivalence must hold over. The comparators run sequentially by
-// construction, so only Efficient varies parallelism.
-type searchSetting struct {
-	label    string
-	approach Approach
-	parallel int
-	cache    bool
-	snippets bool // the comparators report no snippets, by design
-}
-
-var mutSettings = []searchSetting{
-	{"efficient/seq/nocache", Efficient, 1, false, true},
-	{"efficient/par/nocache", Efficient, 0, false, true},
-	{"efficient/seq/cache", Efficient, 1, true, true},
-	{"efficient/par/cache", Efficient, 0, true, true},
-	{"baseline/nocache", Baseline, 1, false, false},
-	{"baseline/cache", Baseline, 1, true, false},
-	{"gtp/nocache", GTPTermJoin, 1, false, false},
-	{"gtp/cache", GTPTermJoin, 1, true, false},
-}
 
 func TestMutationEquivalence(t *testing.T) {
 	baselineGoroutines := runtime.NumGoroutine()
@@ -135,24 +27,18 @@ func TestMutationEquivalence(t *testing.T) {
 			rng := rand.New(rand.NewSource(int64(7100 + trial)))
 			shards := 1 + rng.Intn(4)
 
-			mutated := OpenShards(shards)
-			var authors strings.Builder
-			authors.WriteString("<authors>")
-			for i := 0; i < 6; i++ {
-				fmt.Fprintf(&authors, `<author><name>author%d</name><affil>inst %s %d</affil></author>`,
-					i, eqVocabulary[rng.Intn(len(eqVocabulary))], i)
-			}
-			authors.WriteString("</authors>")
-			mutated.MustAdd("authors.xml", authors.String())
-			final := mutateRandomly(t, mutated, rng)
+			mutated := vxml.OpenShards(shards)
+			authorsXML := testkit.AuthorsXML(rng)
+			mutated.MustAdd("authors.xml", authorsXML)
+			final := testkit.MutateRandomly(t, mutated, rng, nil)
 
 			// The fresh corpus holds the same final documents, added in the
 			// mutated corpus's enumeration (document ID) order — the order
 			// every pipeline's collection expansion follows.
-			fresh := OpenShards(shards)
+			fresh := vxml.OpenShards(shards)
 			for _, name := range mutated.DocumentNames() {
 				if name == "authors.xml" {
-					fresh.MustAdd(name, authors.String())
+					fresh.MustAdd(name, authorsXML)
 					continue
 				}
 				doc, ok := final[name]
@@ -162,10 +48,10 @@ func TestMutationEquivalence(t *testing.T) {
 				fresh.MustAdd(name, doc)
 			}
 
-			kws := keywordsFor(rng)
+			kws := testkit.KeywordsFor(rng)
 			disjunctive := rng.Intn(2) == 0
 			topK := rng.Intn(3) * 4 // 0 (all), 4 or 8
-			for _, viewText := range mutViews {
+			for _, viewText := range testkit.MutViews {
 				mv, err := mutated.DefineView(viewText)
 				if err != nil {
 					t.Fatal(err)
@@ -174,18 +60,18 @@ func TestMutationEquivalence(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				var reference []Result
-				for _, s := range mutSettings {
-					opts := &Options{TopK: topK, Disjunctive: disjunctive, Approach: s.approach, Parallelism: s.parallel, Cache: s.cache}
+				var reference []vxml.Result
+				for _, s := range testkit.MutSettings {
+					opts := &vxml.Options{TopK: topK, Disjunctive: disjunctive, Approach: s.Approach, Parallelism: s.Parallel, Cache: s.Cache}
 					got, _, err := mutated.Search(mv, kws, opts)
 					if err != nil {
-						t.Fatalf("%s over mutated corpus: %v", s.label, err)
+						t.Fatalf("%s over mutated corpus: %v", s.Label, err)
 					}
 					want, _, err := fresh.Search(fv, kws, opts)
 					if err != nil {
-						t.Fatalf("%s over fresh corpus: %v", s.label, err)
+						t.Fatalf("%s over fresh corpus: %v", s.Label, err)
 					}
-					mustEqualResultsOpt(t, s.label+"/mutated-vs-fresh", got, want, s.snippets)
+					testkit.MustEqualResultsOpt(t, s.Label+"/mutated-vs-fresh", got, want, s.Snippets)
 					if reference == nil {
 						reference = got
 						if len(reference) == 0 && topK == 0 {
@@ -196,10 +82,10 @@ func TestMutationEquivalence(t *testing.T) {
 						}
 						continue
 					}
-					mustEqualResultsOpt(t, s.label+"/cross-pipeline", got, reference, s.snippets)
+					testkit.MustEqualResultsOpt(t, s.Label+"/cross-pipeline", got, reference, s.Snippets)
 				}
 			}
 		})
 	}
-	waitGoroutines(t, "after mutation equivalence trials", baselineGoroutines)
+	testkit.WaitGoroutines(t, "after mutation equivalence trials", baselineGoroutines)
 }

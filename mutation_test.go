@@ -1,25 +1,28 @@
 // Database-level lifecycle semantics: cache invalidation on Replace and
 // Delete, the error taxonomy, and the ctx forms' cancellation pre-flight.
-package vxml
+package vxml_test
 
 import (
 	"context"
 	"errors"
 	"strings"
 	"testing"
+
+	"vxml"
+	"vxml/internal/testkit"
 )
 
 const mutDocV1 = `<books><article><fm><tl>copper quartz v1</tl><au>author0</au><yr>1999</yr></fm><bdy>copper quartz marker-v1</bdy></article></books>`
 const mutDocV2 = `<books><article><fm><tl>copper quartz v2</tl><au>author0</au><yr>1999</yr></fm><bdy>copper quartz marker-v2</bdy></article></books>`
 
 func TestReplaceInvalidatesCache(t *testing.T) {
-	db := Open()
+	db := vxml.Open()
 	db.MustAdd("part-00.xml", mutDocV1)
 	v, err := db.DefineView(`for $a in fn:collection("part-*")/books//article return <art>{$a/bdy}</art>`)
 	if err != nil {
 		t.Fatal(err)
 	}
-	opts := &Options{Cache: true}
+	opts := &vxml.Options{Cache: true}
 	kws := []string{"copper"}
 
 	first, _, err := db.Search(v, kws, opts)
@@ -33,7 +36,7 @@ func TestReplaceInvalidatesCache(t *testing.T) {
 	if !stats.CacheHit {
 		t.Fatal("repeat search did not hit the cache")
 	}
-	mustEqualResults(t, "cache hit", hit, first)
+	testkit.MustEqualResults(t, "cache hit", hit, first)
 
 	if err := db.Replace("part-00.xml", mutDocV2); err != nil {
 		t.Fatal(err)
@@ -78,13 +81,13 @@ func TestReplaceInvalidatesCache(t *testing.T) {
 }
 
 func TestMutationErrorTaxonomy(t *testing.T) {
-	db := Open()
+	db := vxml.Open()
 	db.MustAdd("a.xml", "<a><t>x</t></a>")
-	if err := db.Replace("missing.xml", "<a/>"); !errors.Is(err, ErrUnknownDocument) {
-		t.Errorf("Replace unknown: %v, want ErrUnknownDocument", err)
+	if err := db.Replace("missing.xml", "<a/>"); !errors.Is(err, vxml.ErrUnknownDocument) {
+		t.Errorf("Replace unknown: %v, want vxml.ErrUnknownDocument", err)
 	}
-	if err := db.Delete("missing.xml"); !errors.Is(err, ErrUnknownDocument) {
-		t.Errorf("Delete unknown: %v, want ErrUnknownDocument", err)
+	if err := db.Delete("missing.xml"); !errors.Is(err, vxml.ErrUnknownDocument) {
+		t.Errorf("Delete unknown: %v, want vxml.ErrUnknownDocument", err)
 	}
 	if err := db.Replace("a.xml", "<unclosed"); err == nil {
 		t.Error("Replace with malformed XML should fail")

@@ -6,136 +6,16 @@
 // for collection views). These tests drive 50+ randomized corpora through
 // ranked, unranked, conjunctive and disjunctive searches over collection
 // patterns, fixed-document joins and mixed views.
-package vxml
+package vxml_test
 
 import (
 	"fmt"
 	"math/rand"
-	"strings"
 	"testing"
+
+	"vxml"
+	"vxml/internal/testkit"
 )
-
-// eqVocabulary deliberately overlaps the query keywords so term
-// frequencies vary per article; "copper" and "quartz" are the planted
-// search terms.
-var eqVocabulary = []string{
-	"copper", "quartz", "basalt", "granite", "mica", "shale",
-	"copper", "quartz", "system", "survey", "archive", "ledger",
-}
-
-// randomArticle builds one <article> with a title, author, year and a
-// word-soup body drawn from the vocabulary.
-func randomArticle(rng *rand.Rand, id int) string {
-	var body strings.Builder
-	for i, n := 0, 3+rng.Intn(12); i < n; i++ {
-		if i > 0 {
-			body.WriteByte(' ')
-		}
-		body.WriteString(eqVocabulary[rng.Intn(len(eqVocabulary))])
-	}
-	return fmt.Sprintf(
-		`<article><fm><tl>title %d %s</tl><au>author%d</au><yr>%d</yr></fm><bdy>%s</bdy></article>`,
-		id, eqVocabulary[rng.Intn(len(eqVocabulary))], rng.Intn(6), 1988+rng.Intn(12), body.String())
-}
-
-// buildEqCorpus loads nDocs "part-NN.xml" documents plus one fixed
-// authors.xml into a fresh database. Roughly every fifth part document is
-// an exact copy of an earlier one, planting guaranteed score ties that
-// exercise the deterministic tie-break.
-func buildEqCorpus(t *testing.T, rng *rand.Rand, nDocs int) *Database {
-	t.Helper()
-	db := Open()
-	var prev string
-	for d := 0; d < nDocs; d++ {
-		var doc string
-		if d > 0 && d%5 == 4 {
-			doc = prev // exact duplicate: same articles, same scores
-		} else {
-			var articles strings.Builder
-			for a, n := 0, 1+rng.Intn(6); a < n; a++ {
-				articles.WriteString(randomArticle(rng, d*100+a))
-			}
-			doc = "<books>" + articles.String() + "</books>"
-		}
-		prev = doc
-		db.MustAdd(fmt.Sprintf("part-%02d.xml", d), doc)
-	}
-	var authors strings.Builder
-	authors.WriteString("<authors>")
-	for i := 0; i < 6; i++ {
-		fmt.Fprintf(&authors, `<author><name>author%d</name><affil>inst %s %d</affil></author>`,
-			i, eqVocabulary[rng.Intn(len(eqVocabulary))], i)
-	}
-	authors.WriteString("</authors>")
-	db.MustAdd("authors.xml", authors.String())
-	return db
-}
-
-// eqViews are the view shapes each corpus is searched through: a
-// collection selection, a collection view joined to a fixed document, and
-// a single-document selection (the legacy shape).
-var eqViews = []string{
-	`for $a in fn:collection("part-*")/books//article
-	 where $a/fm/yr > 1993
-	 return <art>{$a/fm/tl}, {$a/bdy}</art>`,
-
-	`for $a in fn:collection("part-*")/books//article
-	 return <rec><t>{$a/fm/tl}</t>,
-	   {for $u in fn:doc(authors.xml)/authors//author
-	    where $u/name = $a/fm/au
-	    return <inst>{$u/affil}</inst>},
-	   {$a/bdy}</rec>`,
-
-	`for $a in fn:doc(part-00.xml)/books//article
-	 where $a/fm/yr > 1990
-	 return <art>{$a/fm/tl}, {$a/bdy}</art>`,
-
-	// Single-clause equality where: the sequential path takes the
-	// evaluator's hash-join shortcut, the parallel path partitions the
-	// loop — outputs must still match exactly.
-	`for $a in fn:collection("part-*")/books//article
-	 where $a/fm/au = "author2"
-	 return <art>{$a/fm/tl}, {$a/bdy}</art>`,
-}
-
-func keywordsFor(rng *rand.Rand) []string {
-	all := []string{"copper", "quartz", "survey"}
-	return all[:1+rng.Intn(len(all))]
-}
-
-// mustEqualResults fails unless a and b are byte-identical result lists.
-func mustEqualResults(t *testing.T, label string, a, b []Result) {
-	t.Helper()
-	mustEqualResultsOpt(t, label, a, b, true)
-}
-
-// mustEqualResultsOpt optionally skips the snippet comparison (the
-// Baseline comparator reports no snippets, by design).
-func mustEqualResultsOpt(t *testing.T, label string, a, b []Result, snippets bool) {
-	t.Helper()
-	if len(a) != len(b) {
-		t.Fatalf("%s: %d results vs %d", label, len(a), len(b))
-	}
-	for i := range a {
-		if a[i].Rank != b[i].Rank || a[i].Score != b[i].Score {
-			t.Fatalf("%s: result %d rank/score (%d, %v) vs (%d, %v)", label, i, a[i].Rank, a[i].Score, b[i].Rank, b[i].Score)
-		}
-		if a[i].XML != b[i].XML {
-			t.Fatalf("%s: result %d XML differs:\n%s\nvs\n%s", label, i, a[i].XML, b[i].XML)
-		}
-		if snippets && a[i].Snippet != b[i].Snippet {
-			t.Fatalf("%s: result %d snippet %q vs %q", label, i, a[i].Snippet, b[i].Snippet)
-		}
-		if len(a[i].TF) != len(b[i].TF) {
-			t.Fatalf("%s: result %d TF sizes differ", label, i)
-		}
-		for k, v := range a[i].TF {
-			if b[i].TF[k] != v {
-				t.Fatalf("%s: result %d TF[%q] = %d vs %d", label, i, k, v, b[i].TF[k])
-			}
-		}
-	}
-}
 
 // TestParallelSequentialEquivalence is the deterministic-ordering
 // regression test: across 72 randomized corpora (18 seeds x 4 view
@@ -146,18 +26,18 @@ func TestParallelSequentialEquivalence(t *testing.T) {
 	trial := 0
 	for seed := int64(1); seed <= 18; seed++ {
 		rng := rand.New(rand.NewSource(seed))
-		db := buildEqCorpus(t, rng, 3+rng.Intn(28))
-		for vi, viewText := range eqViews {
+		db := testkit.BuildEqCorpus(t, rng, 3+rng.Intn(28))
+		for vi, viewText := range testkit.EqViews {
 			trial++
 			view, err := db.DefineView(viewText)
 			if err != nil {
 				t.Fatalf("seed %d view %d: %v", seed, vi, err)
 			}
-			kws := keywordsFor(rng)
+			kws := testkit.KeywordsFor(rng)
 			for _, topK := range []int{0, 3} {
 				for _, disj := range []bool{false, true} {
 					label := fmt.Sprintf("seed=%d view=%d k=%d disj=%v", seed, vi, topK, disj)
-					base := Options{TopK: topK, Disjunctive: disj, Parallelism: 1}
+					base := vxml.Options{TopK: topK, Disjunctive: disj, Parallelism: 1}
 					seq, seqStats, err := db.Search(view, kws, &base)
 					if err != nil {
 						t.Fatalf("%s sequential: %v", label, err)
@@ -169,7 +49,7 @@ func TestParallelSequentialEquivalence(t *testing.T) {
 						if err != nil {
 							t.Fatalf("%s parallel(%d): %v", label, par, err)
 						}
-						mustEqualResults(t, fmt.Sprintf("%s par=%d", label, par), seq, got)
+						testkit.MustEqualResults(t, fmt.Sprintf("%s par=%d", label, par), seq, got)
 						if seqStats.PDTNodes != gotStats.PDTNodes ||
 							seqStats.ViewSize != gotStats.ViewSize ||
 							seqStats.Matched != gotStats.Matched ||
@@ -192,22 +72,22 @@ func TestParallelSequentialEquivalence(t *testing.T) {
 // (Theorem 4.1 extended to collections).
 func TestCollectionViewAgainstBaseline(t *testing.T) {
 	rng := rand.New(rand.NewSource(99))
-	db := buildEqCorpus(t, rng, 17)
-	for vi, viewText := range eqViews[:2] {
+	db := testkit.BuildEqCorpus(t, rng, 17)
+	for vi, viewText := range testkit.EqViews[:2] {
 		view, err := db.DefineView(viewText)
 		if err != nil {
 			t.Fatalf("view %d: %v", vi, err)
 		}
 		kws := []string{"copper", "quartz"}
-		eff, _, err := db.Search(view, kws, &Options{TopK: 5})
+		eff, _, err := db.Search(view, kws, &vxml.Options{TopK: 5})
 		if err != nil {
 			t.Fatalf("view %d efficient: %v", vi, err)
 		}
-		base, _, err := db.Search(view, kws, &Options{TopK: 5, Approach: Baseline})
+		base, _, err := db.Search(view, kws, &vxml.Options{TopK: 5, Approach: vxml.Baseline})
 		if err != nil {
 			t.Fatalf("view %d baseline: %v", vi, err)
 		}
-		mustEqualResultsOpt(t, fmt.Sprintf("view %d efficient-vs-baseline", vi), eff, base, false)
+		testkit.MustEqualResultsOpt(t, fmt.Sprintf("view %d efficient-vs-baseline", vi), eff, base, false)
 		if len(eff) == 0 {
 			t.Fatalf("view %d: expected results", vi)
 		}
@@ -219,22 +99,22 @@ func TestCollectionViewAgainstBaseline(t *testing.T) {
 // parallel one and vice versa.
 func TestParallelismSharesCacheEntries(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
-	db := buildEqCorpus(t, rng, 9)
-	view, err := db.DefineView(eqViews[0])
+	db := testkit.BuildEqCorpus(t, rng, 9)
+	view, err := db.DefineView(testkit.EqViews[0])
 	if err != nil {
 		t.Fatal(err)
 	}
 	kws := []string{"copper"}
-	first, _, err := db.Search(view, kws, &Options{TopK: 4, Cache: true, Parallelism: 1})
+	first, _, err := db.Search(view, kws, &vxml.Options{TopK: 4, Cache: true, Parallelism: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	cached, stats, err := db.Search(view, kws, &Options{TopK: 4, Cache: true, Parallelism: 8})
+	cached, stats, err := db.Search(view, kws, &vxml.Options{TopK: 4, Cache: true, Parallelism: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !stats.CacheHit {
 		t.Fatalf("parallel search missed the cache entry stored by the sequential search")
 	}
-	mustEqualResults(t, "cache hit across parallelism", first, cached)
+	testkit.MustEqualResults(t, "cache hit across parallelism", first, cached)
 }

@@ -2,18 +2,21 @@
 // including one mutated by Replace/Delete — through the public API with
 // identical search behavior, which exercises the engine's index rebuild
 // after Load (the store-level tests cover only the store).
-package vxml
+package vxml_test
 
 import (
 	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
+
+	"vxml"
+	"vxml/internal/testkit"
 )
 
 func TestDatabaseSaveLoadRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(424242))
-	db := OpenShards(3)
+	db := vxml.OpenShards(3)
 	var authorsXML string
 	{
 		authorsXML = `<authors><author><name>author0</name><affil>inst copper 0</affil></author>` +
@@ -21,10 +24,10 @@ func TestDatabaseSaveLoadRoundTrip(t *testing.T) {
 		db.MustAdd("authors.xml", authorsXML)
 	}
 	for i := 0; i < 6; i++ {
-		db.MustAdd(fmt.Sprintf("part-%02d.xml", i), randomPartDoc(rng, i))
+		db.MustAdd(fmt.Sprintf("part-%02d.xml", i), testkit.RandomPartDoc(rng, i))
 	}
 	// Mutate so the saved corpus has a gapped, reordered ID sequence.
-	if err := db.Replace("part-02.xml", randomPartDoc(rng, 77)); err != nil {
+	if err := db.Replace("part-02.xml", testkit.RandomPartDoc(rng, 77)); err != nil {
 		t.Fatal(err)
 	}
 	if err := db.Delete("part-04.xml"); err != nil {
@@ -32,21 +35,21 @@ func TestDatabaseSaveLoadRoundTrip(t *testing.T) {
 	}
 
 	type searched struct {
-		setting searchSetting
-		results []Result
+		setting testkit.SearchSetting
+		results []vxml.Result
 	}
-	searchAll := func(t *testing.T, d *Database, viewText string, kws []string) []searched {
+	searchAll := func(t *testing.T, d *vxml.Database, viewText string, kws []string) []searched {
 		t.Helper()
 		v, err := d.DefineView(viewText)
 		if err != nil {
 			t.Fatal(err)
 		}
-		out := make([]searched, 0, len(mutSettings))
-		for _, s := range mutSettings {
-			opts := &Options{TopK: 8, Approach: s.approach, Parallelism: s.parallel, Cache: s.cache}
+		out := make([]searched, 0, len(testkit.MutSettings))
+		for _, s := range testkit.MutSettings {
+			opts := &vxml.Options{TopK: 8, Approach: s.Approach, Parallelism: s.Parallel, Cache: s.Cache}
 			results, _, err := d.Search(v, kws, opts)
 			if err != nil {
-				t.Fatalf("%s: %v", s.label, err)
+				t.Fatalf("%s: %v", s.Label, err)
 			}
 			out = append(out, searched{s, results})
 		}
@@ -55,7 +58,7 @@ func TestDatabaseSaveLoadRoundTrip(t *testing.T) {
 
 	kws := []string{"copper", "quartz"}
 	before := map[string][]searched{}
-	for _, viewText := range mutViews {
+	for _, viewText := range testkit.MutViews {
 		before[viewText] = searchAll(t, db, viewText, kws)
 	}
 
@@ -63,7 +66,7 @@ func TestDatabaseSaveLoadRoundTrip(t *testing.T) {
 	if err := db.Save(dir); err != nil {
 		t.Fatal(err)
 	}
-	loaded, err := Load(dir)
+	loaded, err := vxml.Load(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,21 +98,21 @@ func TestDatabaseSaveLoadRoundTrip(t *testing.T) {
 	// Search identity: every view, every pipeline, every cache/parallelism
 	// setting returns byte-identical results over the loaded database —
 	// the engine rebuilt both indices for every document.
-	for _, viewText := range mutViews {
+	for _, viewText := range testkit.MutViews {
 		after := searchAll(t, loaded, viewText, kws)
 		for i, b := range before[viewText] {
-			mustEqualResultsOpt(t, "after load/"+b.setting.label, after[i].results, b.results, b.setting.snippets)
+			testkit.MustEqualResultsOpt(t, "after load/"+b.setting.Label, after[i].results, b.results, b.setting.Snippets)
 		}
 	}
 
 	// The loaded database keeps evolving: a post-load ingest lands in the
 	// collection and is searchable.
 	loaded.MustAdd("part-99.xml", `<books><article><fm><tl>fresh copper quartz</tl><au>author0</au><yr>1999</yr></fm><bdy>copper quartz</bdy></article></books>`)
-	v, err := loaded.DefineView(mutViews[0])
+	v, err := loaded.DefineView(testkit.MutViews[0])
 	if err != nil {
 		t.Fatal(err)
 	}
-	results, _, err := loaded.Search(v, kws, &Options{})
+	results, _, err := loaded.Search(v, kws, &vxml.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -10,94 +10,19 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"strings"
 	"sync"
 	"testing"
 
 	"vxml"
 	"vxml/internal/benchkit"
-	"vxml/internal/inex"
+	"vxml/internal/testkit"
 )
 
-// keywordPool mixes corpus-frequent terms (inex vocabulary roots and the
-// benchkit selectivity sets) with words that may not occur at all, so the
-// property is exercised on empty, selective and broad result sets alike.
-var keywordPool = []string{
-	"system", "data", "model", "network", "algorithm", "query", "index",
-	"thomas", "control", "fuzzy", "neural", "parallel", "ieee", "computing",
-	"moore", "burnett", "zebra", "qwxyz",
-}
-
-// corpusDB loads the generated benchkit corpus into a Database and compiles
-// the experiment view.
-func corpusDB(t *testing.T, seed int64) (*vxml.Database, *vxml.View) {
-	t.Helper()
-	p := benchkit.Default()
-	p.UnitBytes = 16 << 10
-	p.SizeUnits = 2
-	p.Seed = seed
-	corpus := inex.Generate(inex.Options{
-		TargetBytes: p.TargetBytes(),
-		Seed:        p.Seed,
-		Partitions:  p.JoinPartitions,
-		ElemSizeX:   p.ElemSizeX,
-	})
-	db := vxml.Open()
-	for _, doc := range corpus.Docs() {
-		db.MustAdd(doc.Name, doc.Root.XMLString(""))
-	}
-	view, err := db.DefineView(p.ViewText())
-	if err != nil {
-		t.Fatal(err)
-	}
-	return db, view
-}
-
-// renderResults fingerprints a ranked result list byte-for-byte.
-func renderResults(results []vxml.Result) string {
-	var b strings.Builder
-	for _, r := range results {
-		fmt.Fprintf(&b, "#%d %.12f\n", r.Rank, r.Score)
-		// TF in deterministic keyword order is covered by comparing maps
-		// separately; here the materialized XML and snippet.
-		b.WriteString(r.XML)
-		b.WriteByte('\n')
-		b.WriteString(r.Snippet)
-		b.WriteByte('\n')
-	}
-	return b.String()
-}
-
-func sameTF(a, b []vxml.Result) bool {
-	for i := range a {
-		if len(a[i].TF) != len(b[i].TF) {
-			return false
-		}
-		for k, v := range a[i].TF {
-			if b[i].TF[k] != v {
-				return false
-			}
-		}
-	}
-	return true
-}
-
-// randomKeywords draws 1-3 distinct keywords from the pool.
-func randomKeywords(rng *rand.Rand) []string {
-	n := 1 + rng.Intn(3)
-	picks := rng.Perm(len(keywordPool))[:n]
-	kws := make([]string, n)
-	for i, p := range picks {
-		kws[i] = keywordPool[p]
-	}
-	return kws
-}
-
 func TestCacheEquivalenceRandomized(t *testing.T) {
-	db, view := corpusDB(t, 7)
+	db, view := testkit.CorpusDB(t, 7)
 	rng := rand.New(rand.NewSource(20260730))
 	for trial := 0; trial < 12; trial++ {
-		kws := randomKeywords(rng)
+		kws := testkit.RandomKeywords(rng)
 		opts := vxml.Options{TopK: []int{0, 5}[rng.Intn(2)], Disjunctive: rng.Intn(2) == 1}
 		label := fmt.Sprintf("trial %d (%v, k=%d, disj=%v)", trial, kws, opts.TopK, opts.Disjunctive)
 
@@ -128,13 +53,13 @@ func TestCacheEquivalenceRandomized(t *testing.T) {
 			t.Fatalf("%s: repeated identical search missed the cache", label)
 		}
 
-		if a, b := renderResults(plain), renderResults(cold); a != b {
+		if a, b := testkit.RenderResults(plain), testkit.RenderResults(cold); a != b {
 			t.Fatalf("%s: uncached vs cache-miss results differ", label)
 		}
-		if a, b := renderResults(plain), renderResults(warm); a != b {
+		if a, b := testkit.RenderResults(plain), testkit.RenderResults(warm); a != b {
 			t.Fatalf("%s: uncached vs cache-hit results differ", label)
 		}
-		if !sameTF(plain, warm) || !sameTF(plain, cold) {
+		if !testkit.SameTF(plain, warm) || !testkit.SameTF(plain, cold) {
 			t.Fatalf("%s: TF maps differ between cached and uncached paths", label)
 		}
 
@@ -168,7 +93,7 @@ func TestCacheEquivalenceRandomized(t *testing.T) {
 }
 
 func TestCacheInvalidationOnMidRunAdd(t *testing.T) {
-	db, view := corpusDB(t, 11)
+	db, view := testkit.CorpusDB(t, 11)
 	kws := []string{"data", "system"}
 	opts := &vxml.Options{TopK: 5, Cache: true}
 
@@ -190,7 +115,7 @@ func TestCacheInvalidationOnMidRunAdd(t *testing.T) {
 	if afterStats.CacheHit {
 		t.Fatal("search after Add served a stale cache entry")
 	}
-	if a, b := renderResults(before), renderResults(after); a != b {
+	if a, b := testkit.RenderResults(before), testkit.RenderResults(after); a != b {
 		t.Fatal("results changed across an Add that does not affect the view")
 	}
 	// And the recomputed entry is served on the next repeat.
@@ -207,7 +132,7 @@ func TestCacheInvalidationOnMidRunAdd(t *testing.T) {
 // one caller's keyword casing is re-expressed in another caller's casing:
 // both must see exactly what the uncached path would have returned to them.
 func TestCacheHitRespectsCallerKeywordForm(t *testing.T) {
-	db, view := corpusDB(t, 7)
+	db, view := testkit.CorpusDB(t, 7)
 	opts := &vxml.Options{TopK: 3, Cache: true}
 	upper, _, err := db.Search(view, []string{"DATA", " System "}, opts)
 	if err != nil {
@@ -247,7 +172,7 @@ func TestCacheHitRespectsCallerKeywordForm(t *testing.T) {
 // (XML, snippets, scores, ranks) to what the uncached path would return for
 // the permuted order.
 func TestCacheHitEquivalentUnderKeywordPermutation(t *testing.T) {
-	db, view := corpusDB(t, 7)
+	db, view := testkit.CorpusDB(t, 7)
 	fwd := []string{"system", "data"}
 	rev := []string{"data", "system"}
 	opts := &vxml.Options{TopK: 5, Cache: true}
@@ -266,10 +191,10 @@ func TestCacheHitEquivalentUnderKeywordPermutation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a, b := renderResults(hit), renderResults(cold); a != b {
+	if a, b := testkit.RenderResults(hit), testkit.RenderResults(cold); a != b {
 		t.Errorf("permuted cache hit differs from the uncached permuted search:\n%s\n-- vs --\n%s", a, b)
 	}
-	if !sameTF(hit, cold) {
+	if !testkit.SameTF(hit, cold) {
 		t.Error("TF maps differ between permuted cache hit and uncached search")
 	}
 }
@@ -281,14 +206,14 @@ func TestCacheHitEquivalentUnderKeywordPermutation(t *testing.T) {
 // pre-run truth; under -race this also exercises the lock-free
 // Gen/compute/PutAt cache path against concurrent Invalidate.
 func TestConcurrentCachedSearchAndAdd(t *testing.T) {
-	db, view := corpusDB(t, 17)
+	db, view := testkit.CorpusDB(t, 17)
 	kws := []string{"data", "system"}
 	opts := &vxml.Options{TopK: 5}
 	truthResults, _, err := db.Search(view, kws, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	truth := renderResults(truthResults)
+	truth := testkit.RenderResults(truthResults)
 
 	const searchers, iters, adds = 4, 25, 20
 	var wg sync.WaitGroup
@@ -305,7 +230,7 @@ func TestConcurrentCachedSearchAndAdd(t *testing.T) {
 					errs <- fmt.Errorf("searcher %d iter %d: %w", g, i, err)
 					return
 				}
-				if renderResults(got) != truth {
+				if testkit.RenderResults(got) != truth {
 					errs <- fmt.Errorf("searcher %d iter %d (cache=%v): results diverged from truth", g, i, o.Cache)
 					return
 				}
@@ -344,7 +269,7 @@ func TestConcurrentCachedSearchAndAdd(t *testing.T) {
 	if !st.CacheHit {
 		t.Error("post-run repeated search missed the cache")
 	}
-	if renderResults(warm) != truth {
+	if testkit.RenderResults(warm) != truth {
 		t.Error("post-run cached results diverged from truth")
 	}
 }
@@ -352,7 +277,7 @@ func TestConcurrentCachedSearchAndAdd(t *testing.T) {
 // TestCacheIsolation ensures a caller mutating returned results cannot
 // poison the cache for later callers.
 func TestCacheIsolation(t *testing.T) {
-	db, view := corpusDB(t, 13)
+	db, view := testkit.CorpusDB(t, 13)
 	kws := []string{"data"}
 	opts := &vxml.Options{TopK: 3, Cache: true}
 	first, _, err := db.Search(view, kws, opts)
@@ -362,7 +287,7 @@ func TestCacheIsolation(t *testing.T) {
 	if len(first) == 0 {
 		t.Skip("no results for corpus seed; nothing to mutate")
 	}
-	want := renderResults(first)
+	want := testkit.RenderResults(first)
 	wantTF := first[0].TF["data"]
 	first[0].XML = "mutated"
 	first[0].TF["data"] = -999
@@ -374,7 +299,7 @@ func TestCacheIsolation(t *testing.T) {
 	if !st.CacheHit {
 		t.Fatal("expected a cache hit")
 	}
-	if renderResults(again) != want {
+	if testkit.RenderResults(again) != want {
 		t.Error("caller mutation leaked into the cache")
 	}
 	if again[0].TF["data"] != wantTF {
@@ -387,7 +312,7 @@ func TestCacheIsolation(t *testing.T) {
 // byte-identical to the cold and uncached paths, survive caller mutation,
 // and be invalidated by an ingest.
 func TestQueryCacheEquivalence(t *testing.T) {
-	db, _ := corpusDB(t, 7)
+	db, _ := testkit.CorpusDB(t, 7)
 	p := benchkit.Default()
 	p.UnitBytes = 16 << 10
 	p.SizeUnits = 2
@@ -416,10 +341,10 @@ func TestQueryCacheEquivalence(t *testing.T) {
 	if !warmStats.CacheHit {
 		t.Fatal("repeated identical Query missed the cache")
 	}
-	if a, b := renderResults(plain), renderResults(warm); a != b {
+	if a, b := testkit.RenderResults(plain), testkit.RenderResults(warm); a != b {
 		t.Fatal("uncached vs cache-hit Query results differ")
 	}
-	if renderResults(cold) != renderResults(warm) || !sameTF(plain, warm) || !sameTF(cold, warm) {
+	if testkit.RenderResults(cold) != testkit.RenderResults(warm) || !testkit.SameTF(plain, warm) || !testkit.SameTF(cold, warm) {
 		t.Fatal("cold vs warm Query results differ")
 	}
 
@@ -433,7 +358,7 @@ func TestQueryCacheEquivalence(t *testing.T) {
 		if err != nil || !st.CacheHit {
 			t.Fatalf("expected a cache hit after mutation probe: %v", err)
 		}
-		if renderResults(again) != renderResults(plain) || !sameTF(again, plain) {
+		if testkit.RenderResults(again) != testkit.RenderResults(plain) || !testkit.SameTF(again, plain) {
 			t.Error("caller mutation leaked into the Query cache entry")
 		}
 	}
@@ -451,7 +376,7 @@ func TestQueryCacheEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if renderResults(after) != renderResults(fresh) {
+	if testkit.RenderResults(after) != testkit.RenderResults(fresh) {
 		t.Fatal("post-invalidation Query differs from the uncached path")
 	}
 }

@@ -4,54 +4,30 @@
 // snippet — including across cache hits and at every parallelism. The
 // paper's determinism theorem (4.1) plus the total ranking order make this
 // a hard contract, not a best effort.
-package vxml
+package vxml_test
 
 import (
 	"context"
 	"fmt"
 	"math/rand"
 	"testing"
+
+	"vxml"
+	"vxml/internal/testkit"
 )
 
-// collectResults drains a Results sequence, failing the test on any
-// mid-stream error.
-func collectResults(t *testing.T, label string, db *Database, view *View, kws []string, opts *Options) []Result {
-	t.Helper()
-	var out []Result
-	for r, err := range db.Results(context.Background(), view, kws, opts) {
-		if err != nil {
-			t.Fatalf("%s: streaming: %v", label, err)
-		}
-		out = append(out, r)
+// searchPage adapts one-shot Search to testkit.CollectPages.
+func searchPage(db *vxml.Database, view *vxml.View, kws []string) func(o *vxml.Options) ([]vxml.Result, error) {
+	return func(o *vxml.Options) ([]vxml.Result, error) {
+		results, _, err := db.Search(view, kws, o)
+		return results, err
 	}
-	return out
 }
 
-// collectPages pages through the ranking pageSize results at a time and
-// concatenates, failing if the pagination never terminates.
-func collectPages(t *testing.T, label string, db *Database, view *View, kws []string, base Options, pageSize int, stream bool) []Result {
-	t.Helper()
-	var out []Result
-	for page := 0; ; page++ {
-		if page > 1000 {
-			t.Fatalf("%s: pagination did not terminate", label)
-		}
-		o := base
-		o.Offset, o.TopK = page*pageSize, pageSize
-		var results []Result
-		if stream {
-			results = collectResults(t, label, db, view, kws, &o)
-		} else {
-			var err error
-			results, _, err = db.Search(view, kws, &o)
-			if err != nil {
-				t.Fatalf("%s page %d: %v", label, page, err)
-			}
-		}
-		out = append(out, results...)
-		if len(results) < pageSize {
-			return out
-		}
+// streamPage adapts a collected Results stream to testkit.CollectPages.
+func streamPage(t *testing.T, label string, db *vxml.Database, view *vxml.View, kws []string) func(o *vxml.Options) ([]vxml.Result, error) {
+	return func(o *vxml.Options) ([]vxml.Result, error) {
+		return testkit.CollectResults(t, label, db.Results(context.Background(), view, kws, o)), nil
 	}
 }
 
@@ -63,39 +39,39 @@ func TestStreamAndPaginationEquivalence(t *testing.T) {
 	trial := 0
 	for seed := int64(101); seed <= 112; seed++ {
 		rng := rand.New(rand.NewSource(seed))
-		db := buildEqCorpus(t, rng, 3+rng.Intn(18))
-		for vi, viewText := range eqViews {
+		db := testkit.BuildEqCorpus(t, rng, 3+rng.Intn(18))
+		for vi, viewText := range testkit.EqViews {
 			trial++
 			view, err := db.DefineView(viewText)
 			if err != nil {
 				t.Fatalf("seed %d view %d: %v", seed, vi, err)
 			}
-			kws := keywordsFor(rng)
+			kws := testkit.KeywordsFor(rng)
 			for _, par := range []int{1, 4} {
 				label := fmt.Sprintf("seed=%d view=%d par=%d", seed, vi, par)
-				base := Options{Parallelism: par}
+				base := vxml.Options{Parallelism: par}
 				ref, _, err := db.Search(view, kws, &base)
 				if err != nil {
 					t.Fatalf("%s reference: %v", label, err)
 				}
 
-				streamed := collectResults(t, label+" stream", db, view, kws, &base)
-				mustEqualResults(t, label+" stream-vs-search", ref, streamed)
+				streamed := testkit.CollectResults(t, label+" stream", db.Results(context.Background(), view, kws, &base))
+				testkit.MustEqualResults(t, label+" stream-vs-search", ref, streamed)
 
 				pageSize := 1 + rng.Intn(4)
-				paged := collectPages(t, label+" paged", db, view, kws, base, pageSize, false)
-				mustEqualResults(t, fmt.Sprintf("%s pages(%d)-vs-search", label, pageSize), ref, paged)
+				paged := testkit.CollectPages(t, label+" paged", base, pageSize, searchPage(db, view, kws))
+				testkit.MustEqualResults(t, fmt.Sprintf("%s pages(%d)-vs-search", label, pageSize), ref, paged)
 
-				streamPaged := collectPages(t, label+" stream-paged", db, view, kws, base, pageSize, true)
-				mustEqualResults(t, fmt.Sprintf("%s stream-pages(%d)-vs-search", label, pageSize), ref, streamPaged)
+				streamPaged := testkit.CollectPages(t, label+" stream-paged", base, pageSize, streamPage(t, label+" stream-paged", db, view, kws))
+				testkit.MustEqualResults(t, fmt.Sprintf("%s stream-pages(%d)-vs-search", label, pageSize), ref, streamPaged)
 
 				// A bounded one-shot search must equal the ranking prefix.
 				if k := min(3, len(ref)); k > 0 {
-					topK, _, err := db.Search(view, kws, &Options{Parallelism: par, TopK: k})
+					topK, _, err := db.Search(view, kws, &vxml.Options{Parallelism: par, TopK: k})
 					if err != nil {
 						t.Fatalf("%s top-%d: %v", label, k, err)
 					}
-					mustEqualResults(t, fmt.Sprintf("%s top-%d-vs-prefix", label, k), ref[:k], topK)
+					testkit.MustEqualResults(t, fmt.Sprintf("%s top-%d-vs-prefix", label, k), ref[:k], topK)
 				}
 			}
 		}
@@ -112,8 +88,8 @@ func TestStreamAndPaginationEquivalence(t *testing.T) {
 // streamed run replays the identical page.
 func TestPaginationAcrossCacheHits(t *testing.T) {
 	rng := rand.New(rand.NewSource(77))
-	db := buildEqCorpus(t, rng, 14)
-	view, err := db.DefineView(eqViews[0])
+	db := testkit.BuildEqCorpus(t, rng, 14)
+	view, err := db.DefineView(testkit.EqViews[0])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,18 +104,18 @@ func TestPaginationAcrossCacheHits(t *testing.T) {
 	}
 
 	// Page 2 first: its miss computes and caches the full entry.
-	page2, stats, err := db.Search(view, kws, &Options{Offset: 2, TopK: 2, Cache: true})
+	page2, stats, err := db.Search(view, kws, &vxml.Options{Offset: 2, TopK: 2, Cache: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if stats.CacheHit {
 		t.Fatal("first paged search cannot be a cache hit")
 	}
-	mustEqualResults(t, "page2 cold", ref[2:4], page2)
+	testkit.MustEqualResults(t, "page2 cold", ref[2:4], page2)
 
 	// Every other window of the same query must now hit that one entry.
 	for _, w := range []struct{ off, k int }{{0, 2}, {2, 2}, {1, 3}, {3, 0}} {
-		got, stats, err := db.Search(view, kws, &Options{Offset: w.off, TopK: w.k, Cache: true})
+		got, stats, err := db.Search(view, kws, &vxml.Options{Offset: w.off, TopK: w.k, Cache: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -150,21 +126,22 @@ func TestPaginationAcrossCacheHits(t *testing.T) {
 		if w.k > 0 && w.k < len(want) {
 			want = want[:w.k]
 		}
-		mustEqualResults(t, fmt.Sprintf("window offset=%d top_k=%d", w.off, w.k), want, got)
+		testkit.MustEqualResults(t, fmt.Sprintf("window offset=%d top_k=%d", w.off, w.k), want, got)
 
-		streamed := collectResults(t, "cached stream", db, view, kws, &Options{Offset: w.off, TopK: w.k, Cache: true})
-		mustEqualResults(t, fmt.Sprintf("cached stream offset=%d top_k=%d", w.off, w.k), want, streamed)
+		streamed := testkit.CollectResults(t, "cached stream",
+			db.Results(context.Background(), view, kws, &vxml.Options{Offset: w.off, TopK: w.k, Cache: true}))
+		testkit.MustEqualResults(t, fmt.Sprintf("cached stream offset=%d top_k=%d", w.off, w.k), want, streamed)
 	}
 
 	// The unpaged cached search shares the very same entry.
-	full, stats, err := db.Search(view, kws, &Options{Cache: true})
+	full, stats, err := db.Search(view, kws, &vxml.Options{Cache: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !stats.CacheHit {
 		t.Fatal("unpaged TopK=0 search missed the entry populated by the paged search")
 	}
-	mustEqualResults(t, "unpaged cached", ref, full)
+	testkit.MustEqualResults(t, "unpaged cached", ref, full)
 }
 
 // TestStreamingDefersMaterialization verifies the point of the streaming
@@ -173,8 +150,8 @@ func TestPaginationAcrossCacheHits(t *testing.T) {
 // delivery path).
 func TestStreamingDefersMaterialization(t *testing.T) {
 	rng := rand.New(rand.NewSource(55))
-	db := buildEqCorpus(t, rng, 16)
-	view, err := db.DefineView(eqViews[0])
+	db := testkit.BuildEqCorpus(t, rng, 16)
+	view, err := db.DefineView(testkit.EqViews[0])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,13 +164,13 @@ func TestStreamingDefersMaterialization(t *testing.T) {
 		t.Fatalf("corpus too small: %d results", len(ref))
 	}
 
-	fetchesBefore := db.engine.Store.SubtreeFetches()
-	full := collectResults(t, "full stream", db, view, kws, nil)
-	fullCost := db.engine.Store.SubtreeFetches() - fetchesBefore
-	mustEqualResults(t, "full stream", ref, full)
+	fetchesBefore := db.SubtreeFetches()
+	full := testkit.CollectResults(t, "full stream", db.Results(context.Background(), view, kws, nil))
+	fullCost := db.SubtreeFetches() - fetchesBefore
+	testkit.MustEqualResults(t, "full stream", ref, full)
 
-	fetchesBefore = db.engine.Store.SubtreeFetches()
-	var partial []Result
+	fetchesBefore = db.SubtreeFetches()
+	var partial []vxml.Result
 	for r, err := range db.Results(context.Background(), view, kws, nil) {
 		if err != nil {
 			t.Fatal(err)
@@ -203,8 +180,8 @@ func TestStreamingDefersMaterialization(t *testing.T) {
 			break
 		}
 	}
-	partialCost := db.engine.Store.SubtreeFetches() - fetchesBefore
-	mustEqualResults(t, "partial stream prefix", ref[:2], partial)
+	partialCost := db.SubtreeFetches() - fetchesBefore
+	testkit.MustEqualResults(t, "partial stream prefix", ref[:2], partial)
 	if fullCost == 0 {
 		t.Fatal("full stream fetched nothing; the view must materialize from base data")
 	}
@@ -216,13 +193,13 @@ func TestStreamingDefersMaterialization(t *testing.T) {
 	// An uncached one-shot page ranks only the top Offset+TopK and
 	// materializes only its 2-result window — with >= 6 results that is
 	// well under half the full run's fetches (prefix skipping included).
-	fetchesBefore = db.engine.Store.SubtreeFetches()
-	page, _, err := db.Search(view, kws, &Options{Offset: 1, TopK: 2})
+	fetchesBefore = db.SubtreeFetches()
+	page, _, err := db.Search(view, kws, &vxml.Options{Offset: 1, TopK: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	pageCost := db.engine.Store.SubtreeFetches() - fetchesBefore
-	mustEqualResults(t, "uncached page", ref[1:3], page)
+	pageCost := db.SubtreeFetches() - fetchesBefore
+	testkit.MustEqualResults(t, "uncached page", ref[1:3], page)
 	if pageCost > fullCost/2 {
 		t.Fatalf("uncached page fetched %d subtrees, full ranking %d: prefix/tail materialization was not skipped",
 			pageCost, fullCost)

@@ -369,6 +369,28 @@ type Stats struct {
 	Workers        int
 	Candidates     int
 	ShardsSearched int
+	// Nodes reports the per-member outcome of a distributed search (one
+	// entry per cluster member the coordinator contacted, in slot order).
+	// Single-process searches leave it nil. When a search returns
+	// ErrPartialCluster, the failed members and their errors are here.
+	Nodes []NodeStatus
+}
+
+// NodeStatus is one cluster member's outcome within a distributed search
+// (see Stats.Nodes). It is defined here rather than in internal/cluster so
+// Stats stays free of internal types.
+type NodeStatus struct {
+	// URL is the member's base URL; Slot is the corpus partition it holds.
+	URL  string
+	Slot int
+	// State is "ok" for a member whose reply was merged, "failed" for one
+	// that was tried and gave none, and "skipped" for one never tried
+	// (an earlier member of its slot already answered).
+	State string
+	// Gen is the corpus generation the member answered at (0 if none).
+	Gen uint64
+	// Err describes the failure when State is "failed".
+	Err string
 }
 
 // cachedSearch is the value held by one query-result cache entry.
