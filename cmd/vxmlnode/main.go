@@ -33,6 +33,7 @@ import (
 func main() {
 	addr := flag.String("addr", ":8351", "listen address")
 	bootstrapFrom := flag.String("bootstrap-from", "", "base URL of a node to bootstrap this one from (snapshot shipping; replica starts at the snapshot's generation)")
+	diskDir := flag.String("disk", "", "keep this node's corpus slice in a disk-resident store at this directory (created if absent; survives restarts)")
 	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second, "maximum time to drain in-flight requests on shutdown")
 	flag.Parse()
 
@@ -40,16 +41,28 @@ func main() {
 	defer stop()
 
 	var node *cluster.Node
-	if *bootstrapFrom != "" {
+	switch {
+	case *bootstrapFrom != "":
+		if *diskDir != "" {
+			log.Fatalf("-disk and -bootstrap-from are mutually exclusive: a bootstrap adopts the primary's backend from the snapshot itself")
+		}
 		n, err := cluster.NewNodeFromSnapshot(ctx, nil, *bootstrapFrom)
 		if err != nil {
 			log.Fatalf("bootstrapping from %s: %v", *bootstrapFrom, err)
 		}
 		log.Printf("bootstrapped %d document(s) at generation %d from %s", n.Documents(), n.Gen(), *bootstrapFrom)
 		node = n
-	} else {
+	case *diskDir != "":
+		n, err := cluster.NewDiskNode(*diskDir)
+		if err != nil {
+			log.Fatalf("opening disk corpus %s: %v", *diskDir, err)
+		}
+		log.Printf("disk corpus %s: %d document(s)", *diskDir, n.Documents())
+		node = n
+	default:
 		node = cluster.NewNode()
 	}
+	defer node.Close()
 
 	httpSrv := &http.Server{
 		Addr:              *addr,

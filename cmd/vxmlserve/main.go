@@ -2,7 +2,12 @@
 // a JSON HTTP API (see internal/server for the endpoint reference).
 //
 // Documents given with -doc are loaded at startup; -demo loads a generated
-// books & reviews corpus and registers a "demo" view over it. Further
+// books & reviews corpus and registers a "demo" view over it. With -disk
+// the corpus lives in a disk-resident, DAG-compressed store (created on
+// first run): startup reads only its manifest, documents page in on demand
+// through a bounded block cache (-disk-cache-mb, -disk-mmap), every
+// mutation persists incrementally, and GET /v1/stats grows a "disk" object
+// with resident-bytes and cache hit counters. Further
 // documents and views arrive over POST /v1/documents and POST /v1/views,
 // and the corpus mutates in place over PUT /v1/documents/{name} (replace)
 // and DELETE /v1/documents/{name} (the unversioned paths are aliases);
@@ -37,6 +42,7 @@ import (
 	"time"
 
 	"vxml"
+	"vxml/internal/diskstore"
 	"vxml/internal/inex"
 	"vxml/internal/server"
 )
@@ -62,21 +68,57 @@ func main() {
 	addr := flag.String("addr", ":8344", "listen address")
 	demo := flag.Bool("demo", false, "load a generated books/reviews corpus and register a 'demo' view")
 	readonly := flag.Bool("readonly", false, "disable the corpus-mutating routes (POST/PUT/DELETE under /documents answer 403)")
+	diskDir := flag.String("disk", "", "serve a disk-resident corpus from this directory (created if absent); documents page in through a block cache and mutations persist across restarts")
+	diskCacheMB := flag.Int("disk-cache-mb", 0, "with -disk: block cache budget in MiB (0 = default 16)")
+	diskMmap := flag.Bool("disk-mmap", false, "with -disk: read the data log via mmap instead of pread")
 	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second, "maximum time to drain in-flight requests on shutdown")
 	flag.Parse()
 
-	db := vxml.Open()
+	var db *vxml.Database
+	if *diskDir != "" {
+		opts := diskstore.Options{CacheBytes: int64(*diskCacheMB) << 20, Mmap: *diskMmap}
+		var err error
+		db, err = vxml.OpenDiskOptions(*diskDir, opts)
+		if err != nil {
+			log.Fatalf("opening disk corpus %s: %v", *diskDir, err)
+		}
+		defer db.Close()
+		if stats, ok := db.DiskStats(); ok {
+			log.Printf("disk corpus %s: %d documents, %d data bytes, opened in %.1fms",
+				*diskDir, stats.Documents, stats.DataBytes, stats.OpenMillis)
+		}
+	} else {
+		db = vxml.Open()
+	}
 	if *demo {
+		// A persisted disk corpus may already hold the demo documents from a
+		// previous run; re-adding them would (correctly) be rejected as
+		// duplicates.
+		existing := make(map[string]bool)
+		for _, name := range db.DocumentNames() {
+			existing[name] = true
+		}
 		booksXML, reviewsXML := inex.GenerateBooksReviews(200, 7)
-		db.MustAdd("books.xml", booksXML)
-		db.MustAdd("reviews.xml", reviewsXML)
+		if !existing["books.xml"] {
+			db.MustAdd("books.xml", booksXML)
+		}
+		if !existing["reviews.xml"] {
+			db.MustAdd("reviews.xml", reviewsXML)
+		}
 	}
 	for _, path := range docs {
 		data, err := os.ReadFile(path)
 		if err != nil {
 			log.Fatalf("reading %s: %v", path, err)
 		}
-		if err := db.Add(filepath.Base(path), string(data)); err != nil {
+		name := filepath.Base(path)
+		err = db.Add(name, string(data))
+		if errors.Is(err, vxml.ErrDuplicateDocument) {
+			// A restarted disk-backed server sees its own persisted copy;
+			// take the file on disk as the intended current content.
+			err = db.Replace(name, string(data))
+		}
+		if err != nil {
 			log.Fatalf("loading %s: %v", path, err)
 		}
 	}

@@ -84,7 +84,7 @@ func TestEveryPackageHasDocComment(t *testing.T) {
 // substrate and the load harness (docs/BENCHMARKS.md describes both
 // report schemas), the scoring module and the document store (both
 // central to docs/ARCHITECTURE.md and docs/TUNING.md).
-var symbolDocDirs = []string{".", "internal/benchkit", "internal/loadkit", "internal/scoring", "internal/store"}
+var symbolDocDirs = []string{".", "internal/benchkit", "internal/diskstore", "internal/loadkit", "internal/scoring", "internal/store"}
 
 // TestPublicAPIExportedSymbolsDocumented asserts every exported top-level
 // declaration of the root vxml package — and of the internal packages the

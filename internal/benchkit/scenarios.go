@@ -59,6 +59,8 @@ func ScenarioCatalog() []ScenarioDef {
 		{Name: "cache_hit_miss", Description: "query-result cache: uncached search vs cache hit, with the hit speedup", Run: runCacheHitMiss},
 		{Name: "streaming_early_break", Description: "deferred delivery: full materialization vs streaming with an early break, with base-data fetch savings", Run: runStreamingEarlyBreak},
 		{Name: "hot_paths", Description: "allocation hot paths, reference (pre-optimization) implementation vs optimized, with allocs/op reduction", Run: runHotPaths},
+		{Name: "cold_start", Description: "open a persisted corpus + first ranked search: heap Load (re-parse + re-index) vs disk OpenDisk (manifest fold), with the open-time fraction", Run: runColdStart},
+		{Name: "dag_dedup", Description: "disk-store DAG compression: on-disk data bytes vs uncompressed serialization on a high-repetition corpus, with an all-distinct control", Run: runDAGDedup},
 	}
 }
 

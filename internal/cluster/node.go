@@ -5,11 +5,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"os"
 	"sync"
 	"time"
 
 	"vxml/internal/core"
+	"vxml/internal/diskstore"
 	"vxml/internal/store"
 	"vxml/internal/xq"
 )
@@ -34,6 +37,28 @@ type Node struct {
 	gen    uint64
 	views  map[string]*core.View
 	texts  map[string]string
+	// bootDir holds a disk-backed replica's received block files for the
+	// node's lifetime; Close removes it. Empty for heap-backed nodes.
+	bootDir string
+}
+
+// Close releases backend resources: a disk-backed node's store file
+// handles and the temp directory its snapshot bootstrap received. It is a
+// no-op for heap-backed nodes.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var err error
+	if c, ok := n.engine.Store.(io.Closer); ok {
+		err = c.Close()
+	}
+	if n.bootDir != "" {
+		if rerr := os.RemoveAll(n.bootDir); err == nil {
+			err = rerr
+		}
+		n.bootDir = ""
+	}
+	return err
 }
 
 // NewNode creates an empty node at generation zero.
@@ -43,6 +68,32 @@ func NewNode() *Node {
 		views:  map[string]*core.View{},
 		texts:  map[string]string{},
 	}
+}
+
+// NewDiskNode creates a node whose corpus slice lives in a disk-resident,
+// DAG-compressed store at dir (created empty on first run, reopened with
+// its persisted documents otherwise). The node still starts at generation
+// zero: generation is coordinator state, adopted per acknowledged
+// mutation, so a restarted disk node rejoins as a fresh member that
+// happens to hold its slice already — the coordinator's generation check
+// decides whether that slice is current. Snapshots from a disk node ship
+// its block files verbatim.
+func NewDiskNode(dir string) (*Node, error) {
+	var ds *diskstore.Store
+	var err error
+	if diskstore.Exists(dir) {
+		ds, err = diskstore.Open(dir)
+	} else {
+		ds, err = diskstore.Init(dir, 0, diskstore.Options{})
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Node{
+		engine: core.New(ds),
+		views:  map[string]*core.View{},
+		texts:  map[string]string{},
+	}, nil
 }
 
 // Gen returns the node's current corpus generation.

@@ -1,15 +1,23 @@
 package cluster
 
-// Snapshot shipping: a node streams its persisted corpus (the v2 MANIFEST
-// format of store.Save) plus its view registry and generation as one NDJSON
-// response, and NewNodeFromSnapshot rebuilds a byte-identical replica from
-// that stream. Because the snapshot carries coordinator-assigned document
-// IDs and the generation it was cut at, a bootstrapped replica serves reads
-// indistinguishable from its primary for as long as its generation matches
-// the coordinator's vector — and is rejected by the generation check, never
-// silently stale, once the primary moves on.
+// Snapshot shipping: a node streams its persisted corpus plus its view
+// registry and generation as one NDJSON response, and NewNodeFromSnapshot
+// rebuilds a byte-identical replica from that stream. A heap-backed node
+// streams the v2 MANIFEST format through store.EmitSaveFiles — the exact
+// serialization store.Save writes, so the two can never drift; a
+// disk-backed node ships its block files verbatim (data log, then
+// MANIFEST.vxd), so the replica inherits the DAG-compressed representation
+// byte for byte and opens it without a rebuild. In both formats the
+// manifest travels last: a replica that receives a truncated stream fails
+// fast instead of opening a partial corpus. Because the snapshot carries
+// coordinator-assigned document IDs and the generation it was cut at, a
+// bootstrapped replica serves reads indistinguishable from its primary for
+// as long as its generation matches the coordinator's vector — and is
+// rejected by the generation check, never silently stale, once the primary
+// moves on.
 
 import (
+	"bytes"
 	"context"
 	"encoding/base64"
 	"encoding/json"
@@ -21,32 +29,27 @@ import (
 	"sort"
 
 	"vxml/internal/core"
+	"vxml/internal/diskstore"
 	"vxml/internal/store"
 )
 
-// manifestFile is the store's manifest name; it is shipped last so a
-// replica that loads a truncated snapshot fails fast instead of opening a
-// partial corpus.
-const manifestFile = "MANIFEST"
+// fileSnapshotter is the seam a backend implements to ship its persisted
+// files verbatim instead of re-serializing documents (diskstore.Store
+// does). Files must be emitted with the corpus-committing manifest last.
+type fileSnapshotter interface {
+	SnapshotFiles(emit func(name string, data []byte) error) error
+}
 
 // handleSnapshot streams the node's corpus: header (generation + views),
 // one line per persisted file (manifest last), then an explicit done
 // marker whose absence tells the receiver the stream was truncated. The
-// read lock is held for the whole save, so the snapshot is a consistent
-// cut at exactly the advertised generation.
+// read lock is held for the whole emission, so the snapshot is a
+// consistent cut at exactly the advertised generation. Nothing touches the
+// local filesystem: both backends stream straight from memory or their
+// already-persisted files.
 func (n *Node) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
-	dir, err := os.MkdirTemp("", "vxmlsnap-")
-	if err != nil {
-		nodeErrorFor(w, err)
-		return
-	}
-	defer os.RemoveAll(dir)
-	if err := n.engine.Store.Save(dir); err != nil {
-		nodeErrorFor(w, err)
-		return
-	}
 	header := snapshotHeader{Schema: Schema, Gen: n.gen, Views: make([]viewSnapshot, 0, len(n.texts))}
 	for name, text := range n.texts {
 		header.Views = append(header.Views, viewSnapshot{Name: name, XQuery: text})
@@ -58,37 +61,39 @@ func (n *Node) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
 	if err := enc.Encode(header); err != nil {
 		return
 	}
-	entries, err := os.ReadDir(dir)
+	sendFile := func(name string, data []byte) error {
+		return enc.Encode(snapshotChunk{File: name, Data: base64.StdEncoding.EncodeToString(data)})
+	}
+	var err error
+	if fs, ok := n.engine.Store.(fileSnapshotter); ok {
+		err = fs.SnapshotFiles(sendFile)
+	} else {
+		err = store.EmitSaveFiles(n.engine.Store, func(f store.SaveFile) error {
+			var buf bytes.Buffer
+			if werr := f.WriteTo(&buf); werr != nil {
+				return werr
+			}
+			return sendFile(f.Name, buf.Bytes())
+		})
+	}
 	if err != nil {
+		// Headers are long gone; an in-stream error line is all we can do,
+		// and the absent done marker makes truncation unmistakable anyway.
 		_ = enc.Encode(snapshotChunk{Error: err.Error(), Code: codeInternal})
 		return
-	}
-	var files []string
-	for _, e := range entries {
-		if e.Name() != manifestFile {
-			files = append(files, e.Name())
-		}
-	}
-	sort.Strings(files)
-	files = append(files, manifestFile)
-	for _, f := range files {
-		data, err := os.ReadFile(filepath.Join(dir, f))
-		if err != nil {
-			_ = enc.Encode(snapshotChunk{Error: err.Error(), Code: codeInternal})
-			return
-		}
-		if err := enc.Encode(snapshotChunk{File: f, Data: base64.StdEncoding.EncodeToString(data)}); err != nil {
-			return
-		}
 	}
 	_ = enc.Encode(snapshotChunk{Done: true})
 }
 
 // NewNodeFromSnapshot bootstraps a node (typically a read replica) from
 // another node's snapshot stream: it fetches GET /cluster/v1/snapshot from
-// baseURL, restores the corpus through store.Load (document IDs and shard
-// count preserved), compiles the shipped views, and adopts the snapshot's
-// generation. A nil client uses http.DefaultClient.
+// baseURL, restores the corpus (document IDs and shard count preserved),
+// compiles the shipped views, and adopts the snapshot's generation. The
+// stream's own file names say which backend the primary runs: a shipped
+// MANIFEST.vxd opens as a disk-resident store over the received block
+// files (kept in a temp directory for the node's lifetime — Close removes
+// it), anything else loads through store.Load. A nil client uses
+// http.DefaultClient.
 func NewNodeFromSnapshot(ctx context.Context, client *http.Client, baseURL string) (*Node, error) {
 	if client == nil {
 		client = http.DefaultClient
@@ -117,8 +122,13 @@ func NewNodeFromSnapshot(ctx context.Context, client *http.Client, baseURL strin
 	if err != nil {
 		return nil, err
 	}
-	defer os.RemoveAll(dir)
-	done := false
+	keepDir := false
+	defer func() {
+		if !keepDir {
+			os.RemoveAll(dir)
+		}
+	}()
+	done, isDisk := false, false
 	for !done {
 		var chunk snapshotChunk
 		if err := dec.Decode(&chunk); err != nil {
@@ -143,19 +153,37 @@ func NewNodeFromSnapshot(ctx context.Context, client *http.Client, baseURL strin
 			if err := os.WriteFile(filepath.Join(dir, chunk.File), data, 0o644); err != nil {
 				return nil, err
 			}
+			if chunk.File == diskstore.ManifestFileName {
+				isDisk = true
+			}
 		}
 	}
 	if !done {
 		return nil, fmt.Errorf("cluster: snapshot from %s truncated (no done marker)", baseURL)
 	}
-	st, err := store.Load(dir)
-	if err != nil {
-		return nil, fmt.Errorf("cluster: restoring snapshot: %w", err)
+	var eng *core.Engine
+	if isDisk {
+		ds, err := diskstore.Open(dir)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: restoring disk snapshot: %w", err)
+		}
+		eng = core.New(ds)
+		keepDir = true
+	} else {
+		st, err := store.Load(dir)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: restoring snapshot: %w", err)
+		}
+		eng = core.New(st)
 	}
-	n := &Node{engine: core.New(st), views: map[string]*core.View{}, texts: map[string]string{}}
+	n := &Node{engine: eng, views: map[string]*core.View{}, texts: map[string]string{}}
+	if isDisk {
+		n.bootDir = dir
+	}
 	for _, vs := range header.Views {
 		v, err := n.engine.CompileViewUnchecked(vs.XQuery)
 		if err != nil {
+			n.Close()
 			return nil, fmt.Errorf("cluster: compiling shipped view %q: %w", vs.Name, err)
 		}
 		n.views[vs.Name], n.texts[vs.Name] = v, vs.XQuery

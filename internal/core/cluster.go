@@ -76,10 +76,10 @@ func (e *Engine) AddXMLAt(name, xmlText string, docID int32) error {
 	if docID < 1 {
 		return fmt.Errorf("core: add %q: document ID %d out of range", name, docID)
 	}
-	if e.Store.Doc(name) != nil {
+	if _, exists := e.Store.Info(name); exists {
 		return fmt.Errorf("core: %w: %q", store.ErrDuplicateName, name)
 	}
-	if e.Store.DocByID(docID) != nil {
+	if _, inUse := e.Store.InfoByID(docID); inUse {
 		return fmt.Errorf("core: add %q: document ID %d already in use", name, docID)
 	}
 	e.Store.EnsureNextID(docID + 1)
@@ -91,11 +91,7 @@ func (e *Engine) AddXMLAt(name, xmlText string, docID int32) error {
 	sh := e.shards[e.Store.ShardOf(name)]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if err := e.Store.RegisterParsed(doc); err != nil {
-		return err
-	}
-	sh.path[name], sh.inv[name] = pix, iix
-	return nil
+	return e.registerLocked(sh, doc, pix, iix)
 }
 
 // ReplaceXMLAt is ReplaceXML under an externally assigned document ID (see
@@ -105,10 +101,10 @@ func (e *Engine) ReplaceXMLAt(name, xmlText string, docID int32) error {
 	if docID < 1 {
 		return fmt.Errorf("core: replace %q: document ID %d out of range", name, docID)
 	}
-	if e.Store.Doc(name) == nil {
+	if _, exists := e.Store.Info(name); !exists {
 		return fmt.Errorf("core: replace: %w %q", ErrUnknownDocument, name)
 	}
-	if e.Store.DocByID(docID) != nil {
+	if _, inUse := e.Store.InfoByID(docID); inUse {
 		return fmt.Errorf("core: replace %q: document ID %d already in use", name, docID)
 	}
 	e.Store.EnsureNextID(docID + 1)
@@ -120,13 +116,12 @@ func (e *Engine) ReplaceXMLAt(name, xmlText string, docID int32) error {
 	sh := e.shards[e.Store.ShardOf(name)]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if err := e.Store.ReplaceParsed(doc); err != nil {
+	if err := e.replaceLocked(sh, doc, pix, iix); err != nil {
 		if errors.Is(err, store.ErrUnknownName) {
 			return fmt.Errorf("core: replace: %w %q", ErrUnknownDocument, name)
 		}
 		return err
 	}
-	sh.path[name], sh.inv[name] = pix, iix
 	return nil
 }
 

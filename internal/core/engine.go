@@ -69,8 +69,34 @@ type engineShard struct {
 // search never observes a document whose indices are half-built and an
 // ingest stalls only the searches that touch its shard.
 type Engine struct {
-	Store  *store.Store
+	Store  store.Corpus
 	shards []*engineShard
+	// src is non-nil when Store persists per-document indices itself
+	// (IndexSource): the shard maps then stay empty, index lookups
+	// resolve through the source, and mutations publish document and
+	// indices to the backend in one operation.
+	src IndexSource
+}
+
+// IndexSource is the optional seam a storage backend implements when it
+// persists per-document indices alongside the documents (the disk backend
+// does). When a Corpus passed to New satisfies it, the engine skips the
+// eager whole-corpus index rebuild — startup cost becomes proportional to
+// the manifest, not the corpus — and resolves each document's indices
+// through StoredIndices on first use. Mutations flow through
+// RegisterIndexed/ReplaceIndexed so the backend persists a document and
+// its freshly built indices as one atomic publication; Delete remains a
+// Corpus operation (the backend drops its own index state).
+//
+// StoredIndices must be safe for concurrent use under the engine's shard
+// read locks; the engine calls the mutating methods only under the home
+// shard's write lock, mirroring the heap backend's publication discipline.
+type IndexSource interface {
+	StoredIndices(name string) (*pathindex.Index, *invindex.Index, error)
+	RegisterIndexed(doc *xmltree.Document, pix *pathindex.Index, iix *invindex.Index) error
+	ReplaceIndexed(doc *xmltree.Document, pix *pathindex.Index, iix *invindex.Index) error
+	// IndexProbes mirrors Engine.IndexProbes for source-resident indices.
+	IndexProbes() (pathProbes, keywordLookups int)
 }
 
 // RLock takes every shard's read lock, in shard order. Comparator
@@ -95,12 +121,26 @@ func (e *Engine) RUnlock() {
 // running Search holds) — the maps are written only under shard write
 // locks, so any read lock makes the plain map read safe.
 func (e *Engine) PathIndex(name string) *pathindex.Index {
+	if e.src != nil {
+		pix, _, err := e.src.StoredIndices(name)
+		if err != nil {
+			return nil
+		}
+		return pix
+	}
 	return e.shards[e.Store.ShardOf(name)].path[name]
 }
 
 // InvIndex returns the inverted index of the named document, or nil. The
 // same locking requirement as PathIndex applies.
 func (e *Engine) InvIndex(name string) *invindex.Index {
+	if e.src != nil {
+		_, iix, err := e.src.StoredIndices(name)
+		if err != nil {
+			return nil
+		}
+		return iix
+	}
 	return e.shards[e.Store.ShardOf(name)].inv[name]
 }
 
@@ -109,6 +149,9 @@ func (e *Engine) InvIndex(name string) *invindex.Index {
 // Benchmarks report deltas of these to show that the number of probes per
 // query depends on the query, never on the data size (paper Figure 7).
 func (e *Engine) IndexProbes() (pathProbes, keywordLookups int) {
+	if e.src != nil {
+		return e.src.IndexProbes()
+	}
 	e.RLock()
 	defer e.RUnlock()
 	for _, sh := range e.shards {
@@ -122,14 +165,22 @@ func (e *Engine) IndexProbes() (pathProbes, keywordLookups int) {
 	return pathProbes, keywordLookups
 }
 
-// New builds an engine over an existing store, indexing every document.
-func New(st *store.Store) *Engine {
+// New builds an engine over an existing corpus. A heap corpus is indexed
+// eagerly, document by document; a corpus that persists its own indices
+// (IndexSource — the disk backend) is not: its stored indices are decoded
+// on first use, so opening a large saved corpus costs a manifest read, not
+// a rebuild.
+func New(st store.Corpus) *Engine {
 	e := &Engine{
 		Store:  st,
 		shards: make([]*engineShard, st.ShardCount()),
 	}
 	for i := range e.shards {
 		e.shards[i] = &engineShard{path: map[string]*pathindex.Index{}, inv: map[string]*invindex.Index{}}
+	}
+	if src, ok := st.(IndexSource); ok {
+		e.src = src
+		return e
 	}
 	for _, doc := range st.Docs() {
 		sh := e.shards[st.ShardOf(doc.Name)]
@@ -147,7 +198,7 @@ func (e *Engine) AddXML(name, xmlText string) error {
 	// document is private until registered, so only publication needs
 	// exclusion and concurrent searches stall for microseconds, not for
 	// the duration of a large ingest.
-	if e.Store.Doc(name) != nil {
+	if _, exists := e.Store.Info(name); exists {
 		return fmt.Errorf("core: %w: %q", store.ErrDuplicateName, name)
 	}
 	doc, err := xmltree.ParseString(xmlText, name, e.Store.ReserveID())
@@ -158,10 +209,33 @@ func (e *Engine) AddXML(name, xmlText string) error {
 	sh := e.shards[e.Store.ShardOf(name)]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	return e.registerLocked(sh, doc, pix, iix)
+}
+
+// registerLocked publishes a parsed document and its freshly built indices
+// under the home shard's write lock, which the caller holds: through the
+// index source when the backend persists indices itself, else to the heap
+// store plus the shard maps.
+func (e *Engine) registerLocked(sh *engineShard, doc *xmltree.Document, pix *pathindex.Index, iix *invindex.Index) error {
+	if e.src != nil {
+		return e.src.RegisterIndexed(doc, pix, iix)
+	}
 	if err := e.Store.RegisterParsed(doc); err != nil {
 		return err
 	}
-	sh.path[name], sh.inv[name] = pix, iix
+	sh.path[doc.Name], sh.inv[doc.Name] = pix, iix
+	return nil
+}
+
+// replaceLocked is registerLocked for the replacement path.
+func (e *Engine) replaceLocked(sh *engineShard, doc *xmltree.Document, pix *pathindex.Index, iix *invindex.Index) error {
+	if e.src != nil {
+		return e.src.ReplaceIndexed(doc, pix, iix)
+	}
+	if err := e.Store.ReplaceParsed(doc); err != nil {
+		return err
+	}
+	sh.path[doc.Name], sh.inv[doc.Name] = pix, iix
 	return nil
 }
 
@@ -176,10 +250,9 @@ func (e *Engine) AddParsed(doc *xmltree.Document) {
 	sh := e.shards[e.Store.ShardOf(doc.Name)]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if err := e.Store.RegisterParsed(doc); err != nil {
+	if err := e.registerLocked(sh, doc, pix, iix); err != nil {
 		panic(err)
 	}
-	sh.path[doc.Name], sh.inv[doc.Name] = pix, iix
 }
 
 // ReplaceXML parses, indexes and atomically swaps the document registered
@@ -192,7 +265,7 @@ func (e *Engine) AddParsed(doc *xmltree.Document) {
 // an error wrapping ErrUnknownDocument. Like AddXML, parsing and index
 // construction run outside the lock.
 func (e *Engine) ReplaceXML(name, xmlText string) error {
-	if e.Store.Doc(name) == nil {
+	if _, exists := e.Store.Info(name); !exists {
 		return fmt.Errorf("core: replace: %w %q", ErrUnknownDocument, name)
 	}
 	doc, err := xmltree.ParseString(xmlText, name, e.Store.ReserveID())
@@ -203,13 +276,12 @@ func (e *Engine) ReplaceXML(name, xmlText string) error {
 	sh := e.shards[e.Store.ShardOf(name)]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if err := e.Store.ReplaceParsed(doc); err != nil {
+	if err := e.replaceLocked(sh, doc, pix, iix); err != nil {
 		if errors.Is(err, store.ErrUnknownName) {
 			return fmt.Errorf("core: replace: %w %q", ErrUnknownDocument, name)
 		}
 		return err
 	}
-	sh.path[name], sh.inv[name] = pix, iix
 	return nil
 }
 
@@ -276,7 +348,7 @@ func (e *Engine) CompileParsedView(text string, expr xq.Expr, funcs map[string]*
 		if docname.IsPattern(q.Doc) {
 			continue
 		}
-		if e.Store.Doc(q.Doc) == nil {
+		if _, exists := e.Store.Info(q.Doc); !exists {
 			return nil, fmt.Errorf("core: view references %w %q", ErrUnknownDocument, q.Doc)
 		}
 	}
@@ -372,13 +444,16 @@ type Result struct {
 }
 
 // unit is one candidate-document work item of a search: a QPT paired with
-// one document it resolved to and that document's indices, snapshotted
-// under the shard read locks the search holds.
+// the name of one document it resolved to and that document's indices,
+// snapshotted under the shard read locks the search holds. Planning is
+// metadata- and index-only — the document tree itself is never touched,
+// which is what lets a disk-backed corpus search without paging base data
+// in (paper §4.2.2.2: only materialization reads base storage).
 type unit struct {
-	q   *qpt.QPT
-	doc *xmltree.Document
-	pix *pathindex.Index
-	iix *invindex.Index
+	q    *qpt.QPT
+	name string
+	pix  *pathindex.Index
+	iix  *invindex.Index
 }
 
 // plan is a search's locked view of the corpus: the candidate units in
@@ -419,14 +494,25 @@ func (e *Engine) lockAndPlan(v *View) (*plan, error) {
 	}
 	seen := map[string]string{} // doc name -> QPT reference that claimed it
 	for _, q := range v.QPTs {
-		for _, doc := range e.Store.DocsMatching(q.Doc) {
-			if prev, dup := seen[doc.Name]; dup {
+		for _, info := range e.Store.InfosMatching(q.Doc) {
+			if prev, dup := seen[info.Name]; dup {
 				p.unlock()
-				return nil, fmt.Errorf("core: document %q matches both %q and %q in one view", doc.Name, prev, q.Doc)
+				return nil, fmt.Errorf("core: document %q matches both %q and %q in one view", info.Name, prev, q.Doc)
 			}
-			seen[doc.Name] = q.Doc
-			sh := e.shards[e.Store.ShardOf(doc.Name)]
-			p.units = append(p.units, unit{q: q, doc: doc, pix: sh.path[doc.Name], iix: sh.inv[doc.Name]})
+			seen[info.Name] = q.Doc
+			u := unit{q: q, name: info.Name}
+			if e.src != nil {
+				pix, iix, err := e.src.StoredIndices(info.Name)
+				if err != nil {
+					p.unlock()
+					return nil, fmt.Errorf("core: indices of %q: %w", info.Name, err)
+				}
+				u.pix, u.iix = pix, iix
+			} else {
+				sh := e.shards[e.Store.ShardOf(info.Name)]
+				u.pix, u.iix = sh.path[info.Name], sh.inv[info.Name]
+			}
+			p.units = append(p.units, u)
 		}
 	}
 	return p, nil
@@ -440,7 +526,7 @@ func (u unit) generatePDT(kws []string, filter *pdt.KeywordFilter) *pdt.PDT {
 		return nil // unindexed document: empty PDT
 	}
 	lists := pdt.PrepareLists(u.q, u.pix, u.iix, kws)
-	return pdt.GenerateFiltered(u.q, lists, u.doc.Name, filter)
+	return pdt.GenerateFiltered(u.q, lists, u.name, filter)
 }
 
 // evalCatalog resolves fn:doc and fn:collection references against the

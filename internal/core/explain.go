@@ -41,7 +41,7 @@ func (e *Engine) Explain(v *View, keywords []string) string {
 			b.WriteString("\n")
 		}
 		if docname.IsPattern(q.Doc) {
-			docs := e.Store.DocsMatching(q.Doc)
+			docs := e.Store.InfosMatching(q.Doc)
 			fmt.Fprintf(&b, "  collection pattern: %d matching document(s)\n", len(docs))
 		}
 		b.WriteString("  path index probes:\n")

@@ -1,0 +1,343 @@
+package diskstore
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"vxml/internal/invindex"
+	"vxml/internal/pathindex"
+	"vxml/internal/xmltree"
+)
+
+// DefaultBlockSize is the data-log block granularity reads are cached at.
+const DefaultBlockSize = 4096
+
+// DefaultCacheBytes bounds the decoded-block cache (16 MiB).
+const DefaultCacheBytes = 16 << 20
+
+// DefaultDocCacheSize bounds the hydrated-document cache (documents).
+const DefaultDocCacheSize = 64
+
+// DefaultIndexCacheSize bounds the decoded-index cache (documents).
+const DefaultIndexCacheSize = 256
+
+// blockCache is the bounded LRU over data-log blocks. Entries are stamped
+// with the cache generation current when their read began; Invalidate
+// bumps the generation, so blocks cached before a file swap (Compact,
+// reopen) can never serve stale bytes — the same discard-if-stale
+// discipline the query cache uses for async fills.
+type blockCache struct {
+	mu       sync.Mutex
+	blockSiz int
+	maxBytes int64
+	curBytes int64
+	gen      int64
+	entries  map[int64]*list.Element
+	lru      list.List // front = most recently used
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type blockEntry struct {
+	idx int64
+	gen int64
+	buf []byte
+}
+
+func newBlockCache(blockSize int, maxBytes int64) *blockCache {
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	if maxBytes < 0 {
+		maxBytes = DefaultCacheBytes
+	}
+	return &blockCache{blockSiz: blockSize, maxBytes: maxBytes, entries: map[int64]*list.Element{}}
+}
+
+// generation returns the stamp a fill beginning now must carry.
+func (c *blockCache) generation() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gen
+}
+
+// Invalidate makes every cached block stale.
+func (c *blockCache) Invalidate() {
+	c.mu.Lock()
+	c.gen++
+	c.entries = map[int64]*list.Element{}
+	c.lru.Init()
+	c.curBytes = 0
+	c.mu.Unlock()
+}
+
+// Get returns the cached block idx, counting a hit or miss.
+func (c *blockCache) Get(idx int64) ([]byte, bool) {
+	c.mu.Lock()
+	el, ok := c.entries[idx]
+	if ok {
+		c.lru.MoveToFront(el)
+	}
+	c.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return el.Value.(*blockEntry).buf, true
+}
+
+// PutAt inserts a block read under generation gen; the fill is discarded
+// if the cache was invalidated while the read was in flight.
+func (c *blockCache) PutAt(idx int64, gen int64, buf []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if gen != c.gen || c.maxBytes == 0 {
+		return
+	}
+	if el, ok := c.entries[idx]; ok {
+		c.lru.MoveToFront(el)
+		e := el.Value.(*blockEntry)
+		c.curBytes += int64(len(buf)) - int64(len(e.buf))
+		e.buf = buf
+	} else {
+		c.entries[idx] = c.lru.PushFront(&blockEntry{idx: idx, gen: gen, buf: buf})
+		c.curBytes += int64(len(buf))
+	}
+	for c.curBytes > c.maxBytes {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*blockEntry)
+		c.lru.Remove(back)
+		delete(c.entries, e.idx)
+		c.curBytes -= int64(len(e.buf))
+	}
+}
+
+// stats returns (entries, bytes, hits, misses).
+func (c *blockCache) stats() (int, int64, int64, int64) {
+	c.mu.Lock()
+	n, b := len(c.entries), c.curBytes
+	c.mu.Unlock()
+	return n, b, c.hits.Load(), c.misses.Load()
+}
+
+// docCache keeps recently hydrated documents resident, keyed by name and
+// validated by document ID — a replace assigns the document a fresh ID, so
+// the ID doubles as the per-name mutation generation and a stale tree can
+// never be returned for a newer registration.
+type docCache struct {
+	mu      sync.Mutex
+	maxDocs int
+	entries map[string]*list.Element
+	lru     list.List
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type docEntry2 struct {
+	name  string
+	docID int32
+	doc   *xmltree.Document
+}
+
+func newDocCache(maxDocs int) *docCache {
+	if maxDocs < 0 {
+		maxDocs = DefaultDocCacheSize
+	}
+	return &docCache{maxDocs: maxDocs, entries: map[string]*list.Element{}}
+}
+
+// Get returns the cached tree for name if its registration ID still
+// matches docID.
+func (c *docCache) Get(name string, docID int32) (*xmltree.Document, bool) {
+	c.mu.Lock()
+	el, ok := c.entries[name]
+	if ok && el.Value.(*docEntry2).docID == docID {
+		c.lru.MoveToFront(el)
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return el.Value.(*docEntry2).doc, true
+	}
+	c.mu.Unlock()
+	c.misses.Add(1)
+	return nil, false
+}
+
+// Put caches a hydrated document under its name and registration ID.
+func (c *docCache) Put(name string, docID int32, doc *xmltree.Document) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.maxDocs == 0 {
+		return
+	}
+	if el, ok := c.entries[name]; ok {
+		c.lru.MoveToFront(el)
+		e := el.Value.(*docEntry2)
+		e.docID, e.doc = docID, doc
+		return
+	}
+	c.entries[name] = c.lru.PushFront(&docEntry2{name: name, docID: docID, doc: doc})
+	for c.lru.Len() > c.maxDocs {
+		back := c.lru.Back()
+		c.lru.Remove(back)
+		delete(c.entries, back.Value.(*docEntry2).name)
+	}
+}
+
+// Drop evicts name (mutation and delete paths).
+func (c *docCache) Drop(name string) {
+	c.mu.Lock()
+	if el, ok := c.entries[name]; ok {
+		c.lru.Remove(el)
+		delete(c.entries, name)
+	}
+	c.mu.Unlock()
+}
+
+// Invalidate empties the cache (reopen/full-save paths).
+func (c *docCache) Invalidate() {
+	c.mu.Lock()
+	c.entries = map[string]*list.Element{}
+	c.lru.Init()
+	c.mu.Unlock()
+}
+
+// resident returns (documents, summed serialized bytes) currently cached.
+func (c *docCache) resident() (int, int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var bytes int64
+	for _, el := range c.entries {
+		if d := el.Value.(*docEntry2).doc; d != nil && d.Root != nil {
+			bytes += int64(d.Root.ByteLen)
+		}
+	}
+	return len(c.entries), bytes
+}
+
+// indexCache memoizes decoded per-document indices, with the same
+// name+docID validation as docCache. Probe counters of evicted indices are
+// accumulated so Engine.IndexProbes stays monotonic across evictions.
+type indexCache struct {
+	mu      sync.Mutex
+	maxDocs int
+	entries map[string]*list.Element
+	lru     list.List
+
+	evictedProbes  atomic.Int64
+	evictedLookups atomic.Int64
+	hits           atomic.Int64
+	misses         atomic.Int64
+}
+
+type idxEntry struct {
+	name  string
+	docID int32
+	pix   *pathindex.Index
+	iix   *invindex.Index
+}
+
+func newIndexCache(maxDocs int) *indexCache {
+	if maxDocs < 0 {
+		maxDocs = DefaultIndexCacheSize
+	}
+	return &indexCache{maxDocs: maxDocs, entries: map[string]*list.Element{}}
+}
+
+// Get returns the cached indices for name if its registration ID still
+// matches docID.
+func (c *indexCache) Get(name string, docID int32) (*pathindex.Index, *invindex.Index, bool) {
+	c.mu.Lock()
+	el, ok := c.entries[name]
+	if ok && el.Value.(*idxEntry).docID == docID {
+		c.lru.MoveToFront(el)
+		e := el.Value.(*idxEntry)
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return e.pix, e.iix, true
+	}
+	c.mu.Unlock()
+	c.misses.Add(1)
+	return nil, nil, false
+}
+
+// Put caches a document's decoded indices, retiring whatever it displaces
+// so probe counters stay monotonic.
+func (c *indexCache) Put(name string, docID int32, pix *pathindex.Index, iix *invindex.Index) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.maxDocs == 0 {
+		c.retire(pix, iix)
+		return
+	}
+	if el, ok := c.entries[name]; ok {
+		c.lru.MoveToFront(el)
+		e := el.Value.(*idxEntry)
+		if e.docID == docID {
+			return // concurrent fill already landed
+		}
+		c.retire(e.pix, e.iix)
+		e.docID, e.pix, e.iix = docID, pix, iix
+		return
+	}
+	c.entries[name] = c.lru.PushFront(&idxEntry{name: name, docID: docID, pix: pix, iix: iix})
+	for c.lru.Len() > c.maxDocs {
+		back := c.lru.Back()
+		c.lru.Remove(back)
+		e := back.Value.(*idxEntry)
+		delete(c.entries, e.name)
+		c.retire(e.pix, e.iix)
+	}
+}
+
+// retire folds a dropped index's probe counters into the evicted totals.
+func (c *indexCache) retire(pix *pathindex.Index, iix *invindex.Index) {
+	if pix != nil {
+		c.evictedProbes.Add(int64(pix.Probes()))
+	}
+	if iix != nil {
+		c.evictedLookups.Add(int64(iix.Lookups()))
+	}
+}
+
+// Drop evicts name, retiring its probe counters.
+func (c *indexCache) Drop(name string) {
+	c.mu.Lock()
+	if el, ok := c.entries[name]; ok {
+		c.lru.Remove(el)
+		e := el.Value.(*idxEntry)
+		delete(c.entries, e.name)
+		c.retire(e.pix, e.iix)
+	}
+	c.mu.Unlock()
+}
+
+// probes sums live and evicted probe counters.
+func (c *indexCache) probes() (pathProbes, keywordLookups int) {
+	c.mu.Lock()
+	for _, el := range c.entries {
+		e := el.Value.(*idxEntry)
+		if e.pix != nil {
+			pathProbes += e.pix.Probes()
+		}
+		if e.iix != nil {
+			keywordLookups += e.iix.Lookups()
+		}
+	}
+	c.mu.Unlock()
+	pathProbes += int(c.evictedProbes.Load())
+	keywordLookups += int(c.evictedLookups.Load())
+	return pathProbes, keywordLookups
+}
+
+func (c *indexCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,1118 @@
+package diskstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vxml/internal/dewey"
+	"vxml/internal/docname"
+	"vxml/internal/invindex"
+	"vxml/internal/pathindex"
+	"vxml/internal/store"
+	"vxml/internal/xmltree"
+)
+
+// Manifest operation names.
+const (
+	opAdd     = "add"
+	opReplace = "replace"
+	opDelete  = "delete"
+)
+
+// Options tunes a disk store. The zero value selects every default. Cache
+// sizes use 0 for "default" and a negative value for "disabled", so tests
+// can force every read through the disk path.
+type Options struct {
+	// BlockSize is the read-caching granularity (default 4 KiB).
+	BlockSize int
+	// CacheBytes bounds the decoded-block cache (default 16 MiB; <0 none).
+	CacheBytes int64
+	// DocCacheSize bounds the hydrated-document cache in documents
+	// (default 64; <0 none).
+	DocCacheSize int
+	// IndexCacheSize bounds the decoded-index cache in documents
+	// (default 256; <0 none).
+	IndexCacheSize int
+	// Mmap serves data-log reads from a read-only memory mapping instead
+	// of pread where the platform supports it.
+	Mmap bool
+
+	// fault, when set by in-package tests, tears writes after a byte
+	// budget — the crash-safety property suite's seam.
+	fault *faultPlan
+}
+
+func (o Options) blockSize() int {
+	if o.BlockSize <= 0 {
+		return DefaultBlockSize
+	}
+	return o.BlockSize
+}
+
+func (o Options) cacheBytes() int64 {
+	if o.CacheBytes == 0 {
+		return DefaultCacheBytes
+	}
+	return max(o.CacheBytes, 0)
+}
+
+func (o Options) docCacheSize() int {
+	if o.DocCacheSize == 0 {
+		return DefaultDocCacheSize
+	}
+	return max(o.DocCacheSize, 0)
+}
+
+func (o Options) indexCacheSize() int {
+	if o.IndexCacheSize == 0 {
+		return DefaultIndexCacheSize
+	}
+	return max(o.IndexCacheSize, 0)
+}
+
+// docEntry is the immutable per-document record: where the document's root
+// node and index records live in the data log. All lookups resolve through
+// these; the trees themselves stay on disk until fetched.
+type docEntry struct {
+	name  string
+	docID int32
+	root  int64
+	index int64
+	bytes int
+	nodes int // expanded element count (0 for corpora written before tracking)
+}
+
+// Store is the disk-resident corpus backend. It satisfies store.Corpus and
+// core's IndexSource, so an engine over it plans from manifest metadata,
+// reads indices and subtrees on demand through the block cache, and never
+// needs the whole corpus in memory.
+//
+// Concurrency: mutations serialize on mu (they append to shared files);
+// reads take mu only to resolve immutable docEntry pointers and then
+// decode outside the lock from the committed data-log prefix, which no
+// mutation ever rewrites.
+type Store struct {
+	dir      string
+	dataName string
+	opts     Options
+
+	mu         sync.RWMutex
+	docs       map[string]*docEntry
+	byID       map[int32]*docEntry
+	history    []manifestRec
+	shardDocs  []int
+	shardBytes []int
+	shardMut   []int
+	totalBytes int
+	data       *appendFile
+	manifest   *appendFile
+	dag        *dagWriter
+	broken     error
+
+	dataLen atomic.Int64 // committed data-log length
+	nextID  atomic.Int32
+	gen     atomic.Int64 // committed mutations since open
+
+	graveMu sync.Mutex
+	grave   []int32
+	pins    atomic.Int64
+
+	source    blockSource
+	blocks    *blockCache
+	docsCache *docCache
+	idxCache  *indexCache
+
+	subtreeFetches atomic.Int64
+	bytesFetched   atomic.Int64
+	lastDecodeErr  atomic.Pointer[error]
+
+	openWall time.Duration
+}
+
+// Compile-time checks: the disk backend is a drop-in store.Corpus, and an
+// IndexSource in core's structural sense (core asserts the interface
+// itself; mirroring it here documents the full method set in one place).
+var _ store.Corpus = (*Store)(nil)
+var _ interface {
+	StoredIndices(name string) (*pathindex.Index, *invindex.Index, error)
+	RegisterIndexed(doc *xmltree.Document, pix *pathindex.Index, iix *invindex.Index) error
+	ReplaceIndexed(doc *xmltree.Document, pix *pathindex.Index, iix *invindex.Index) error
+	IndexProbes() (pathProbes, keywordLookups int)
+} = (*Store)(nil)
+
+// Exists reports whether dir holds a disk corpus (a readable manifest).
+func Exists(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, ManifestFileName))
+	return err == nil
+}
+
+// newDataName picks an unused uniquely named data log within dir. The name
+// is committed by the manifest header, which is what lets a full save into
+// a live directory write its new log beside the old one and switch
+// atomically.
+func newDataName(dir string) string {
+	for i := 0; ; i++ {
+		name := fmt.Sprintf("%s%08x.vxd", dataFilePrefix, uint32(time.Now().UnixNano())+uint32(i)*2654435761)
+		if _, err := os.Stat(filepath.Join(dir, name)); os.IsNotExist(err) {
+			return name
+		}
+	}
+}
+
+// Init creates an empty disk corpus with the given shard count in dir
+// (creating it if needed) and opens it. It fails if dir already holds a
+// corpus.
+func Init(dir string, shards int, opts Options) (*Store, error) {
+	if shards <= 0 {
+		shards = store.DefaultShardCount()
+	}
+	if Exists(dir) {
+		return nil, fmt.Errorf("diskstore: %s already holds a corpus", dir)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	dataName := newDataName(dir)
+	if err := writeFileAtomic(dir, dataName, []byte(dataMagic), opts.fault); err != nil {
+		return nil, err
+	}
+	if err := writeFileAtomic(dir, ManifestFileName, []byte(manifestHeaderLine(shards, dataName)), opts.fault); err != nil {
+		return nil, err
+	}
+	return OpenWith(dir, opts)
+}
+
+// writeFileAtomic writes a file via temp+rename, threading the fault seam.
+func writeFileAtomic(dir, name string, data []byte, fault *faultPlan) error {
+	tmp, err := os.CreateTemp(dir, "tmp-"+name+"-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) //nolint:errcheck
+	af := &appendFile{f: tmp, fault: fault}
+	if err := af.Write(data); err != nil {
+		tmp.Close() //nolint:errcheck
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), filepath.Join(dir, name))
+}
+
+// Open opens the disk corpus in dir with default options.
+func Open(dir string) (*Store, error) { return OpenWith(dir, Options{}) }
+
+// OpenWith opens the disk corpus in dir. Startup cost is O(manifest):
+// the manifest's valid record prefix is folded into the in-memory
+// document table and everything else — trees, indices, the dedup maps —
+// stays on disk until first use. A trailing torn manifest record (or torn
+// data-log append) from an interrupted writer is discarded, restoring the
+// corpus as of the last committed operation.
+func OpenWith(dir string, opts Options) (*Store, error) {
+	start := time.Now()
+	mpath := filepath.Join(dir, ManifestFileName)
+	mdata, err := os.ReadFile(mpath)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: %s", ErrNoCorpus, dir)
+		}
+		return nil, err
+	}
+	shards, dataName, recStart, err := parseManifestHeader(mdata)
+	if err != nil {
+		return nil, err
+	}
+	recs, goodLen := foldManifest(mdata, recStart)
+
+	ds := &Store{
+		dir:        dir,
+		dataName:   dataName,
+		opts:       opts,
+		docs:       map[string]*docEntry{},
+		byID:       map[int32]*docEntry{},
+		history:    recs,
+		shardDocs:  make([]int, shards),
+		shardBytes: make([]int, shards),
+		shardMut:   make([]int, shards),
+		blocks:     newBlockCache(opts.blockSize(), opts.cacheBytes()),
+		docsCache:  newDocCache(opts.docCacheSize()),
+		idxCache:   newIndexCache(opts.indexCacheSize()),
+	}
+	ds.nextID.Store(1)
+
+	// Committed data-log length: the high-water mark of the folded records.
+	committed := int64(len(dataMagic))
+	for _, rec := range recs {
+		if rec.DataLen > committed {
+			committed = rec.DataLen
+		}
+		ds.applyRecordLocked(rec, false)
+		ds.EnsureNextID(rec.DocID + 1)
+	}
+	ds.dataLen.Store(committed)
+
+	// Discard uncommitted tails left by an interrupted writer.
+	ds.manifest, err = openAppend(mpath, opts.fault)
+	if err != nil {
+		return nil, err
+	}
+	if ds.manifest.off > goodLen {
+		if err := ds.manifest.Truncate(goodLen); err != nil {
+			ds.manifest.Close() //nolint:errcheck
+			return nil, err
+		}
+	}
+	dpath := filepath.Join(dir, dataName)
+	ds.data, err = openAppend(dpath, opts.fault)
+	if err != nil {
+		ds.manifest.Close() //nolint:errcheck
+		return nil, err
+	}
+	if ds.data.off < committed {
+		ds.close() //nolint:errcheck
+		return nil, corruptf("data log %s is %d bytes, manifest commits %d", dataName, ds.data.off, committed)
+	}
+	if ds.data.off > committed {
+		if err := ds.data.Truncate(committed); err != nil {
+			ds.close() //nolint:errcheck
+			return nil, err
+		}
+	}
+	var magic [len(dataMagic)]byte
+	if _, err := ds.data.f.ReadAt(magic[:], 0); err != nil || string(magic[:]) != dataMagic {
+		ds.close() //nolint:errcheck
+		return nil, corruptf("data log %s has no header", dataName)
+	}
+
+	// Read seam: a separate descriptor (pread, optionally mmap).
+	rf, err := os.Open(dpath)
+	if err != nil {
+		ds.close() //nolint:errcheck
+		return nil, err
+	}
+	ds.source = &fileSource{f: rf}
+	if opts.Mmap {
+		if src, ok := newMmapSource(rf, committed); ok {
+			ds.source = src
+		}
+	}
+
+	cleanupStale(dir, dataName)
+	ds.openWall = time.Since(start)
+	return ds, nil
+}
+
+// applyRecordLocked folds one manifest record into the document table.
+// live=true counts the operation in the per-shard mutation counters (used
+// for in-process mutations; replay at open starts the counters at zero,
+// matching the heap backend's behavior after Load).
+func (ds *Store) applyRecordLocked(rec manifestRec, live bool) {
+	sh := store.ShardIndex(rec.Name, len(ds.shardDocs))
+	switch rec.Op {
+	case opDelete:
+		if old, ok := ds.docs[rec.Name]; ok {
+			delete(ds.docs, rec.Name)
+			ds.shardDocs[sh]--
+			ds.shardBytes[sh] -= old.bytes
+			ds.totalBytes -= old.bytes
+			if live {
+				ds.shardMut[sh]++
+				ds.retireLocked(old.docID)
+			} else {
+				delete(ds.byID, old.docID)
+			}
+		}
+	default: // opAdd, opReplace
+		e := &docEntry{name: rec.Name, docID: rec.DocID, root: rec.Root, index: rec.Index, bytes: rec.Bytes, nodes: rec.Nodes}
+		if old, ok := ds.docs[rec.Name]; ok {
+			ds.shardBytes[sh] -= old.bytes
+			ds.totalBytes -= old.bytes
+			if live {
+				ds.shardMut[sh]++
+				ds.retireLocked(old.docID)
+			} else {
+				delete(ds.byID, old.docID)
+			}
+		} else {
+			ds.shardDocs[sh]++
+		}
+		ds.docs[rec.Name] = e
+		ds.byID[rec.DocID] = e
+		ds.shardBytes[sh] += e.bytes
+		ds.totalBytes += e.bytes
+	}
+}
+
+// foldManifest decodes the manifest's record frames starting at off,
+// stopping at the first torn, corrupt or implausible record. It returns
+// the valid records and the byte length of the valid prefix.
+func foldManifest(data []byte, off int) ([]manifestRec, int64) {
+	var recs []manifestRec
+	var dataHigh int64 = int64(len(dataMagic))
+	for {
+		if off+8 > len(data) {
+			return recs, int64(off)
+		}
+		n := int(uint32(data[off]) | uint32(data[off+1])<<8 | uint32(data[off+2])<<16 | uint32(data[off+3])<<24)
+		crc := uint32(data[off+4]) | uint32(data[off+5])<<8 | uint32(data[off+6])<<16 | uint32(data[off+7])<<24
+		if n > maxRecordLen || off+8+n > len(data) {
+			return recs, int64(off)
+		}
+		payload := data[off+8 : off+8+n]
+		if crc32.ChecksumIEEE(payload) != crc {
+			return recs, int64(off)
+		}
+		var rec manifestRec
+		if err := json.Unmarshal(payload, &rec); err != nil || !plausibleRecord(rec, dataHigh) {
+			return recs, int64(off)
+		}
+		if rec.DataLen > dataHigh {
+			dataHigh = rec.DataLen
+		}
+		recs = append(recs, rec)
+		off += 8 + n
+	}
+}
+
+// plausibleRecord applies the structural sanity checks that make a
+// CRC-valid but semantically impossible record (from a corrupted file)
+// stop the fold rather than poison the table.
+func plausibleRecord(rec manifestRec, dataHigh int64) bool {
+	switch rec.Op {
+	case opAdd, opReplace:
+		if rec.Root < int64(len(dataMagic)) || rec.Index < int64(len(dataMagic)) {
+			return false
+		}
+		if rec.Root >= rec.DataLen || rec.Index >= rec.DataLen {
+			return false
+		}
+	case opDelete:
+	default:
+		return false
+	}
+	return rec.Name != "" && rec.DocID > 0 && rec.DataLen >= dataHigh
+}
+
+// cleanupStale removes data logs and temp files that no manifest
+// references — leftovers of an interrupted full save. Best-effort.
+func cleanupStale(dir, keepData string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, ent := range entries {
+		name := ent.Name()
+		if name == keepData || ent.IsDir() {
+			continue
+		}
+		if strings.HasPrefix(name, dataFilePrefix) && strings.HasSuffix(name, ".vxd") || strings.HasPrefix(name, "tmp-") {
+			os.Remove(filepath.Join(dir, name)) //nolint:errcheck
+		}
+	}
+}
+
+// Create writes the whole corpus c as a disk corpus in dir and opens it.
+// The data log is written under a fresh unique name and the manifest is
+// renamed into place last, so a crash mid-save leaves any previous corpus
+// in dir untouched. indices, when non-nil, supplies already-built indices
+// per document (the engine's, avoiding a rebuild); a nil func — or a nil
+// result — builds them from the tree.
+func Create(c store.Corpus, dir string, opts Options, indices func(name string) (*pathindex.Index, *invindex.Index)) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	dataName := newDataName(dir)
+	df, err := os.OpenFile(filepath.Join(dir, dataName), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	data := &appendFile{f: df, fault: opts.fault}
+	w := &dagWriter{keys: map[string]int64{}, indexByRoot: map[int64]int64{}}
+	var recs []manifestRec
+	writeAll := func() error {
+		if err := data.Write([]byte(dataMagic)); err != nil {
+			return err
+		}
+		for _, doc := range c.Docs() {
+			if doc == nil || doc.Root == nil {
+				continue
+			}
+			p := &pending{base: data.off}
+			rootOff, nodes := w.addTree(p, doc.Root)
+			var pix *pathindex.Index
+			var iix *invindex.Index
+			if indices != nil {
+				pix, iix = indices(doc.Name)
+			}
+			if pix == nil || iix == nil {
+				pix, iix = pathindex.Build(doc), invindex.Build(doc)
+			}
+			idxOff := w.addIndex(p, rootOff, pix, iix)
+			if err := data.Write(p.buf); err != nil {
+				return err
+			}
+			w.commit(p)
+			recs = append(recs, manifestRec{
+				Op: opAdd, Name: doc.Name, DocID: doc.DocID,
+				Root: rootOff, Index: idxOff,
+				Bytes: doc.Root.ByteLen, Nodes: nodes, DataLen: data.off,
+			})
+		}
+		return data.f.Sync()
+	}
+	if err := writeAll(); err != nil {
+		df.Close() //nolint:errcheck
+		return nil, fmt.Errorf("diskstore: create: %w", err)
+	}
+	if err := df.Close(); err != nil {
+		return nil, err
+	}
+	var mbuf []byte
+	mbuf = append(mbuf, manifestHeaderLine(c.ShardCount(), dataName)...)
+	for _, rec := range recs {
+		payload, err := json.Marshal(rec)
+		if err != nil {
+			return nil, err
+		}
+		mbuf = append(mbuf, frameManifestRec(payload)...)
+	}
+	if err := writeFileAtomic(dir, ManifestFileName, mbuf, opts.fault); err != nil {
+		return nil, fmt.Errorf("diskstore: create: %w", err)
+	}
+	ds, err := OpenWith(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	// The freshly written dedup maps are exactly what the lazy rebuild
+	// would rescan; hand them over so the first mutation skips the scan
+	// and DiskStats reports the save's dedup counters.
+	ds.dag = w
+	return ds, nil
+}
+
+// close releases file handles (unexported half shared by Open's error
+// paths, which have no source yet).
+func (ds *Store) close() error {
+	var first error
+	note := func(err error) {
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	if ds.source != nil {
+		note(ds.source.Close())
+	}
+	if ds.data != nil {
+		note(ds.data.Close())
+	}
+	if ds.manifest != nil {
+		note(ds.manifest.Close())
+	}
+	return first
+}
+
+// Close releases the store's file handles. The store must not be used
+// afterwards.
+func (ds *Store) Close() error {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	ds.broken = fmt.Errorf("diskstore: store closed")
+	return ds.close()
+}
+
+// --- store.Corpus: topology and IDs ---
+
+// ShardCount returns the shard count recorded in the manifest header.
+func (ds *Store) ShardCount() int { return len(ds.shardDocs) }
+
+// ShardOf returns the shard index the given document name hashes to.
+func (ds *Store) ShardOf(name string) int { return store.ShardIndex(name, len(ds.shardDocs)) }
+
+// ShardInfos returns per-shard document counts, byte sizes and mutation
+// counters (mutations counted since open, like a freshly loaded heap
+// store).
+func (ds *Store) ShardInfos() []store.ShardInfo {
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	out := make([]store.ShardInfo, len(ds.shardDocs))
+	for i := range out {
+		out[i] = store.ShardInfo{Shard: i, Documents: ds.shardDocs[i], Bytes: ds.shardBytes[i], Mutations: ds.shardMut[i]}
+	}
+	return out
+}
+
+// Mutations returns the total replacements and deletions since open.
+func (ds *Store) Mutations() int {
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	total := 0
+	for _, m := range ds.shardMut {
+		total += m
+	}
+	return total
+}
+
+// NextDocID returns the next document ID to be reserved.
+func (ds *Store) NextDocID() int32 { return ds.nextID.Load() }
+
+// ReserveID atomically allocates the next document ID.
+func (ds *Store) ReserveID() int32 { return ds.nextID.Add(1) - 1 }
+
+// EnsureNextID raises the ID sequence so the next reservation returns at
+// least id.
+func (ds *Store) EnsureNextID(id int32) {
+	for {
+		cur := ds.nextID.Load()
+		if cur >= id || ds.nextID.CompareAndSwap(cur, id) {
+			return
+		}
+	}
+}
+
+// --- store.Corpus: lifecycle ---
+
+// RegisterParsed registers a document with a reserved DocID, building its
+// indices first (callers with indices in hand use RegisterIndexed).
+func (ds *Store) RegisterParsed(doc *xmltree.Document) error {
+	return ds.RegisterIndexed(doc, pathindex.Build(doc), invindex.Build(doc))
+}
+
+// ReplaceParsed swaps the document registered under doc.Name.
+func (ds *Store) ReplaceParsed(doc *xmltree.Document) error {
+	return ds.ReplaceIndexed(doc, pathindex.Build(doc), invindex.Build(doc))
+}
+
+// RegisterIndexed registers a parsed document together with its indices:
+// DAG-encoded subtree records and the index record are appended to the
+// data log (only new structure is written), then one manifest record
+// commits the document. This is core's IndexSource write path — the
+// indices the engine just built are persisted, not rebuilt.
+func (ds *Store) RegisterIndexed(doc *xmltree.Document, pix *pathindex.Index, iix *invindex.Index) error {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	if err := ds.writableLocked(doc); err != nil {
+		return err
+	}
+	if _, dup := ds.docs[doc.Name]; dup {
+		return fmt.Errorf("diskstore: %w: %q", store.ErrDuplicateName, doc.Name)
+	}
+	rec, err := ds.appendDocLocked(opAdd, doc, pix, iix)
+	if err != nil {
+		return err
+	}
+	ds.commitDocLocked(rec, doc, pix, iix)
+	return nil
+}
+
+// ReplaceIndexed swaps the document registered under doc.Name for doc,
+// appending only structure the corpus has not seen. The old document's
+// records stay in the data log, so pinned readers keep resolving its Dewey
+// IDs exactly as on the heap backend.
+func (ds *Store) ReplaceIndexed(doc *xmltree.Document, pix *pathindex.Index, iix *invindex.Index) error {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	if err := ds.writableLocked(doc); err != nil {
+		return err
+	}
+	if _, ok := ds.docs[doc.Name]; !ok {
+		return fmt.Errorf("diskstore: %w: %q", store.ErrUnknownName, doc.Name)
+	}
+	rec, err := ds.appendDocLocked(opReplace, doc, pix, iix)
+	if err != nil {
+		return err
+	}
+	ds.commitDocLocked(rec, doc, pix, iix)
+	return nil
+}
+
+// Delete unregisters the document stored under name: a single manifest
+// record. Tombstone semantics match the heap backend (see Pin).
+func (ds *Store) Delete(name string) error {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	if ds.broken != nil {
+		return ds.broken
+	}
+	old, ok := ds.docs[name]
+	if !ok {
+		return fmt.Errorf("diskstore: %w: %q", store.ErrUnknownName, name)
+	}
+	rec := manifestRec{Op: opDelete, Name: name, DocID: old.docID, DataLen: ds.data.off}
+	if err := ds.appendManifestLocked(rec); err != nil {
+		return err
+	}
+	ds.applyRecordLocked(rec, true)
+	ds.gen.Add(1)
+	ds.docsCache.Drop(name)
+	ds.idxCache.Drop(name)
+	return nil
+}
+
+func (ds *Store) writableLocked(doc *xmltree.Document) error {
+	if ds.broken != nil {
+		return ds.broken
+	}
+	if doc == nil || doc.Root == nil {
+		return fmt.Errorf("diskstore: document without a root cannot be stored")
+	}
+	return ds.loadDedupLocked()
+}
+
+// appendDocLocked stages and appends one document's data-log records and
+// its manifest record. The data append lands first and commits the new
+// data length; the manifest record is the commit point of the operation.
+func (ds *Store) appendDocLocked(op string, doc *xmltree.Document, pix *pathindex.Index, iix *invindex.Index) (manifestRec, error) {
+	p := &pending{base: ds.data.off}
+	rootOff, nodes := ds.dag.addTree(p, doc.Root)
+	idxOff := ds.dag.addIndex(p, rootOff, pix, iix)
+	if err := ds.data.Write(p.buf); err != nil {
+		// Torn data append: the staged keys point at bytes we now discard.
+		ds.dag.rollback(p)
+		if terr := ds.data.Truncate(ds.dataLen.Load()); terr != nil {
+			ds.broken = fmt.Errorf("diskstore: truncate after torn append: %w", terr)
+		}
+		return manifestRec{}, fmt.Errorf("diskstore: append data: %w", err)
+	}
+	ds.dag.commit(p)
+	ds.dataLen.Store(ds.data.off)
+	rec := manifestRec{
+		Op: op, Name: doc.Name, DocID: doc.DocID,
+		Root: rootOff, Index: idxOff,
+		Bytes: doc.Root.ByteLen, Nodes: nodes, DataLen: ds.data.off,
+	}
+	if err := ds.appendManifestLocked(rec); err != nil {
+		return manifestRec{}, err
+	}
+	return rec, nil
+}
+
+// appendManifestLocked appends one CRC-framed record; a torn append is
+// truncated away so the manifest's valid prefix stays the commit log.
+func (ds *Store) appendManifestLocked(rec manifestRec) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	if err := ds.manifest.Write(frameManifestRec(payload)); err != nil {
+		if terr := ds.manifest.Truncate(ds.manifest.off); terr != nil {
+			ds.broken = fmt.Errorf("diskstore: truncate after torn manifest append: %w", terr)
+		}
+		return fmt.Errorf("diskstore: append manifest: %w", err)
+	}
+	ds.history = append(ds.history, rec)
+	return nil
+}
+
+// commitDocLocked applies a committed add/replace to the in-memory tables
+// and seeds the caches with the freshly parsed artifacts — the document
+// the caller just ingested is by definition hot.
+func (ds *Store) commitDocLocked(rec manifestRec, doc *xmltree.Document, pix *pathindex.Index, iix *invindex.Index) {
+	ds.applyRecordLocked(rec, true)
+	ds.EnsureNextID(rec.DocID + 1)
+	ds.gen.Add(1)
+	ds.docsCache.Put(rec.Name, rec.DocID, doc)
+	ds.idxCache.Put(rec.Name, rec.DocID, pix, iix)
+}
+
+// --- store.Corpus: pins and tombstones ---
+
+// Pin marks the start of a lock-free read epoch (see store.Store.Pin).
+func (ds *Store) Pin() { ds.pins.Add(1) }
+
+// Unpin ends a Pin epoch, sweeping tombstones when the last reader leaves.
+func (ds *Store) Unpin() {
+	if ds.pins.Add(-1) == 0 {
+		ds.sweep()
+	}
+}
+
+// retireLocked tombstones the byID entry of a replaced or deleted
+// document; the caller holds ds.mu for writing, so the sweep happens in
+// place when no readers are pinned.
+func (ds *Store) retireLocked(docID int32) {
+	ds.graveMu.Lock()
+	ds.grave = append(ds.grave, docID)
+	ds.graveMu.Unlock()
+	if ds.pins.Load() == 0 {
+		ds.sweepLocked()
+	}
+}
+
+// sweep acquires ds.mu and drops every tombstoned byID entry (the Unpin
+// path, which never holds the lock).
+func (ds *Store) sweep() {
+	ds.mu.Lock()
+	ds.sweepLocked()
+	ds.mu.Unlock()
+}
+
+func (ds *Store) sweepLocked() {
+	ds.graveMu.Lock()
+	ids := ds.grave
+	ds.grave = nil
+	ds.graveMu.Unlock()
+	for _, id := range ids {
+		// Drop the entry only if it is no longer live under its name
+		// (IDs are never reused, so this is belt and suspenders).
+		if e, ok := ds.byID[id]; ok && ds.docs[e.name] != e {
+			delete(ds.byID, id)
+		}
+	}
+}
+
+// Tombstones returns the number of retired documents awaiting sweep.
+func (ds *Store) Tombstones() int {
+	ds.graveMu.Lock()
+	defer ds.graveMu.Unlock()
+	return len(ds.grave)
+}
+
+// --- store.Corpus: metadata lookups (never hydrate) ---
+
+func infoOf(e *docEntry) store.DocInfo {
+	return store.DocInfo{Name: e.name, DocID: e.docID, Bytes: e.bytes}
+}
+
+// Info returns the metadata of the document registered under name,
+// straight from the manifest-backed table — no tree is paged in.
+func (ds *Store) Info(name string) (store.DocInfo, bool) {
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	if e, ok := ds.docs[name]; ok {
+		return infoOf(e), true
+	}
+	return store.DocInfo{}, false
+}
+
+// InfoByID returns the metadata of the document whose Dewey IDs start
+// with docID, resolving tombstoned documents like the heap backend.
+func (ds *Store) InfoByID(docID int32) (store.DocInfo, bool) {
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	if e, ok := ds.byID[docID]; ok {
+		return infoOf(e), true
+	}
+	return store.DocInfo{}, false
+}
+
+// Infos returns the metadata of all documents in document ID order.
+func (ds *Store) Infos() []store.DocInfo {
+	ds.mu.RLock()
+	out := make([]store.DocInfo, 0, len(ds.docs))
+	for _, e := range ds.docs {
+		out = append(out, infoOf(e))
+	}
+	ds.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].DocID < out[j].DocID })
+	return out
+}
+
+// InfosMatching returns the metadata of documents whose names match the
+// pattern, in document ID order.
+func (ds *Store) InfosMatching(pattern string) []store.DocInfo {
+	if !docname.IsPattern(pattern) {
+		if info, ok := ds.Info(pattern); ok {
+			return []store.DocInfo{info}
+		}
+		return nil
+	}
+	ds.mu.RLock()
+	var out []store.DocInfo
+	for name, e := range ds.docs {
+		if docname.Match(pattern, name) {
+			out = append(out, infoOf(e))
+		}
+	}
+	ds.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].DocID < out[j].DocID })
+	return out
+}
+
+// --- store.Corpus: tree lookups (hydrate through the document cache) ---
+
+func (ds *Store) entry(name string) *docEntry {
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	return ds.docs[name]
+}
+
+func (ds *Store) docForEntry(e *docEntry) *xmltree.Document {
+	if doc, ok := ds.docsCache.Get(e.name, e.docID); ok {
+		return doc
+	}
+	doc, err := ds.hydrate(e)
+	if err != nil {
+		ds.noteDecodeErr(err)
+		return nil
+	}
+	ds.docsCache.Put(e.name, e.docID, doc)
+	return doc
+}
+
+// Doc returns the document registered under name, hydrating it from the
+// data log (or the document cache) on demand.
+func (ds *Store) Doc(name string) *xmltree.Document {
+	e := ds.entry(name)
+	if e == nil {
+		return nil
+	}
+	return ds.docForEntry(e)
+}
+
+// Docs returns all documents in document ID order, hydrating each.
+// Intended for persistence and snapshotting, not the serving path.
+func (ds *Store) Docs() []*xmltree.Document {
+	return ds.docsForEntries(ds.sortedEntries(""))
+}
+
+// DocsMatching returns the documents whose names match the pattern in
+// document ID order, hydrating each.
+func (ds *Store) DocsMatching(pattern string) []*xmltree.Document {
+	if !docname.IsPattern(pattern) {
+		if d := ds.Doc(pattern); d != nil {
+			return []*xmltree.Document{d}
+		}
+		return nil
+	}
+	return ds.docsForEntries(ds.sortedEntries(pattern))
+}
+
+func (ds *Store) sortedEntries(pattern string) []*docEntry {
+	ds.mu.RLock()
+	entries := make([]*docEntry, 0, len(ds.docs))
+	for name, e := range ds.docs {
+		if pattern == "" || docname.Match(pattern, name) {
+			entries = append(entries, e)
+		}
+	}
+	ds.mu.RUnlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].docID < entries[j].docID })
+	return entries
+}
+
+func (ds *Store) docsForEntries(entries []*docEntry) []*xmltree.Document {
+	var docs []*xmltree.Document
+	for _, e := range entries {
+		if d := ds.docForEntry(e); d != nil {
+			docs = append(docs, d)
+		}
+	}
+	return docs
+}
+
+// --- store.Corpus: base-data access ---
+
+// Subtree fetches the element with the given Dewey ID directly over the
+// compressed representation: child-offset ordinals are navigated from the
+// document's root record and only the target subtree is materialized, so
+// fetching one winner from a multi-megabyte document decodes kilobytes. A
+// document already hydrated in the cache serves the fetch from memory.
+func (ds *Store) Subtree(id dewey.ID) *xmltree.Node {
+	if len(id) == 0 {
+		return nil
+	}
+	ds.mu.RLock()
+	e := ds.byID[id[0]]
+	ds.mu.RUnlock()
+	if e == nil {
+		return nil
+	}
+	var n *xmltree.Node
+	if doc, ok := ds.docsCache.Get(e.name, e.docID); ok {
+		n = doc.FindByID(id)
+	} else {
+		var err error
+		n, err = ds.subtreeAt(e, id)
+		if err != nil {
+			ds.noteDecodeErr(err)
+			return nil
+		}
+	}
+	if n != nil {
+		ds.subtreeFetches.Add(1)
+		ds.bytesFetched.Add(int64(n.ByteLen))
+	}
+	return n
+}
+
+// Value fetches the atomic value of the element with the given ID.
+func (ds *Store) Value(id dewey.ID) (string, bool) {
+	n := ds.Subtree(id)
+	if n == nil {
+		return "", false
+	}
+	return n.Value, true
+}
+
+// SubtreeFetches returns the number of counted Subtree/Value calls.
+func (ds *Store) SubtreeFetches() int { return int(ds.subtreeFetches.Load()) }
+
+// BytesFetched returns the summed serialized byte length of fetched
+// subtrees.
+func (ds *Store) BytesFetched() int { return int(ds.bytesFetched.Load()) }
+
+// ResetCounters zeroes the access counters.
+func (ds *Store) ResetCounters() {
+	ds.subtreeFetches.Store(0)
+	ds.bytesFetched.Store(0)
+}
+
+// TotalBytes returns the summed serialized size of all documents — the
+// corpus's uncompressed size, from metadata alone.
+func (ds *Store) TotalBytes() int {
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	return ds.totalBytes
+}
+
+// Save writes the corpus as a plain store.Save directory (hydrating every
+// document); SaveCorpus is the shared writer, so the formats stay
+// interchangeable in both directions.
+func (ds *Store) Save(dir string) error { return store.SaveCorpus(ds, dir) }
+
+func (ds *Store) noteDecodeErr(err error) {
+	ds.lastDecodeErr.Store(&err)
+}
+
+// --- core.IndexSource ---
+
+// StoredIndices returns the document's persisted indices, decoding the
+// index record through the block cache (memoized per document).
+func (ds *Store) StoredIndices(name string) (*pathindex.Index, *invindex.Index, error) {
+	e := ds.entry(name)
+	if e == nil {
+		return nil, nil, fmt.Errorf("diskstore: %w: %q", store.ErrUnknownName, name)
+	}
+	if pix, iix, ok := ds.idxCache.Get(name, e.docID); ok {
+		return pix, iix, nil
+	}
+	kind, payload, _, err := ds.frameAt(e.index)
+	if err != nil {
+		return nil, nil, err
+	}
+	if kind != kindIndex {
+		return nil, nil, corruptf("record at %d is kind %q, want index", e.index, kind)
+	}
+	pix, iix, err := decodeIndexPayload(payload, e.docID)
+	if err != nil {
+		return nil, nil, err
+	}
+	ds.idxCache.Put(name, e.docID, pix, iix)
+	return pix, iix, nil
+}
+
+// IndexProbes sums the probe counters of every index decoded since open
+// (live plus evicted).
+func (ds *Store) IndexProbes() (pathProbes, keywordLookups int) {
+	return ds.idxCache.probes()
+}
+
+// --- stats and snapshotting ---
+
+// CacheStats is one cache's hit/miss and occupancy counters.
+type CacheStats struct {
+	Hits     int64 `json:"hits"`
+	Misses   int64 `json:"misses"`
+	Entries  int   `json:"entries"`
+	Bytes    int64 `json:"bytes,omitempty"`
+	Capacity int64 `json:"capacity,omitempty"`
+}
+
+// Stats is a point-in-time snapshot of the disk backend's resource
+// posture: how much is on disk, how much of it is resident, and how the
+// caches are doing.
+type Stats struct {
+	Dir       string `json:"dir"`
+	Documents int    `json:"documents"`
+	// DataBytes is the committed data-log size — the corpus's on-disk
+	// footprint after DAG compression.
+	DataBytes     int64 `json:"data_bytes"`
+	ManifestBytes int64 `json:"manifest_bytes"`
+	// TotalBytes is the corpus's uncompressed serialized size; the ratio
+	// DataBytes/TotalBytes is the structure-sharing win.
+	TotalBytes int `json:"total_bytes"`
+	// ResidentDocs/ResidentBytes describe the hydrated-document cache:
+	// how much of the corpus is currently materialized on the heap.
+	ResidentDocs  int   `json:"resident_docs"`
+	ResidentBytes int64 `json:"resident_bytes"`
+	// NodesWritten/NodesShared count DAG encoding outcomes of committed
+	// writes since open (Create folds the full save in).
+	NodesWritten int64      `json:"nodes_written"`
+	NodesShared  int64      `json:"nodes_shared"`
+	BlockSize    int        `json:"block_size"`
+	BlockCache   CacheStats `json:"block_cache"`
+	DocCache     CacheStats `json:"doc_cache"`
+	IndexCache   CacheStats `json:"index_cache"`
+	Generation   int64      `json:"generation"`
+	// OpenMillis is the wall time the last Open spent — the cold-start
+	// cost, O(manifest) rather than O(corpus).
+	OpenMillis float64 `json:"open_millis"`
+}
+
+// DiskStats returns the current stats snapshot.
+func (ds *Store) DiskStats() Stats {
+	ds.mu.RLock()
+	st := Stats{
+		Dir:           ds.dir,
+		Documents:     len(ds.docs),
+		DataBytes:     ds.dataLen.Load(),
+		ManifestBytes: ds.manifest.off,
+		TotalBytes:    ds.totalBytes,
+		BlockSize:     ds.blocks.blockSiz,
+		Generation:    ds.gen.Load(),
+		OpenMillis:    float64(ds.openWall.Microseconds()) / 1000,
+	}
+	if ds.dag != nil {
+		st.NodesWritten, st.NodesShared = ds.dag.nodesWritten, ds.dag.nodesShared
+	}
+	ds.mu.RUnlock()
+	st.ResidentDocs, st.ResidentBytes = ds.docsCache.resident()
+	entries, bytes, hits, misses := ds.blocks.stats()
+	st.BlockCache = CacheStats{Hits: hits, Misses: misses, Entries: entries, Bytes: bytes, Capacity: ds.blocks.maxBytes}
+	st.DocCache = CacheStats{Hits: ds.docsCache.hits.Load(), Misses: ds.docsCache.misses.Load(), Entries: st.ResidentDocs}
+	st.IndexCache = CacheStats{Hits: ds.idxCache.hits.Load(), Misses: ds.idxCache.misses.Load(), Entries: ds.idxCache.len()}
+	return st
+}
+
+// OpenDuration returns the wall time the Open call spent.
+func (ds *Store) OpenDuration() time.Duration { return ds.openWall }
+
+// SnapshotFiles emits the corpus's raw on-disk files (data log first,
+// manifest last, mirroring commit order) — the cluster ships these bytes
+// verbatim instead of re-serializing every document, so a snapshot of a
+// disk-backed node costs O(compressed bytes). Mutations are excluded for
+// the duration, so the pair is consistent.
+func (ds *Store) SnapshotFiles(emit func(name string, data []byte) error) error {
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	if ds.broken != nil {
+		return ds.broken
+	}
+	data, err := os.ReadFile(filepath.Join(ds.dir, ds.dataName))
+	if err != nil {
+		return err
+	}
+	if int64(len(data)) > ds.dataLen.Load() {
+		data = data[:ds.dataLen.Load()]
+	}
+	if err := emit(ds.dataName, data); err != nil {
+		return err
+	}
+	mdata, err := os.ReadFile(filepath.Join(ds.dir, ManifestFileName))
+	if err != nil {
+		return err
+	}
+	if int64(len(mdata)) > ds.manifest.off {
+		mdata = mdata[:ds.manifest.off]
+	}
+	return emit(ManifestFileName, mdata)
+}

@@ -1,0 +1,486 @@
+// Package diskstore implements the disk-resident corpus backend: a
+// DAG-compressed block file of subtree records plus an append-only,
+// CRC-framed manifest, served through a bounded block cache. It satisfies
+// store.Corpus (and core's IndexSource), so a Database opened over a disk
+// directory answers every search byte-identically to the heap backend
+// while keeping only hot documents and blocks resident.
+//
+// On-disk layout of a corpus directory:
+//
+//	CORPUS-<nonce>.vxd  append-only data log: subtree (DAG node) records
+//	                    and per-document index records
+//	MANIFEST.vxd        append-only manifest: a header line naming the
+//	                    data file, then length+CRC framed JSON records
+//	                    (add/replace/delete), each carrying the committed
+//	                    data-log length at the time it was written
+//
+// Crash safety is structural, not fsync-based: a data-log append that
+// tears leaves bytes no manifest record references (the loader trusts only
+// the committed prefix), and a manifest append that tears fails its CRC
+// frame and is ignored, so a directory always opens as the corpus before
+// or after the interrupted operation — never half. Full saves (Create)
+// write a fresh uniquely named data log and commit it by renaming the new
+// manifest into place last, the same temp+rename discipline store.Save
+// uses.
+package diskstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"strconv"
+	"strings"
+
+	"vxml/internal/dewey"
+	"vxml/internal/invindex"
+	"vxml/internal/pathindex"
+)
+
+// ManifestFileName is the manifest's name within a corpus directory; its
+// presence is how Open (and cluster snapshot restore) recognizes a disk
+// corpus as opposed to a store.Save directory.
+const ManifestFileName = "MANIFEST.vxd"
+
+// dataFilePrefix prefixes the uniquely named data log the manifest header
+// points at (CORPUS-<nonce>.vxd).
+const dataFilePrefix = "CORPUS-"
+
+// manifestMagic opens the manifest header line:
+// "#!vxdisk shards=<N> data=<file>".
+const manifestMagic = "#!vxdisk"
+
+// dataMagic is the 8-byte data-log header.
+const dataMagic = "vxdata1\n"
+
+// Record kinds in the data log.
+const (
+	kindNode  = byte('N') // one DAG subtree node
+	kindIndex = byte('I') // one document's serialized indices
+)
+
+// maxRecordLen bounds a single record payload (64 MiB): larger lengths in
+// a frame are treated as corruption rather than allocated.
+const maxRecordLen = 64 << 20
+
+// ErrCorrupt is wrapped by every decode failure: a torn or overwritten
+// block, a bad CRC frame, a record that does not parse. Callers can
+// classify with errors.Is. Decoders never panic on corrupt input — the
+// fuzz target pins that.
+var ErrCorrupt = errors.New("diskstore: corrupt corpus")
+
+// ErrNoCorpus reports that the directory holds no disk corpus (no
+// readable manifest).
+var ErrNoCorpus = errors.New("diskstore: no corpus in directory")
+
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// uvarint decodes an unsigned varint at buf[off:], returning the value and
+// the offset past it.
+func uvarint(buf []byte, off int) (uint64, int, error) {
+	v, n := binary.Uvarint(buf[off:])
+	if n <= 0 {
+		return 0, 0, corruptf("bad varint at %d", off)
+	}
+	return v, off + n, nil
+}
+
+// uvarintLen decodes a varint that sizes a following field of width elem
+// bytes, rejecting values that cannot fit in the remaining buffer — the
+// bound that keeps corrupt records from driving huge allocations.
+func uvarintLen(buf []byte, off int, elem int) (int, int, error) {
+	v, off, err := uvarint(buf, off)
+	if err != nil {
+		return 0, 0, err
+	}
+	if elem < 1 {
+		elem = 1
+	}
+	if v > uint64((len(buf)-off)/elem+1) {
+		return 0, 0, corruptf("length %d exceeds record at %d", v, off)
+	}
+	return int(v), off, nil
+}
+
+func getBytes(buf []byte, off, n int) ([]byte, int, error) {
+	if off+n > len(buf) {
+		return nil, 0, corruptf("field of %d bytes overruns record at %d", n, off)
+	}
+	return buf[off : off+n], off + n, nil
+}
+
+// nodeRec is one decoded DAG subtree node: the element's tag, direct text
+// value and serialized subtree length, plus the data-log offsets of its
+// child records. Dewey IDs and parent pointers are per-occurrence — they
+// are derived by navigation ordinals at decode time, which is exactly what
+// makes structurally identical subtrees shareable.
+type nodeRec struct {
+	hash     uint64
+	tag      string
+	value    string
+	byteLen  int
+	children []int64
+}
+
+// appendFrame appends a framed record (kind, payload length, payload).
+func appendFrame(dst []byte, kind byte, payload []byte) []byte {
+	dst = append(dst, kind)
+	dst = binary.AppendUvarint(dst, uint64(len(payload)))
+	return append(dst, payload...)
+}
+
+// frameAt reads the record frame at buf[off:]: kind and payload bounds.
+func frameAt(buf []byte, off int) (kind byte, payload []byte, end int, err error) {
+	if off >= len(buf) {
+		return 0, nil, 0, corruptf("record offset %d beyond data", off)
+	}
+	kind = buf[off]
+	n, off2, err := uvarint(buf, off+1)
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	if n > maxRecordLen || off2+int(n) > len(buf) {
+		return 0, nil, 0, corruptf("record at %d claims %d bytes", off, n)
+	}
+	return kind, buf[off2 : off2+int(n)], off2 + int(n), nil
+}
+
+func appendNodePayload(dst []byte, r nodeRec) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, r.hash)
+	dst = binary.AppendUvarint(dst, uint64(len(r.tag)))
+	dst = append(dst, r.tag...)
+	dst = binary.AppendUvarint(dst, uint64(len(r.value)))
+	dst = append(dst, r.value...)
+	dst = binary.AppendUvarint(dst, uint64(r.byteLen))
+	dst = binary.AppendUvarint(dst, uint64(len(r.children)))
+	for _, c := range r.children {
+		dst = binary.AppendUvarint(dst, uint64(c))
+	}
+	return dst
+}
+
+// decodeNodePayload decodes a node record payload. The stored structural
+// hash is verified against the decoded content, so a block whose bytes
+// were corrupted in a way that still parses is caught here.
+func decodeNodePayload(payload []byte) (nodeRec, error) {
+	var r nodeRec
+	if len(payload) < 8 {
+		return r, corruptf("node record of %d bytes", len(payload))
+	}
+	r.hash = binary.LittleEndian.Uint64(payload)
+	off := 8
+	n, off, err := uvarintLen(payload, off, 1)
+	if err != nil {
+		return r, err
+	}
+	b, off, err := getBytes(payload, off, n)
+	if err != nil {
+		return r, err
+	}
+	r.tag = string(b)
+	if n, off, err = uvarintLen(payload, off, 1); err != nil {
+		return r, err
+	}
+	if b, off, err = getBytes(payload, off, n); err != nil {
+		return r, err
+	}
+	r.value = string(b)
+	v, off, err := uvarint(payload, off)
+	if err != nil {
+		return r, err
+	}
+	r.byteLen = int(v)
+	nc, off, err := uvarintLen(payload, off, 1)
+	if err != nil {
+		return r, err
+	}
+	r.children = make([]int64, nc)
+	for i := range r.children {
+		if v, off, err = uvarint(payload, off); err != nil {
+			return r, err
+		}
+		r.children[i] = int64(v)
+	}
+	if h := nodeHash(r.tag, r.value, r.children); h != r.hash {
+		return r, corruptf("node hash mismatch (stored %x, content %x)", r.hash, h)
+	}
+	return r, nil
+}
+
+// nodeHash is the structural subtree hash stored in every node record:
+// FNV-1a over the tag, the direct text value and the child record offsets.
+// Child offsets are themselves deduplicated bottom-up, so equal hashes at
+// equal child refs mean structurally identical subtrees. The exact-match
+// dedup map uses the full structural key (structKey); the hash doubles as
+// a content checksum at decode time.
+func nodeHash(tag, value string, children []int64) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(tag))   //nolint:errcheck
+	h.Write([]byte{0})     //nolint:errcheck
+	h.Write([]byte(value)) //nolint:errcheck
+	h.Write([]byte{0})     //nolint:errcheck
+	var buf [binary.MaxVarintLen64]byte
+	for _, c := range children {
+		n := binary.PutUvarint(buf[:], uint64(c))
+		h.Write(buf[:n]) //nolint:errcheck
+	}
+	return h.Sum64()
+}
+
+// structKey is the exact structural identity of a subtree: the material
+// nodeHash digests, undigested. The dedup table maps it to the offset of
+// the canonical record, so structure sharing never relies on a hash not
+// colliding.
+func structKey(tag, value string, children []int64) string {
+	var b strings.Builder
+	b.Grow(len(tag) + len(value) + 2 + 10*len(children))
+	b.WriteString(tag)
+	b.WriteByte(0)
+	b.WriteString(value)
+	b.WriteByte(0)
+	var buf [binary.MaxVarintLen64]byte
+	for _, c := range children {
+		n := binary.PutUvarint(buf[:], uint64(c))
+		b.Write(buf[:n])
+	}
+	return b.String()
+}
+
+// --- index records ---
+//
+// An index record serializes one document's path index (as
+// pathindex.Rows) and inverted index (as invindex posting lists). Dewey
+// IDs are stored RELATIVE to the document root (id[1:]): two documents
+// with identical content then produce byte-identical index records, and
+// the writer shares one record between them (keyed by the shared root
+// node offset). The document ID is prepended again at decode time.
+
+func appendRelID(dst []byte, id dewey.ID) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(id)-1))
+	for _, c := range id[1:] {
+		dst = binary.AppendUvarint(dst, uint64(c))
+	}
+	return dst
+}
+
+func decodeRelID(payload []byte, off int, docID int32) (dewey.ID, int, error) {
+	depth, off, err := uvarintLen(payload, off, 1)
+	if err != nil {
+		return nil, 0, err
+	}
+	id := make(dewey.ID, depth+1)
+	id[0] = docID
+	for i := 1; i <= depth; i++ {
+		v, o, err := uvarint(payload, off)
+		if err != nil {
+			return nil, 0, err
+		}
+		id[i], off = int32(v), o
+	}
+	return id, off, nil
+}
+
+// encodeIndexPayload serializes both indices of one document.
+func encodeIndexPayload(pix *pathindex.Index, iix *invindex.Index) []byte {
+	rows := pix.Rows()
+	lists := iix.Lists()
+	dst := binary.AppendUvarint(nil, uint64(iix.Elements()))
+	dst = binary.AppendUvarint(dst, uint64(len(rows)))
+	for _, r := range rows {
+		dst = binary.AppendUvarint(dst, uint64(len(r.Path)))
+		dst = append(dst, r.Path...)
+		if r.HasValue {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+		dst = binary.AppendUvarint(dst, uint64(len(r.Value)))
+		dst = append(dst, r.Value...)
+		dst = binary.AppendUvarint(dst, uint64(len(r.Postings)))
+		for _, p := range r.Postings {
+			dst = appendRelID(dst, p.ID)
+			dst = binary.AppendUvarint(dst, uint64(p.ByteLen))
+		}
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(lists)))
+	for _, pl := range lists {
+		dst = binary.AppendUvarint(dst, uint64(len(pl.Keyword)))
+		dst = append(dst, pl.Keyword...)
+		dst = binary.AppendUvarint(dst, uint64(len(pl.Postings)))
+		for _, p := range pl.Postings {
+			dst = appendRelID(dst, p.ID)
+			dst = binary.AppendUvarint(dst, uint64(p.TF))
+			dst = binary.AppendUvarint(dst, uint64(len(p.Positions)))
+			for _, pos := range p.Positions {
+				dst = binary.AppendUvarint(dst, uint64(pos))
+			}
+		}
+	}
+	return dst
+}
+
+// decodeIndexPayload rebuilds both indices for the document with the
+// given ID. Posting values and row metadata reconstruct exactly what
+// pathindex.Build/invindex.Build produced for the document.
+func decodeIndexPayload(payload []byte, docID int32) (*pathindex.Index, *invindex.Index, error) {
+	elements, off, err := uvarintLen(payload, 0, 1)
+	if err != nil {
+		return nil, nil, err
+	}
+	nrows, off, err := uvarintLen(payload, off, 1)
+	if err != nil {
+		return nil, nil, err
+	}
+	rows := make([]pathindex.Row, nrows)
+	for i := range rows {
+		r := &rows[i]
+		n, o, err := uvarintLen(payload, off, 1)
+		if err != nil {
+			return nil, nil, err
+		}
+		b, o, err := getBytes(payload, o, n)
+		if err != nil {
+			return nil, nil, err
+		}
+		r.Path = string(b)
+		if b, o, err = getBytes(payload, o, 1); err != nil {
+			return nil, nil, err
+		}
+		r.HasValue = b[0] != 0
+		if n, o, err = uvarintLen(payload, o, 1); err != nil {
+			return nil, nil, err
+		}
+		if b, o, err = getBytes(payload, o, n); err != nil {
+			return nil, nil, err
+		}
+		r.Value = string(b)
+		np, o, err := uvarintLen(payload, o, 2)
+		if err != nil {
+			return nil, nil, err
+		}
+		r.Postings = make([]pathindex.Posting, np)
+		for j := range r.Postings {
+			p := &r.Postings[j]
+			if p.ID, o, err = decodeRelID(payload, o, docID); err != nil {
+				return nil, nil, err
+			}
+			v, o2, err := uvarint(payload, o)
+			if err != nil {
+				return nil, nil, err
+			}
+			p.ByteLen, o = int(v), o2
+			p.Value, p.HasValue = r.Value, r.HasValue
+		}
+		off = o
+	}
+	nlists, off, err := uvarintLen(payload, off, 1)
+	if err != nil {
+		return nil, nil, err
+	}
+	lists := make([]*invindex.PostingList, nlists)
+	for i := range lists {
+		n, o, err := uvarintLen(payload, off, 1)
+		if err != nil {
+			return nil, nil, err
+		}
+		b, o, err := getBytes(payload, o, n)
+		if err != nil {
+			return nil, nil, err
+		}
+		pl := &invindex.PostingList{Keyword: string(b)}
+		np, o, err := uvarintLen(payload, o, 2)
+		if err != nil {
+			return nil, nil, err
+		}
+		pl.Postings = make([]invindex.Posting, np)
+		for j := range pl.Postings {
+			p := &pl.Postings[j]
+			if p.ID, o, err = decodeRelID(payload, o, docID); err != nil {
+				return nil, nil, err
+			}
+			v, o2, err := uvarint(payload, o)
+			if err != nil {
+				return nil, nil, err
+			}
+			p.TF, o = int(v), o2
+			npos, o2, err := uvarintLen(payload, o, 1)
+			if err != nil {
+				return nil, nil, err
+			}
+			p.Positions, o = make([]int32, npos), o2
+			for k := range p.Positions {
+				if v, o, err = uvarint(payload, o); err != nil {
+					return nil, nil, err
+				}
+				p.Positions[k] = int32(v)
+			}
+		}
+		lists[i] = pl
+		off = o
+	}
+	return pathindex.FromRows(rows), invindex.FromLists(lists, elements), nil
+}
+
+// --- manifest ---
+
+// manifestRec is one manifest operation. DataLen is the committed data-log
+// length at the time the record was written: the loader trusts exactly
+// that prefix, which is what makes torn data-log appends invisible.
+type manifestRec struct {
+	Op      string `json:"op"` // "add", "replace", "delete"
+	Name    string `json:"name"`
+	DocID   int32  `json:"id"`
+	Root    int64  `json:"root,omitempty"`  // data-log offset of the root node record
+	Index   int64  `json:"index,omitempty"` // data-log offset of the index record
+	Bytes   int    `json:"bytes,omitempty"` // serialized byte length of the document
+	Nodes   int    `json:"nodes,omitempty"` // expanded (pre-dedup) element count
+	DataLen int64  `json:"data"`
+}
+
+// frameManifestRec wraps a JSON-encoded manifest record in its
+// [length][crc32][payload] frame.
+func frameManifestRec(payload []byte) []byte {
+	out := make([]byte, 8, 8+len(payload))
+	binary.LittleEndian.PutUint32(out, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(out[4:], crc32.ChecksumIEEE(payload))
+	return append(out, payload...)
+}
+
+// manifestHeaderLine renders the manifest's first line.
+func manifestHeaderLine(shards int, dataName string) string {
+	return fmt.Sprintf("%s shards=%d data=%s\n", manifestMagic, shards, dataName)
+}
+
+// parseManifestHeader parses the header line, returning the shard count,
+// the data file name, and the offset of the first record frame.
+func parseManifestHeader(data []byte) (shards int, dataName string, off int, err error) {
+	nl := -1
+	for i, b := range data {
+		if b == '\n' {
+			nl = i
+			break
+		}
+	}
+	if nl < 0 || !strings.HasPrefix(string(data[:nl]), manifestMagic) {
+		return 0, "", 0, corruptf("bad manifest header")
+	}
+	for _, field := range strings.Fields(string(data[:nl]))[1:] {
+		if v, ok := strings.CutPrefix(field, "shards="); ok {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 {
+				return 0, "", 0, corruptf("bad shard count %q", v)
+			}
+			shards = n
+		}
+		if v, ok := strings.CutPrefix(field, "data="); ok {
+			dataName = v
+		}
+	}
+	if shards == 0 || dataName == "" || strings.ContainsAny(dataName, "/\\") {
+		return 0, "", 0, corruptf("manifest header missing shards= or data=")
+	}
+	return shards, dataName, nl + 1, nil
+}

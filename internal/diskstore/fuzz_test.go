@@ -1,0 +1,115 @@
+package diskstore
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"vxml/internal/invindex"
+	"vxml/internal/pathindex"
+	"vxml/internal/xmltree"
+)
+
+// Seeds: real encoded payloads, so mutation starts from valid structure.
+func seedNodePayload() []byte {
+	children := []int64{8, 40}
+	return appendNodePayload(nil, nodeRec{
+		hash:     nodeHash("part", "widget", children),
+		tag:      "part",
+		value:    "widget",
+		byteLen:  64,
+		children: children,
+	})
+}
+
+func seedIndexPayload() []byte {
+	doc, err := xmltree.ParseString(`<a><b>hello world</b><c>hello again</c></a>`, "seed.xml", 3)
+	if err != nil {
+		panic(err)
+	}
+	return encodeIndexPayload(pathindex.Build(doc), invindex.Build(doc))
+}
+
+// FuzzDecodeNodePayload pins the block decoder's contract: arbitrary
+// bytes never panic, and every rejection is a typed ErrCorrupt.
+func FuzzDecodeNodePayload(f *testing.F) {
+	f.Add(seedNodePayload())
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 32))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, err := decodeNodePayload(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		// A payload that decodes must re-encode to an equivalent record.
+		re, err := decodeNodePayload(appendNodePayload(nil, rec))
+		if err != nil || re.hash != rec.hash || re.tag != rec.tag || re.value != rec.value {
+			t.Fatalf("re-encode round trip broke: %+v vs %+v (%v)", rec, re, err)
+		}
+	})
+}
+
+// FuzzDecodeIndexPayload: the index-record decoder never panics and only
+// fails typed.
+func FuzzDecodeIndexPayload(f *testing.F) {
+	f.Add(seedIndexPayload())
+	f.Add([]byte{})
+	f.Add([]byte{1, 1, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if _, _, err := decodeIndexPayload(data, 7); err != nil && !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("untyped decode error: %v", err)
+		}
+	})
+}
+
+// FuzzFoldManifest: arbitrary manifest bytes never panic the loader; the
+// fold either rejects the header (typed) or returns some valid prefix.
+func FuzzFoldManifest(f *testing.F) {
+	valid := []byte(manifestHeaderLine(4, "CORPUS-0000.vxd"))
+	valid = append(valid, frameManifestRec([]byte(`{"op":"add","name":"a.xml","id":1,"root":8,"index":20,"data":64}`))...)
+	f.Add(valid)
+	f.Add([]byte("#!vxdisk shards=2 data=CORPUS-1.vxd\n\x03\x00\x00\x00garbage"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _, off, err := parseManifestHeader(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("untyped header error: %v", err)
+			}
+			return
+		}
+		recs, goodLen := foldManifest(data, off)
+		if goodLen < int64(off) || goodLen > int64(len(data)) {
+			t.Fatalf("fold returned prefix %d outside [%d,%d]", goodLen, off, len(data))
+		}
+		_ = recs
+	})
+}
+
+// FuzzFrameAt drives the framed-record reader over a tiny in-memory store
+// whose data log is the fuzz input, asserting no read at any offset can
+// panic (reads may fail typed).
+func FuzzRecordFrame(f *testing.F) {
+	f.Add(appendFrame(nil, kindNode, seedNodePayload()))
+	f.Add([]byte{kindNode, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		kind, payload, end, err := frameAt(data, 0)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("untyped frame error: %v", err)
+			}
+			return
+		}
+		if end < 0 || end > len(data) {
+			t.Fatalf("frame end %d outside data", end)
+		}
+		if kind == kindNode {
+			if _, err := decodeNodePayload(payload); err != nil && !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("untyped node error: %v", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,47 @@
+//go:build linux
+
+package diskstore
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSource maps the data log's prefix read-only and serves reads from
+// the mapping; offsets past the mapped prefix (records appended after
+// open) fall back to pread on the same descriptor. The mapping is sized at
+// open, which is safe because the data log is append-only: committed bytes
+// below the mapped length never change in place.
+type mmapSource struct {
+	data []byte
+	file fileSource
+}
+
+// newMmapSource maps size bytes of f. Returns ok=false (caller falls back
+// to pread) when the file is empty or the mapping fails.
+func newMmapSource(f *os.File, size int64) (blockSource, bool) {
+	if size <= 0 || size != int64(int(size)) {
+		return nil, false
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false
+	}
+	return &mmapSource{data: data, file: fileSource{f: f}}, true
+}
+
+// ReadAt serves reads inside the mapped prefix from memory and falls back
+// to pread for bytes appended after the mapping was made.
+func (ms *mmapSource) ReadAt(p []byte, off int64) error {
+	if off >= 0 && off+int64(len(p)) <= int64(len(ms.data)) {
+		copy(p, ms.data[off:])
+		return nil
+	}
+	return ms.file.ReadAt(p, off)
+}
+
+// Close unmaps the file and closes the fallback handle.
+func (ms *mmapSource) Close() error {
+	syscall.Munmap(ms.data) //nolint:errcheck
+	return ms.file.Close()
+}

@@ -1,0 +1,8 @@
+//go:build !linux
+
+package diskstore
+
+import "os"
+
+// newMmapSource is unavailable on this platform; Open falls back to pread.
+func newMmapSource(_ *os.File, _ int64) (blockSource, bool) { return nil, false }

@@ -166,6 +166,33 @@ func (pl *PostingList) ContainsSubtree(id dewey.ID) bool {
 	return hi > lo
 }
 
+// Lists snapshots every posting list in keyword order. The lists are the
+// index's own — callers must treat them as read-only. Lists/FromLists are
+// the serialization seam the disk backend stores indices through.
+func (ix *Index) Lists() []*PostingList {
+	lists := make([]*PostingList, 0, ix.dict.Len())
+	for it := ix.dict.Min(); it.Valid(); it.Next() {
+		lists = append(lists, it.Value().(*PostingList))
+	}
+	return lists
+}
+
+// FromLists rebuilds an index from per-keyword posting lists (keywords
+// distinct, postings Dewey-sorted — the shape Lists produces) plus the
+// indexed document's element count. Prefix sums are recomputed, so lists
+// deserialized without them work. For any document,
+// FromLists(Build(doc).Lists(), Build(doc).Elements()) answers every
+// lookup identically to Build(doc).
+func FromLists(lists []*PostingList, elements int) *Index {
+	ix := &Index{dict: btree.New(), elements: elements}
+	for _, pl := range lists {
+		pl.Keyword = intern.String(pl.Keyword)
+		pl.buildPrefix()
+		ix.dict.Put([]byte(pl.Keyword), pl)
+	}
+	return ix
+}
+
 // DirectTF returns the term frequency of the keyword directly inside the
 // element with the given ID (0 if absent).
 func (pl *PostingList) DirectTF(id dewey.ID) int {

@@ -239,3 +239,57 @@ func (ix *Index) TagPostings(tag string) []Posting { return ix.tags[tag] }
 // DistinctRowCount reports the number of (path, value) rows; used by tests
 // and diagnostics.
 func (ix *Index) DistinctRowCount() int { return ix.tree.Len() }
+
+// Row is one (path, value) row of the Path-Values table in exported form:
+// the composite key split back into its parts plus the row's postings in
+// Dewey order. Rows/FromRows are the serialization seam the disk backend
+// stores indices through, so a loaded index never has to re-walk the
+// document it indexes.
+type Row struct {
+	Path     string
+	Value    string
+	HasValue bool
+	Postings []Posting
+}
+
+// Rows snapshots every row in composite-key order. The postings slices are
+// the index's own — callers must treat them as read-only.
+func (ix *Index) Rows() []Row {
+	rows := make([]Row, 0, ix.tree.Len())
+	for it := ix.tree.Min(); it.Valid(); it.Next() {
+		key := it.Key()
+		i := strings.IndexByte(string(key), 0)
+		rows = append(rows, Row{
+			Path:     string(key[:i]),
+			Value:    string(key[i+3:]),
+			HasValue: key[i+1] == 'v',
+			Postings: it.Value().(*row).postings,
+		})
+	}
+	return rows
+}
+
+// FromRows rebuilds an index from a Rows snapshot: the B+-tree from the
+// composite keys, the path dictionary from the distinct paths, and the tag
+// index by regrouping the postings under each path's final segment in
+// document (Dewey) order. For any document, FromRows(Build(doc).Rows())
+// answers every probe identically to Build(doc).
+func FromRows(rows []Row) *Index {
+	ix := &Index{tree: btree.New(), tags: map[string][]Posting{}}
+	pathSet := map[string]bool{}
+	for _, r := range rows {
+		pathSet[r.Path] = true
+		ix.tree.Put(compositeKey(r.Path, r.Value, r.HasValue), &row{postings: r.Postings})
+		tag := r.Path[strings.LastIndexByte(r.Path, '/')+1:]
+		ix.tags[tag] = append(ix.tags[tag], r.Postings...)
+	}
+	for _, ps := range ix.tags {
+		sort.Slice(ps, func(i, j int) bool { return dewey.Less(ps[i].ID, ps[j].ID) })
+	}
+	ix.paths = make([]string, 0, len(pathSet))
+	for p := range pathSet {
+		ix.paths = append(ix.paths, intern.String(p))
+	}
+	sort.Strings(ix.paths)
+	return ix
+}

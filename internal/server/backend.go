@@ -14,6 +14,7 @@ import (
 
 	"vxml"
 	"vxml/internal/cluster"
+	"vxml/internal/diskstore"
 	"vxml/internal/qcache"
 )
 
@@ -43,6 +44,9 @@ type Backend interface {
 	// Shards reports per-partition counters: corpus shards for a
 	// database, cluster slots for a coordinator.
 	Shards() []shardInfo
+	// DiskStats reports the disk backend's counters; ok is false when the
+	// corpus is heap-resident (or served through a coordinator).
+	DiskStats() (stats diskstore.Stats, ok bool)
 }
 
 // dbBackend adapts a single-process Database plus the named-view registry
@@ -135,6 +139,8 @@ func (b *dbBackend) Explain(ctx context.Context, view string, keywords []string)
 
 func (b *dbBackend) CacheStats() qcache.Stats { return b.db.CacheStats() }
 
+func (b *dbBackend) DiskStats() (diskstore.Stats, bool) { return b.db.DiskStats() }
+
 func (b *dbBackend) Shards() []shardInfo {
 	shards := b.db.ShardStats()
 	out := make([]shardInfo, len(shards))
@@ -174,6 +180,10 @@ func (b *coordBackend) ViewCount() int           { return b.coord.ViewCount() }
 func (b *coordBackend) DocumentNames() []string  { return b.coord.DocumentNames() }
 func (b *coordBackend) TotalBytes() int          { return b.coord.TotalBytes() }
 func (b *coordBackend) CacheStats() qcache.Stats { return b.coord.CacheStats() }
+
+// DiskStats: a coordinator has no local corpus; per-node disk counters
+// live on the nodes' own stats surfaces.
+func (b *coordBackend) DiskStats() (diskstore.Stats, bool) { return diskstore.Stats{}, false }
 
 func (b *coordBackend) Search(ctx context.Context, view string, keywords []string, opts *vxml.Options) ([]vxml.Result, *vxml.Stats, error) {
 	return b.coord.Search(ctx, view, keywords, opts)

@@ -1,0 +1,75 @@
+// GET /v1/stats over a disk-backed database grows a "disk" object with
+// on-disk/resident bytes and cache counters; a heap-backed server omits
+// the key entirely.
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"vxml"
+)
+
+func TestStatsDiskObject(t *testing.T) {
+	db, err := vxml.OpenDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	db.MustAdd("books.xml", booksXML)
+	db.MustAdd("reviews.xml", reviewsXML)
+
+	ts := httptest.NewServer(New(db).Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		TotalBytes int             `json:"total_bytes"`
+		Disk       json.RawMessage `json:"disk"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Disk == nil {
+		t.Fatal("disk-backed server reports no disk stats")
+	}
+	var disk struct {
+		Documents   int   `json:"documents"`
+		DataBytes   int64 `json:"data_bytes"`
+		TotalBytes  int   `json:"total_bytes"`
+		NodesShared int64 `json:"nodes_shared"`
+		BlockCache  struct {
+			Capacity int64 `json:"capacity"`
+		} `json:"block_cache"`
+	}
+	if err := json.Unmarshal(stats.Disk, &disk); err != nil {
+		t.Fatal(err)
+	}
+	if disk.Documents != 2 || disk.DataBytes <= 0 || disk.BlockCache.Capacity <= 0 {
+		t.Fatalf("implausible disk stats: %s", stats.Disk)
+	}
+	if disk.TotalBytes != stats.TotalBytes {
+		t.Fatalf("disk stats total %d != corpus total %d", disk.TotalBytes, stats.TotalBytes)
+	}
+
+	// Heap-backed server: the key must be absent, not a zero object.
+	heapTS, _ := newTestServer(t)
+	resp2, err := http.Get(heapTS.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var raw map[string]json.RawMessage
+	if err := json.NewDecoder(resp2.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, present := raw["disk"]; present {
+		t.Fatal("heap-backed server leaks a disk stats object")
+	}
+}

@@ -43,6 +43,7 @@ import (
 
 	"vxml"
 	"vxml/internal/cluster"
+	"vxml/internal/diskstore"
 )
 
 // Server routes HTTP requests to a shared Backend — a single-process
@@ -687,7 +688,11 @@ type statsResponse struct {
 	Views      int         `json:"views"`
 	Shards     []shardInfo `json:"shards"`
 	Cache      cacheStats  `json:"cache"`
-	Uptime     string      `json:"uptime"`
+	// Disk carries the disk backend's counters (on-disk/resident bytes, DAG
+	// dedup, block/doc/index cache hit rates); absent on a heap-resident
+	// corpus.
+	Disk   *diskstore.Stats `json:"disk,omitempty"`
+	Uptime string           `json:"uptime"`
 }
 
 // shardInfo is one corpus shard's counters in GET /stats. Mutations counts
@@ -730,6 +735,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			MaxBytes:      cs.MaxBytes,
 			Generation:    cs.Generation,
 		},
+	}
+	if ds, ok := s.backend.DiskStats(); ok {
+		resp.Disk = &ds
 	}
 	resp.Uptime = time.Since(s.started).Round(time.Millisecond).String()
 	writeJSON(w, http.StatusOK, resp)

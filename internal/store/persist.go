@@ -2,6 +2,7 @@ package store
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -34,7 +35,60 @@ const manifestHeader = "#!vxml"
 // fails part-way never leaves a directory that half-loads — Load is driven
 // by the manifest, which at every instant is either the previous complete
 // one or the new complete one.
-func (s *Store) Save(dir string) error {
+func (s *Store) Save(dir string) error { return SaveCorpus(s, dir) }
+
+// SaveFile is one serialized corpus file as EmitSaveFiles produces it.
+type SaveFile struct {
+	// Name is the file's base name within a save directory: a document
+	// name, or "MANIFEST" for the final manifest file.
+	Name string
+	// WriteTo streams the file's content. It may be called at most once.
+	WriteTo func(w io.Writer) error
+}
+
+// EmitSaveFiles serializes the corpus in Save's on-disk format and passes
+// each file to emit — every document first, the manifest last. It is the
+// single serialization path shared by Save (which writes the files to a
+// directory) and cluster snapshot shipping (which streams them over HTTP),
+// so a snapshot never re-serializes a corpus the save path already knows
+// how to write, and the two cannot drift. Name validation happens here:
+// an unsafe or reserved document name fails the whole emission before the
+// manifest is produced.
+func EmitSaveFiles(c Corpus, emit func(SaveFile) error) error {
+	var manifest strings.Builder
+	fmt.Fprintf(&manifest, "%s shards=%d\n", manifestHeader, c.ShardCount())
+	for _, doc := range c.Docs() {
+		// EqualFold: on a case-insensitive filesystem (macOS, Windows) a
+		// document named "manifest" would resolve to the same file the
+		// manifest rename targets and be silently clobbered.
+		if strings.EqualFold(doc.Name, manifestName) {
+			return fmt.Errorf("store: save: document name %q is reserved for the manifest", doc.Name)
+		}
+		if strings.ContainsAny(doc.Name, "/\\\n") || strings.HasPrefix(doc.Name, manifestHeader) {
+			return fmt.Errorf("store: save: document name %q is not a safe file name", doc.Name)
+		}
+		root := doc.Root
+		if err := emit(SaveFile{Name: doc.Name, WriteTo: func(w io.Writer) error {
+			return root.WriteXML(w, "")
+		}}); err != nil {
+			return fmt.Errorf("store: save %s: %w", doc.Name, err)
+		}
+		fmt.Fprintf(&manifest, "%d:%s\n", doc.DocID, doc.Name)
+	}
+	if err := emit(SaveFile{Name: manifestName, WriteTo: func(w io.Writer) error {
+		_, err := io.WriteString(w, manifest.String())
+		return err
+	}}); err != nil {
+		return fmt.Errorf("store: save manifest: %w", err)
+	}
+	return nil
+}
+
+// SaveCorpus writes any Corpus to dir in Save's format: every file via
+// temp-file plus rename, the manifest renamed last, then best-effort
+// cleanup of files a previous save in dir wrote for documents that no
+// longer exist.
+func SaveCorpus(c Corpus, dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("store: save: %w", err)
 	}
@@ -47,32 +101,19 @@ func (s *Store) Save(dir string) error {
 			previous[e.name] = true
 		}
 	}
-	var manifest strings.Builder
-	fmt.Fprintf(&manifest, "%s shards=%d\n", manifestHeader, len(s.shards))
 	saved := map[string]bool{}
-	for _, doc := range s.Docs() {
-		// EqualFold: on a case-insensitive filesystem (macOS, Windows) a
-		// document named "manifest" would resolve to the same file the
-		// manifest rename targets and be silently clobbered.
-		if strings.EqualFold(doc.Name, manifestName) {
-			return fmt.Errorf("store: save: document name %q is reserved for the manifest", doc.Name)
-		}
-		if strings.ContainsAny(doc.Name, "/\\\n") || strings.HasPrefix(doc.Name, manifestHeader) {
-			return fmt.Errorf("store: save: document name %q is not a safe file name", doc.Name)
-		}
-		if err := writeFileAtomic(dir, doc.Name, func(f *os.File) error {
-			return doc.Root.WriteXML(f, "")
+	if err := EmitSaveFiles(c, func(sf SaveFile) error {
+		if err := writeFileAtomic(dir, sf.Name, func(f *os.File) error {
+			return sf.WriteTo(f)
 		}); err != nil {
-			return fmt.Errorf("store: save %s: %w", doc.Name, err)
+			return err
 		}
-		saved[doc.Name] = true
-		fmt.Fprintf(&manifest, "%d:%s\n", doc.DocID, doc.Name)
-	}
-	if err := writeFileAtomic(dir, manifestName, func(f *os.File) error {
-		_, err := f.WriteString(manifest.String())
-		return err
+		if sf.Name != manifestName {
+			saved[sf.Name] = true
+		}
+		return nil
 	}); err != nil {
-		return fmt.Errorf("store: save manifest: %w", err)
+		return err
 	}
 	// The new manifest is in place; remove files of documents a previous
 	// save wrote that no longer exist (e.g. deleted since). Left behind,

@@ -19,7 +19,6 @@ package store
 import (
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"runtime"
 	"sort"
 	"sync"
@@ -111,9 +110,7 @@ func (s *Store) ShardCount() int { return len(s.shards) }
 
 // ShardOf returns the shard index the given document name hashes to.
 func (s *Store) ShardOf(name string) int {
-	h := fnv.New32a()
-	h.Write([]byte(name)) //nolint:errcheck
-	return int(h.Sum32() % uint32(len(s.shards)))
+	return ShardIndex(name, len(s.shards))
 }
 
 // ShardInfo is a point-in-time snapshot of one shard's corpus counters.

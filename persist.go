@@ -1,13 +1,25 @@
 // Corpus persistence: a Database can be saved to a directory and reopened
-// with identical search behavior. Only the documents are persisted — the
-// path and inverted-list indices, being deterministic functions of the
-// documents, are rebuilt on load, and views are compiled from their XQuery
-// text by the caller as usual.
+// with identical search behavior, in either of two formats.
+//
+// The plain format (Save/Load) writes one XML file per document plus a
+// manifest; indices are rebuilt on load. The disk format
+// (SaveDisk/OpenDisk) writes a DAG-compressed block store with the indices
+// persisted alongside the documents: opening it costs O(manifest), trees
+// and indices page in on demand through a bounded block cache, and the
+// corpus can be much bigger than RAM. Both formats reproduce the corpus
+// exactly — same document IDs, shard assignment and enumeration order —
+// and the two backends return byte-identical search results (pinned by the
+// equivalence suites).
 
 package vxml
 
 import (
+	"time"
+
 	"vxml/internal/core"
+	"vxml/internal/diskstore"
+	"vxml/internal/invindex"
+	"vxml/internal/pathindex"
 	"vxml/internal/qcache"
 	"vxml/internal/store"
 )
@@ -20,7 +32,8 @@ import (
 // rename with the manifest renamed last, so a save that fails part-way
 // never leaves a directory that half-loads. A document named "MANIFEST"
 // (or with a path separator in its name) cannot be saved and is rejected
-// with an error before anything is written over it.
+// with an error before anything is written over it. Works on every
+// backend: a disk-resident corpus is hydrated document by document.
 func (db *Database) Save(dir string) error {
 	return db.engine.Store.Save(dir)
 }
@@ -31,9 +44,110 @@ func (db *Database) Save(dir string) error {
 // results to the database that was saved. The loaded database starts with
 // a fresh (empty) query-result cache.
 func Load(dir string) (*Database, error) {
+	db, _, err := LoadWithStats(dir)
+	return db, err
+}
+
+// LoadStats reports where a Load spent its time: parsing the documents
+// versus rebuilding their indices. The split is what motivates the disk
+// backend — OpenDisk pays neither cost at startup.
+type LoadStats struct {
+	Documents  int
+	TotalBytes int
+	// Parse covers reading and parsing every document file.
+	Parse time.Duration
+	// Index covers rebuilding every path and inverted-list index.
+	Index time.Duration
+	// Total is the whole Load wall time (parse + index + bookkeeping).
+	Total time.Duration
+}
+
+// LoadWithStats is Load, additionally reporting document counts and the
+// parse/index time split.
+func LoadWithStats(dir string) (*Database, *LoadStats, error) {
+	start := time.Now()
 	st, err := store.Load(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	parsed := time.Now()
+	eng := core.New(st)
+	indexed := time.Now()
+	stats := &LoadStats{
+		Documents:  len(st.Infos()),
+		TotalBytes: st.TotalBytes(),
+		Parse:      parsed.Sub(start),
+		Index:      indexed.Sub(parsed),
+		Total:      time.Since(start),
+	}
+	return &Database{engine: eng, cache: qcache.New(0)}, stats, nil
+}
+
+// OpenDisk opens a database over a disk-resident corpus directory written
+// by SaveDisk (creating an empty one with store.DefaultShardCount shards
+// if the directory holds no corpus yet). Startup reads only the manifest:
+// documents and indices stay on disk, paged in on demand through a bounded
+// block cache, so the corpus may exceed RAM. All mutations (Add, Replace,
+// Delete) persist incrementally — only new structure is appended — and
+// survive restarts. Search results are byte-identical to a heap-backed
+// database over the same documents. Call Close when done to release the
+// store's file handles.
+func OpenDisk(dir string) (*Database, error) {
+	return OpenDiskOptions(dir, diskstore.Options{})
+}
+
+// OpenDiskOptions is OpenDisk with explicit cache and I/O tuning (block
+// size, block/document/index cache bounds, mmap).
+func OpenDiskOptions(dir string, opts diskstore.Options) (*Database, error) {
+	var ds *diskstore.Store
+	var err error
+	if diskstore.Exists(dir) {
+		ds, err = diskstore.OpenWith(dir, opts)
+	} else {
+		ds, err = diskstore.Init(dir, 0, opts)
+	}
 	if err != nil {
 		return nil, err
 	}
-	return &Database{engine: core.New(st), cache: qcache.New(0)}, nil
+	return &Database{engine: core.New(ds), cache: qcache.New(0)}, nil
+}
+
+// SaveDisk writes the corpus as a disk-resident, DAG-compressed store in
+// dir: structurally identical subtrees (across and within documents) are
+// stored once, and each document's indices are persisted beside it so
+// OpenDisk never rebuilds them. The new store is committed by renaming its
+// manifest last — a crash mid-save leaves any previous corpus in dir
+// intact. On a heap-backed database the engine's existing indices are
+// reused, not rebuilt.
+func (db *Database) SaveDisk(dir string) error {
+	db.engine.RLock()
+	defer db.engine.RUnlock()
+	ds, err := diskstore.Create(db.engine.Store, dir, diskstore.Options{},
+		func(name string) (*pathindex.Index, *invindex.Index) {
+			return db.engine.PathIndex(name), db.engine.InvIndex(name)
+		})
+	if err != nil {
+		return err
+	}
+	return ds.Close()
+}
+
+// DiskStats returns the disk backend's resource counters (on-disk and
+// resident bytes, dedup ratio, cache hit rates, open time). ok is false
+// when the database is heap-backed.
+func (db *Database) DiskStats() (stats diskstore.Stats, ok bool) {
+	if ds, isDisk := db.engine.Store.(*diskstore.Store); isDisk {
+		return ds.DiskStats(), true
+	}
+	return diskstore.Stats{}, false
+}
+
+// Close releases backend resources (the disk backend's file handles). It
+// is a no-op on a heap-backed database. The database must not be used
+// after Close.
+func (db *Database) Close() error {
+	if ds, isDisk := db.engine.Store.(*diskstore.Store); isDisk {
+		return ds.Close()
+	}
+	return nil
 }

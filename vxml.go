@@ -217,9 +217,9 @@ func (db *Database) DeleteContext(ctx context.Context, name string) error {
 
 // DocumentNames returns the names of all loaded documents.
 func (db *Database) DocumentNames() []string {
-	docs := db.engine.Store.Docs()
-	names := make([]string, len(docs))
-	for i, d := range docs {
+	infos := db.engine.Store.Infos()
+	names := make([]string, len(infos))
+	for i, d := range infos {
 		names[i] = d.Name
 	}
 	return names
