@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"vxml"
+	"vxml/internal/catalog"
 	"vxml/internal/core"
 	"vxml/internal/dewey"
 	"vxml/internal/invindex"
@@ -57,6 +58,8 @@ func ScenarioCatalog() []ScenarioDef {
 		{Name: "concurrent_throughput", Description: "concurrent clients hammering one Database: queries/sec at increasing goroutine counts", Run: runConcurrentThroughput},
 		{Name: "mutation_mix", Description: "document lifecycle cost: replace, delete+add, and search-after-invalidation over a live corpus", Run: runMutationMix},
 		{Name: "cache_hit_miss", Description: "query-result cache: uncached search vs cache hit, with the hit speedup", Run: runCacheHitMiss},
+		{Name: "view_rewrite", Description: "query planner skeleton tier: direct evaluation vs rewriting ever-distinct keyword queries against the view's cached skeleton", Run: runViewRewrite},
+		{Name: "materialized_view", Description: "query planner materialized tier: direct evaluation vs serving ever-distinct keyword queries from the adaptively materialized view", Run: runMaterializedView},
 		{Name: "streaming_early_break", Description: "deferred delivery: full materialization vs streaming with an early break, with base-data fetch savings", Run: runStreamingEarlyBreak},
 		{Name: "hot_paths", Description: "allocation hot paths, reference (pre-optimization) implementation vs optimized, with allocs/op reduction", Run: runHotPaths},
 		{Name: "cold_start", Description: "open a persisted corpus + first ranked search: heap Load (re-parse + re-index) vs disk OpenDisk (manifest fold), with the open-time fraction", Run: runColdStart},
@@ -507,6 +510,117 @@ func runCacheHitMiss(cfg Config) (*Scenario, error) {
 		"cache_entries":       float64(stats.Entries),
 	}})
 	return s, nil
+}
+
+// plannerKeywords returns a keyword set unique per call: the counter token
+// never occurs in the corpus, so under disjunctive semantics it cannot
+// change the ranking — but it does change the cache key, so every search
+// is an exact-cache miss and must be answered by the planner tier under
+// measurement, never by the result cache (that tier is cache_hit_miss's
+// subject).
+func plannerKeywords(counter *int) []string {
+	*counter++
+	return []string{"copper", fmt.Sprintf("uniq%d", *counter)}
+}
+
+// runViewRewrite measures the planner's skeleton tier: after one planned
+// search records the view's keyword-independent skeleton, every distinct
+// keyword query over the view skips PDT generation and evaluation and only
+// re-scores, byte-identically to the direct pipeline it replaces.
+func runViewRewrite(cfg Config) (*Scenario, error) {
+	db, view, _, err := buildCollectionDB(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Promotion disabled: this scenario isolates the skeleton tier
+	// (materialized_view measures the next tier up).
+	db.SetPlanPolicy(1<<30, 0)
+	n := 0
+	directOpts := &vxml.Options{TopK: 10, Disjunctive: true}
+	if _, _, err := db.Search(view, plannerKeywords(&n), directOpts); err != nil {
+		return nil, err
+	}
+	direct := Measure(cfg.Profile.Budget, func() { db.Search(view, plannerKeywords(&n), directOpts) }) //nolint:errcheck // pre-flighted above
+
+	// The first planned search evaluates directly and records the skeleton;
+	// every measured search after it rewrites.
+	plannedOpts := &vxml.Options{TopK: 10, Disjunctive: true, Cache: true}
+	if _, _, err := db.Search(view, plannerKeywords(&n), plannedOpts); err != nil {
+		return nil, err
+	}
+	var last *vxml.Stats
+	rewritten := Measure(cfg.Profile.Budget, func() {
+		if _, s, err := db.Search(view, plannerKeywords(&n), plannedOpts); err == nil {
+			last = s
+		}
+	})
+	if last == nil || last.PlanSource != catalog.PlanRewritten {
+		return nil, fmt.Errorf("view_rewrite: measured serve did not come from the skeleton tier (last plan source %v)", planSourceOf(last))
+	}
+	cs := db.CacheStats()
+	s := &Scenario{}
+	s.Rows = append(s.Rows, Row{Label: "direct", Measurement: direct})
+	s.Rows = append(s.Rows, Row{Label: "skeleton_rewrite", Measurement: rewritten, Extra: map[string]float64{
+		"speedup_vs_direct": direct.NsPerOp / rewritten.NsPerOp,
+		"rewrite_hits":      float64(cs.RewriteHits),
+		"skeletons":         float64(cs.Skeletons),
+	}})
+	return s, nil
+}
+
+// runMaterializedView measures the planner's top tier: the view promotes to
+// a fully materialized artifact on first heat, after which every distinct
+// keyword query is answered from stored result trees and a token index —
+// no PDT generation, no evaluation, no base-data access.
+func runMaterializedView(cfg Config) (*Scenario, error) {
+	db, view, _, err := buildCollectionDB(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Promote on first heat: the scenario measures steady-state serves
+	// from the materialized view, not the promotion itself.
+	db.SetPlanPolicy(1, 0)
+	n := 0
+	directOpts := &vxml.Options{TopK: 10, Disjunctive: true}
+	if _, _, err := db.Search(view, plannerKeywords(&n), directOpts); err != nil {
+		return nil, err
+	}
+	direct := Measure(cfg.Profile.Budget, func() { db.Search(view, plannerKeywords(&n), directOpts) }) //nolint:errcheck // pre-flighted above
+
+	plannedOpts := &vxml.Options{TopK: 10, Disjunctive: true, Cache: true}
+	if _, _, err := db.Search(view, plannerKeywords(&n), plannedOpts); err != nil {
+		return nil, err
+	}
+	if cs := db.CacheStats(); cs.Materialized != 1 {
+		return nil, fmt.Errorf("materialized_view: first planned search did not promote (materialized=%d)", cs.Materialized)
+	}
+	var last *vxml.Stats
+	mat := Measure(cfg.Profile.Budget, func() {
+		if _, s, err := db.Search(view, plannerKeywords(&n), plannedOpts); err == nil {
+			last = s
+		}
+	})
+	if last == nil || last.PlanSource != catalog.PlanMaterialized {
+		return nil, fmt.Errorf("materialized_view: measured serve did not come from the materialized tier (last plan source %v)", planSourceOf(last))
+	}
+	cs := db.CacheStats()
+	s := &Scenario{}
+	s.Rows = append(s.Rows, Row{Label: "direct", Measurement: direct})
+	s.Rows = append(s.Rows, Row{Label: "materialized_serve", Measurement: mat, Extra: map[string]float64{
+		"speedup_vs_direct": direct.NsPerOp / mat.NsPerOp,
+		"materialized_hits": float64(cs.MaterializedHits),
+		"promotions":        float64(cs.Promotions),
+		"artifact_bytes":    float64(cs.ArtifactBytes),
+	}})
+	return s, nil
+}
+
+// planSourceOf formats a possibly-nil Stats' plan source for error text.
+func planSourceOf(s *vxml.Stats) string {
+	if s == nil {
+		return "<no stats>"
+	}
+	return s.PlanSource
 }
 
 // runStreamingEarlyBreak compares materializing a full unranked result set

@@ -1,0 +1,596 @@
+// Package catalog is the view catalog and query-planning substrate: it
+// owns the bounded LRU cache of ranked query results (formerly package
+// qcache, semantics preserved), a registry of compiled views with per-view
+// hit statistics, and the cached artifacts the planner rewrites against —
+// evaluation skeletons (pruned view output, keyword-independent) and fully
+// materialized views (result trees plus a per-view token index).
+//
+// The cache tiers, weakest to strongest:
+//
+//   - Exact result entries (Get/PutAt): memoize one (view, keywords,
+//     options) triple. Any variation misses.
+//   - Skeletons (Skeleton/StoreSkeleton): the view's evaluated result
+//     forest with PDT provenance but before scoring. The skeleton is
+//     keyword-independent — term frequencies live in the inverted indices,
+//     not the skeleton — so one skeleton answers any keyword query over
+//     the view (keyword supersets, disjoint sets, either semantics) by
+//     re-probing the indices. core.Engine's planner serves this tier.
+//   - Materialized views (Materialized/StoreMaterialized): every view
+//     result fully materialized, with byte lengths and a token histogram
+//     per result. Searches over a materialized view touch neither the PDT
+//     pipeline nor base storage.
+//
+// Every tier is generation-stamped exactly like the old qcache: any corpus
+// mutation bumps the generation and drops all entries and artifacts
+// (Invalidate), and stores stamped with a pre-bump generation are refused.
+// A planned answer is therefore always computed against the same corpus
+// snapshot a direct evaluation would see, which is what keeps planned
+// output byte-identical to direct output.
+//
+// Promotion is driven by AccessDirect hit counting: a view that keeps
+// being planned without a materialized artifact becomes promotable once
+// its post-invalidation hit count reaches the promotion threshold, bar
+// room under the artifact byte budget. Mutation churn demotes: an
+// invalidation that drops a live materialized view raises that view's
+// re-promotion bar (threshold doubles per churn step, capped), so a
+// write-heavy view stops being re-materialized just to be thrown away.
+package catalog
+
+import (
+	"container/list"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"vxml/internal/xmltree"
+)
+
+// NormalizeKeyword canonicalizes one query keyword the way every pipeline
+// matches it (core.NormalizeKeyword delegates here; the definition lives in
+// this package so cache keys cannot drift from the matching rule).
+func NormalizeKeyword(k string) string { return strings.ToLower(strings.TrimSpace(k)) }
+
+// Key builds the canonical cache key for a query: the view definition text,
+// the sorted normalized keyword set, and every option that can change the
+// response (top-k, semantics, pipeline). Keywords arrive from arbitrary
+// client input (e.g. JSON over HTTP), so every component is length-prefixed
+// — no keyword content can collide with a separator or with a differently
+// split keyword list.
+func Key(viewText string, keywords []string, parts ...string) string {
+	kws := make([]string, len(keywords))
+	for i, k := range keywords {
+		kws[i] = NormalizeKeyword(k)
+	}
+	sort.Strings(kws)
+	var b strings.Builder
+	writePart := func(p string) {
+		b.WriteString(strconv.Itoa(len(p)))
+		b.WriteByte(':')
+		b.WriteString(p)
+	}
+	writePart(viewText)
+	writePart(strconv.Itoa(len(kws)))
+	for _, k := range kws {
+		writePart(k)
+	}
+	for _, p := range parts {
+		writePart(p)
+	}
+	return b.String()
+}
+
+// BoolPart canonicalizes a boolean option for use as a Key part.
+func BoolPart(v bool) string { return strconv.FormatBool(v) }
+
+// IntPart canonicalizes an integer option for use as a Key part.
+func IntPart(v int) string { return strconv.Itoa(v) }
+
+// Plan sources, reported through Stats and the HTTP stats wire: how a
+// search's answer was produced.
+const (
+	// PlanDirect: full pipeline (PDT generation, evaluation, scoring).
+	PlanDirect = "direct"
+	// PlanCacheHit: served from an exact result-cache entry.
+	PlanCacheHit = "cache_hit"
+	// PlanRewritten: rewritten against a compiled view's cached artifact —
+	// re-scored from a skeleton, or a TopK window sliced from a cached
+	// unranked entry.
+	PlanRewritten = "rewritten"
+	// PlanMaterialized: answered from a materialized view, skipping PDT
+	// generation and base-data access entirely.
+	PlanMaterialized = "materialized"
+)
+
+// Stats is a point-in-time snapshot of catalog effectiveness counters. The
+// first block is the exact-entry LRU (the former qcache.Stats, fields
+// unchanged); the second describes the view registry and planner tiers.
+type Stats struct {
+	Hits          int // lookups answered from an exact cache entry
+	Misses        int // lookups that fell through
+	Evictions     int // entries dropped by the LRU or byte bound
+	Invalidations int // generation bumps (corpus mutations)
+	Entries       int // entries currently resident
+	Capacity      int // maximum resident entries
+	Bytes         int // caller-reported bytes currently resident
+	MaxBytes      int // maximum resident bytes
+	Generation    int // current store generation
+
+	Views            int // compiled views tracked by the registry
+	Skeletons        int // live (current-generation) skeleton artifacts
+	Materialized     int // live materialized views
+	RewriteHits      int // searches answered by rewriting (skeleton or window)
+	MaterializedHits int // searches answered from a materialized view
+	Promotions       int // views promoted to materialized
+	Demotions        int // materialized views dropped by invalidation
+	ArtifactBytes    int // resident artifact bytes (skeletons + materialized)
+	ArtifactMaxBytes int // artifact byte budget
+}
+
+// Skeleton is a view's cached evaluation output: the result forest in view
+// order, pruned (PDT provenance intact, never materialized). The nodes are
+// shared with every search that serves from the skeleton and must be
+// treated as read-only.
+type Skeleton struct {
+	Results []*xmltree.Node
+	Bytes   int
+	gen     int
+}
+
+// TokenCount is one posting of a materialized view's token index: result
+// Index (view position) contains the token TF times.
+type TokenCount struct {
+	Index int
+	TF    int
+}
+
+// MatView is a fully materialized view: every view result as a complete
+// tree (no PDT pruning, no Meta payloads), its scoring byte length, and a
+// token index mapping each token to the results containing it. Trees are
+// shared across searches and must be treated as read-only (serve clones).
+type MatView struct {
+	Trees    []*xmltree.Node
+	ByteLens []int
+	Tokens   map[string][]TokenCount
+	Bytes    int
+	gen      int
+}
+
+// TF returns the per-result subtree term frequencies of one normalized
+// keyword as a dense vector aligned with Trees.
+func (m *MatView) TF(keyword string) []int {
+	tfs := make([]int, len(m.Trees))
+	for _, tc := range m.Tokens[keyword] {
+		tfs[tc.Index] = tc.TF
+	}
+	return tfs
+}
+
+// viewEntry is the registry record of one compiled view.
+type viewEntry struct {
+	id   string
+	text string
+
+	hits           int // planned searches over this view, lifetime
+	hitsSinceInval int // planned searches since the last invalidation
+	churn          int // invalidations that dropped a live materialized view
+
+	skeleton *Skeleton
+	mat      *MatView
+}
+
+// Promotion policy defaults: a view becomes promotable after PromoteHits
+// planned searches since the last invalidation (doubled per churn step up
+// to churnCap), and all artifacts together may hold DefaultArtifactBytes.
+const (
+	DefaultPromoteHits   = 3
+	DefaultArtifactBytes = 64 << 20
+	churnCap             = 6
+)
+
+// DefaultCapacity bounds the exact-entry count when the caller does not
+// choose one.
+const DefaultCapacity = 128
+
+// DefaultMaxBytes bounds the total caller-reported size of resident exact
+// entries. Entry count alone is no bound at all: an unranked (top-k = 0)
+// search over a large corpus caches its complete materialized result set,
+// so a handful of such entries could otherwise hold arbitrary memory.
+const DefaultMaxBytes = 64 << 20
+
+// Catalog is the view catalog: the exact-entry LRU result cache, the
+// compiled-view registry with hit statistics, and the planner artifacts.
+// All methods are safe for concurrent use.
+type Catalog struct {
+	mu       sync.Mutex
+	capacity int
+	maxBytes int
+	curBytes int
+	gen      int
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+
+	hits, misses, evictions, invalidations int
+
+	views       map[string]*viewEntry // keyed by view definition text
+	nextID      int
+	promoteHits int
+	artBytes    int
+	artMaxBytes int
+
+	rewriteHits, matHits, promotions, demotions int
+}
+
+type entry struct {
+	key   string
+	size  int
+	value any
+}
+
+// New returns an empty catalog holding at most capacity exact entries and
+// DefaultMaxBytes of caller-reported entry size; capacity <= 0 selects
+// DefaultCapacity. The promotion policy starts at the package defaults
+// (SetPolicy overrides).
+func New(capacity int) *Catalog {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Catalog{
+		capacity:    capacity,
+		maxBytes:    DefaultMaxBytes,
+		ll:          list.New(),
+		items:       map[string]*list.Element{},
+		views:       map[string]*viewEntry{},
+		promoteHits: DefaultPromoteHits,
+		artMaxBytes: DefaultArtifactBytes,
+	}
+}
+
+// SetPolicy adjusts the materialization policy: promoteHits is the planned
+// search count after which a view becomes promotable (<= 0 keeps the
+// current value) and artifactBytes the shared byte budget for skeletons and
+// materialized views (<= 0 keeps the current value). Shrinking the budget
+// does not drop already-resident artifacts; the next invalidation does.
+func (c *Catalog) SetPolicy(promoteHits, artifactBytes int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if promoteHits > 0 {
+		c.promoteHits = promoteHits
+	}
+	if artifactBytes > 0 {
+		c.artMaxBytes = artifactBytes
+	}
+}
+
+// Get returns the value cached under key. Every resident entry is current:
+// Invalidate drops all entries under the same mutex that guards inserts, so
+// a lookup never needs a staleness check.
+func (c *Catalog) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits++
+	return el.Value.(*entry).value, true
+}
+
+// Probe returns the value cached under key without touching the hit/miss
+// counters: rewrite tiers use it to check for a servable base entry (e.g.
+// the unranked TopK=0 entry a window query slices from) and count their
+// own RewriteHits instead. A found entry is still refreshed in the LRU
+// order — serving from it keeps it hot.
+func (c *Catalog) Probe(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*entry).value, true
+}
+
+// PutAt inserts value under key only if gen is still the current generation,
+// and discards it otherwise. Callers that compute a value outside any lock
+// shared with Invalidate use the pattern: read Gen before computing, PutAt
+// with that generation after — a value whose computation spanned an
+// Invalidate is then never inserted, because the bump made its stamp stale.
+// size is the caller-reported footprint of value in bytes; a value larger
+// than the cache's byte bound is refused rather than evicting everything.
+func (c *Catalog) PutAt(key string, value any, gen, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if gen != c.gen || size > c.maxBytes {
+		return
+	}
+	c.put(key, value, size)
+}
+
+// put inserts value under key at the current generation, evicting least
+// recently used entries while either bound (entry count, resident bytes) is
+// exceeded; the caller holds c.mu and has checked size <= maxBytes, so the
+// loop never evicts the entry it just inserted.
+func (c *Catalog) put(key string, value any, size int) {
+	if el, ok := c.items[key]; ok {
+		ent := el.Value.(*entry)
+		c.curBytes += size - ent.size
+		ent.size, ent.value = size, value
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&entry{key: key, size: size, value: value})
+		c.curBytes += size
+	}
+	for c.ll.Len() > c.capacity || c.curBytes > c.maxBytes {
+		back := c.ll.Back()
+		ent := back.Value.(*entry)
+		c.ll.Remove(back)
+		delete(c.items, ent.key)
+		c.curBytes -= ent.size
+		c.evictions++
+	}
+}
+
+// Gen returns the current generation, for stamping PutAt and artifact
+// stores.
+func (c *Catalog) Gen() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gen
+}
+
+// Invalidate bumps the generation, drops every resident exact entry and
+// every artifact, and resets per-view heat. Call it whenever the underlying
+// document collection changes. The bump (not the drop) is what keeps
+// in-flight computations out: a store stamped with the old generation is
+// refused, so a result computed across the change can never be inserted
+// afterwards. An invalidation that drops a live materialized view counts as
+// a demotion and raises that view's re-promotion bar (churn).
+func (c *Catalog) Invalidate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gen++
+	c.invalidations++
+	c.ll.Init()
+	clear(c.items)
+	c.curBytes = 0
+	for _, ve := range c.views {
+		if ve.mat != nil {
+			c.demotions++
+			if ve.churn < churnCap {
+				ve.churn++
+			}
+		}
+		ve.mat = nil
+		ve.skeleton = nil
+		ve.hitsSinceInval = 0
+	}
+	c.artBytes = 0
+}
+
+// Register assigns (or returns) the catalog ID of the view with the given
+// definition text. IDs are stable for the catalog's lifetime ("cv1",
+// "cv2", ... in registration order) and identify the serving view in plan
+// reports.
+func (c *Catalog) Register(viewText string) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.registerLocked(viewText).id
+}
+
+// maxViews bounds the registry so unbounded distinct view texts (e.g. a
+// workload generating queries programmatically) cannot grow it without
+// limit; past the cap the coldest artifact-free entry is dropped.
+const maxViews = 4096
+
+func (c *Catalog) registerLocked(viewText string) *viewEntry {
+	if ve, ok := c.views[viewText]; ok {
+		return ve
+	}
+	if len(c.views) >= maxViews {
+		c.evictColdestViewLocked()
+	}
+	c.nextID++
+	ve := &viewEntry{id: "cv" + strconv.Itoa(c.nextID), text: viewText}
+	c.views[viewText] = ve
+	return ve
+}
+
+// evictColdestViewLocked drops the registry entry with the fewest lifetime
+// hits, preferring entries without live artifacts (an entry holding one is
+// only chosen when every entry does, and its artifact bytes are released).
+func (c *Catalog) evictColdestViewLocked() {
+	victim, best := "", -1
+	for text, ve := range c.views {
+		score := ve.hits
+		if (ve.skeleton != nil && ve.skeleton.gen == c.gen) || (ve.mat != nil && ve.mat.gen == c.gen) {
+			score += 1 << 30
+		}
+		if best == -1 || score < best {
+			best, victim = score, text
+		}
+	}
+	if victim == "" {
+		return
+	}
+	ve := c.views[victim]
+	if ve.skeleton != nil && ve.skeleton.gen == c.gen {
+		c.artBytes -= ve.skeleton.Bytes
+	}
+	if ve.mat != nil && ve.mat.gen == c.gen {
+		c.artBytes -= ve.mat.Bytes
+	}
+	delete(c.views, victim)
+}
+
+// IDOf returns the catalog ID of a registered view ("" if the text was
+// never registered).
+func (c *Catalog) IDOf(viewText string) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ve, ok := c.views[viewText]; ok {
+		return ve.id
+	}
+	return ""
+}
+
+// AccessDirect records one planned search over the view that fell through
+// to direct evaluation, and reports whether the view is now promotable: hot
+// enough under its churn-adjusted threshold, not already materialized, and
+// with room left in the artifact budget. The caller (the engine) performs
+// the promotion and stores it with StoreMaterialized.
+func (c *Catalog) AccessDirect(viewText string) (promotable bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ve := c.registerLocked(viewText)
+	ve.hits++
+	ve.hitsSinceInval++
+	if ve.mat != nil {
+		return false
+	}
+	return ve.hitsSinceInval >= c.promoteHits<<min(ve.churn, churnCap) && c.artBytes < c.artMaxBytes
+}
+
+// AccessPlanned records one search answered by a planner tier (source
+// PlanRewritten or PlanMaterialized) over the view. Like AccessDirect it
+// reports whether the view is now promotable: rewrite serves count toward
+// the promotion threshold — a view hot enough that its skeleton keeps
+// answering is exactly the one worth upgrading to a materialized view —
+// while a materialized serve never is (the strongest tier already holds).
+func (c *Catalog) AccessPlanned(viewText, source string) (promotable bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ve := c.registerLocked(viewText)
+	ve.hits++
+	ve.hitsSinceInval++
+	switch source {
+	case PlanRewritten:
+		c.rewriteHits++
+	case PlanMaterialized:
+		c.matHits++
+	}
+	if source != PlanRewritten || ve.mat != nil {
+		return false
+	}
+	return ve.hitsSinceInval >= c.promoteHits<<min(ve.churn, churnCap) && c.artBytes < c.artMaxBytes
+}
+
+// Skeleton returns the view's current-generation skeleton and the view's
+// catalog ID, or ok = false when none is live. The caller must hold
+// whatever locks make the current generation stable for the duration of
+// its use (the engine serves skeletons under the search's shard read
+// locks).
+func (c *Catalog) Skeleton(viewText string) (sk *Skeleton, viewID string, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ve, exists := c.views[viewText]
+	if !exists || ve.skeleton == nil || ve.skeleton.gen != c.gen {
+		return nil, "", false
+	}
+	return ve.skeleton, ve.id, true
+}
+
+// StoreSkeleton records a view's evaluation output as a skeleton artifact,
+// stamped with gen: a stale stamp (a mutation landed since the search
+// planned) or an artifact-budget overflow refuses the store. Results must
+// be in view order and are retained by reference — the engine only stores
+// forests whose nodes no caller can mutate.
+func (c *Catalog) StoreSkeleton(viewText string, gen int, results []*xmltree.Node, bytes int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if gen != c.gen || c.artBytes+bytes > c.artMaxBytes {
+		return
+	}
+	ve := c.registerLocked(viewText)
+	if ve.skeleton != nil && ve.skeleton.gen == c.gen {
+		return // an identical skeleton is already live
+	}
+	ve.skeleton = &Skeleton{Results: results, Bytes: bytes, gen: gen}
+	c.artBytes += bytes
+}
+
+// Materialized returns the view's current-generation materialized artifact
+// and the view's catalog ID, or ok = false when none is live. The same
+// lock discipline as Skeleton applies.
+func (c *Catalog) Materialized(viewText string) (mv *MatView, viewID string, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ve, exists := c.views[viewText]
+	if !exists || ve.mat == nil || ve.mat.gen != c.gen {
+		return nil, "", false
+	}
+	return ve.mat, ve.id, true
+}
+
+// StoreMaterialized records a fully materialized view, stamped with gen.
+// It reports whether the artifact was accepted: a stale stamp refuses it,
+// and an artifact that would overflow the byte budget is refused AND
+// counted as churn, so an over-budget view stops being rebuilt on every
+// search.
+func (c *Catalog) StoreMaterialized(viewText string, gen int, mv *MatView) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if gen != c.gen {
+		return false
+	}
+	ve := c.registerLocked(viewText)
+	if ve.mat != nil && ve.mat.gen == c.gen {
+		return false // lost a promotion race: an identical artifact is live
+	}
+	if c.artBytes+mv.Bytes > c.artMaxBytes {
+		if ve.churn < churnCap {
+			ve.churn++
+		}
+		ve.hitsSinceInval = 0
+		return false
+	}
+	mv.gen = gen
+	ve.mat = mv
+	c.artBytes += mv.Bytes
+	c.promotions++
+	return true
+}
+
+// Stats returns a snapshot of the catalog counters.
+func (c *Catalog) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := Stats{
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Evictions:     c.evictions,
+		Invalidations: c.invalidations,
+		Entries:       c.ll.Len(),
+		Capacity:      c.capacity,
+		Bytes:         c.curBytes,
+		MaxBytes:      c.maxBytes,
+		Generation:    c.gen,
+
+		Views:            len(c.views),
+		RewriteHits:      c.rewriteHits,
+		MaterializedHits: c.matHits,
+		Promotions:       c.promotions,
+		Demotions:        c.demotions,
+		ArtifactBytes:    c.artBytes,
+		ArtifactMaxBytes: c.artMaxBytes,
+	}
+	for _, ve := range c.views {
+		if ve.skeleton != nil && ve.skeleton.gen == c.gen {
+			st.Skeletons++
+		}
+		if ve.mat != nil && ve.mat.gen == c.gen {
+			st.Materialized++
+		}
+	}
+	return st
+}
+
+// Len returns the number of resident exact entries.
+func (c *Catalog) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

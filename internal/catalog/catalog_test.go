@@ -1,9 +1,11 @@
-package qcache
+package catalog
 
 import (
 	"fmt"
 	"sync"
 	"testing"
+
+	"vxml/internal/xmltree"
 )
 
 func TestKeyCanonicalization(t *testing.T) {
@@ -46,7 +48,7 @@ func TestKeyCollisionResistance(t *testing.T) {
 
 // putNow inserts a small entry at the current generation — the pattern
 // production code uses via PutAt when no computation spans the insert.
-func putNow(c *Cache, key string, v any) { c.PutAt(key, v, c.Gen(), 1) }
+func putNow(c *Catalog, key string, v any) { c.PutAt(key, v, c.Gen(), 1) }
 
 func TestGetPutAndLRUEviction(t *testing.T) {
 	c := New(2)
@@ -181,5 +183,157 @@ func TestConcurrentMixedUse(t *testing.T) {
 	st := c.Stats()
 	if st.Hits+st.Misses == 0 {
 		t.Error("no lookups recorded")
+	}
+}
+
+func TestRegisterStableIDs(t *testing.T) {
+	c := New(0)
+	a := c.Register("view a")
+	b := c.Register("view b")
+	if a == b {
+		t.Fatalf("distinct views share ID %q", a)
+	}
+	if got := c.Register("view a"); got != a {
+		t.Errorf("re-registration changed ID: %q -> %q", a, got)
+	}
+	if got := c.IDOf("view a"); got != a {
+		t.Errorf("IDOf = %q, want %q", got, a)
+	}
+	if got := c.IDOf("never seen"); got != "" {
+		t.Errorf("IDOf(unregistered) = %q, want empty", got)
+	}
+	if st := c.Stats(); st.Views != 2 {
+		t.Errorf("Views = %d, want 2", st.Views)
+	}
+}
+
+func TestSkeletonGenerationStamping(t *testing.T) {
+	c := New(0)
+	forest := []*xmltree.Node{{Tag: "r"}}
+	gen := c.Gen()
+	c.Invalidate() // a mutation lands mid-evaluation: the store must refuse
+	c.StoreSkeleton("v", gen, forest, 10)
+	if _, _, ok := c.Skeleton("v"); ok {
+		t.Fatal("stale-generation skeleton was stored")
+	}
+	gen = c.Gen()
+	c.StoreSkeleton("v", gen, forest, 10)
+	sk, id, ok := c.Skeleton("v")
+	if !ok || len(sk.Results) != 1 || id == "" {
+		t.Fatalf("live skeleton missing: ok=%v id=%q", ok, id)
+	}
+	if st := c.Stats(); st.Skeletons != 1 || st.ArtifactBytes != 10 {
+		t.Errorf("Skeletons=%d ArtifactBytes=%d, want 1/10", st.Skeletons, st.ArtifactBytes)
+	}
+	c.Invalidate()
+	if _, _, ok := c.Skeleton("v"); ok {
+		t.Error("skeleton survived invalidation")
+	}
+	if st := c.Stats(); st.ArtifactBytes != 0 {
+		t.Errorf("invalidation leaked artifact bytes: %d", st.ArtifactBytes)
+	}
+}
+
+func TestSkeletonBudgetRefusal(t *testing.T) {
+	c := New(0)
+	c.SetPolicy(0, 100)
+	c.StoreSkeleton("a", c.Gen(), []*xmltree.Node{{Tag: "a"}}, 80)
+	c.StoreSkeleton("b", c.Gen(), []*xmltree.Node{{Tag: "b"}}, 30) // would overflow
+	if _, _, ok := c.Skeleton("b"); ok {
+		t.Error("over-budget skeleton was stored")
+	}
+	if _, _, ok := c.Skeleton("a"); !ok {
+		t.Error("in-budget skeleton missing")
+	}
+}
+
+func TestPromotionPolicyAndChurn(t *testing.T) {
+	c := New(0)
+	c.SetPolicy(2, 1000)
+	if c.AccessDirect("v") {
+		t.Fatal("promotable after a single hit with threshold 2")
+	}
+	if !c.AccessDirect("v") {
+		t.Fatal("not promotable after reaching the threshold")
+	}
+	mv := &MatView{Trees: []*xmltree.Node{{Tag: "r"}}, ByteLens: []int{1}, Tokens: map[string][]TokenCount{}, Bytes: 50}
+	if !c.StoreMaterialized("v", c.Gen(), mv) {
+		t.Fatal("in-budget materialization refused")
+	}
+	if got, _, ok := c.Materialized("v"); !ok || got != mv {
+		t.Fatal("live materialized view missing")
+	}
+	if c.AccessDirect("v") {
+		t.Error("already-materialized view reported promotable")
+	}
+	st := c.Stats()
+	if st.Promotions != 1 || st.Materialized != 1 {
+		t.Errorf("Promotions=%d Materialized=%d, want 1/1", st.Promotions, st.Materialized)
+	}
+
+	// A mutation demotes and doubles the re-promotion bar.
+	c.Invalidate()
+	if _, _, ok := c.Materialized("v"); ok {
+		t.Fatal("materialized view survived invalidation")
+	}
+	st = c.Stats()
+	if st.Demotions != 1 || st.ArtifactBytes != 0 {
+		t.Errorf("Demotions=%d ArtifactBytes=%d, want 1/0", st.Demotions, st.ArtifactBytes)
+	}
+	hits := 0
+	for !c.AccessDirect("v") {
+		hits++
+		if hits > 10 {
+			t.Fatal("view never became promotable again")
+		}
+	}
+	if hits+1 != 4 { // threshold 2 doubled once by churn
+		t.Errorf("re-promotion after %d hits, want 4", hits+1)
+	}
+}
+
+func TestStoreMaterializedOverBudgetCountsChurn(t *testing.T) {
+	c := New(0)
+	c.SetPolicy(1, 100)
+	c.AccessDirect("v")
+	big := &MatView{Bytes: 200}
+	if c.StoreMaterialized("v", c.Gen(), big) {
+		t.Fatal("over-budget materialization accepted")
+	}
+	// The refusal resets heat and raises the bar, so the view is not
+	// immediately re-promotable on the next search.
+	if c.AccessDirect("v") {
+		t.Error("over-budget view promotable again after one hit")
+	}
+	if st := c.Stats(); st.Promotions != 0 {
+		t.Errorf("Promotions = %d, want 0", st.Promotions)
+	}
+}
+
+func TestAccessPlannedCounters(t *testing.T) {
+	c := New(0)
+	c.AccessPlanned("v", PlanRewritten)
+	c.AccessPlanned("v", PlanMaterialized)
+	c.AccessPlanned("v", PlanMaterialized)
+	st := c.Stats()
+	if st.RewriteHits != 1 || st.MaterializedHits != 2 {
+		t.Errorf("RewriteHits=%d MaterializedHits=%d, want 1/2", st.RewriteHits, st.MaterializedHits)
+	}
+}
+
+func TestMatViewTF(t *testing.T) {
+	mv := &MatView{
+		Trees:  make([]*xmltree.Node, 3),
+		Tokens: map[string][]TokenCount{"xml": {{Index: 0, TF: 2}, {Index: 2, TF: 1}}},
+	}
+	got := mv.TF("xml")
+	want := []int{2, 0, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TF(xml) = %v, want %v", got, want)
+		}
+	}
+	if tfs := mv.TF("absent"); len(tfs) != 3 || tfs[0] != 0 || tfs[1] != 0 || tfs[2] != 0 {
+		t.Errorf("TF(absent) = %v, want zeros", tfs)
 	}
 }

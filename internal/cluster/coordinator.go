@@ -12,8 +12,8 @@ import (
 	"time"
 
 	"vxml"
+	"vxml/internal/catalog"
 	"vxml/internal/docname"
-	"vxml/internal/qcache"
 	"vxml/internal/qpt"
 	"vxml/internal/xq"
 )
@@ -97,14 +97,19 @@ type compiledView struct {
 
 // Coordinator owns the cluster-global state — document registry, document
 // ID allocation, per-slot generation vector, view registry, query-result
-// cache — and serves the same search/mutation surface as a vxml.Database,
+// catalog — and serves the same search/mutation surface as a vxml.Database,
 // scatter-gathering over the configured nodes. Results are byte-identical
 // to a single-process database holding the same corpus (see the package
 // documentation for the argument). It is safe for concurrent use.
+//
+// The catalog is the same type the single-process engine uses
+// (internal/catalog): the coordinator's tiers are the exact result cache
+// and the TopK-window rewrite over the shared unpaged entry; skeleton and
+// materialized artifacts live node-side, inside each member's own engine.
 type Coordinator struct {
 	cfg    Config
 	client *http.Client
-	cache  *qcache.Cache
+	cache  *catalog.Catalog
 
 	// mutMu serializes mutations and is held across their node RPCs; mu
 	// guards the registry state below and is held only for memory access,
@@ -158,7 +163,7 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 	return &Coordinator{
 		cfg:    cfg,
 		client: client,
-		cache:  qcache.New(0),
+		cache:  catalog.New(0),
 		gens:   make([]uint64, len(cfg.Slots)),
 		docs:   map[string]*docInfo{},
 		views:  map[string]*compiledView{},
@@ -446,6 +451,10 @@ func (c *Coordinator) defineView(ctx context.Context, name, xquery string, repla
 	c.mu.Lock()
 	c.views[name] = cv
 	c.mu.Unlock()
+	// Catalog registration gives the view a stable ID ("cv1", "cv2", …)
+	// that plan stats and /v1/explain report — same discipline as
+	// core.Engine.CompileView.
+	c.cache.Register(xquery)
 	return xquery, nil
 }
 
@@ -503,8 +512,32 @@ func (c *Coordinator) TotalBytes() int {
 	return total
 }
 
-// CacheStats snapshots the coordinator's query-result cache counters.
-func (c *Coordinator) CacheStats() qcache.Stats { return c.cache.Stats() }
+// CacheStats snapshots the coordinator's query-result catalog counters.
+func (c *Coordinator) CacheStats() catalog.Stats { return c.cache.Stats() }
+
+// PlanProbe reports which catalog tier would answer a cached search over
+// the named view with the given keywords, without evaluating anything:
+// "cache_hit" when the shared unpaged result-cache entry is resident (both
+// exact and TopK-window queries are served from it), otherwise "direct".
+// The coordinator has no skeleton or materialized tiers — those artifacts
+// live inside each member node's engine. viewID is the catalog ID of the
+// view.
+func (c *Coordinator) PlanProbe(name string, keywords []string) (source, viewID string, err error) {
+	c.mu.RLock()
+	cv := c.views[name]
+	c.mu.RUnlock()
+	if cv == nil {
+		return "", "", fmt.Errorf("cluster: %w: %q", vxml.ErrUnknownView, name)
+	}
+	fullKey := catalog.Key(cv.text, keywords,
+		catalog.IntPart(0),
+		catalog.BoolPart(false),
+		catalog.IntPart(int(vxml.Efficient)))
+	if _, ok := c.cache.Probe(fullKey); ok {
+		return catalog.PlanCacheHit, c.cache.IDOf(cv.text), nil
+	}
+	return catalog.PlanDirect, c.cache.IDOf(cv.text), nil
+}
 
 // GenVector returns a copy of the current generation vector (diagnostics
 // and tests).

@@ -30,7 +30,7 @@
 // — so a reply stamped generation g was computed on exactly the
 // generation-g corpus. Replies at any other generation are rejected with
 // 409 and the coordinator retries the whole search a bounded number of
-// times before failing with ErrStaleGeneration, exactly as qcache.PutAt
+// times before failing with ErrStaleGeneration, exactly as catalog.PutAt
 // discards inserts stamped with a stale generation.
 //
 // # Wire protocol (vxmlcluster/1)

@@ -17,8 +17,8 @@ import (
 	"time"
 
 	"vxml"
+	"vxml/internal/catalog"
 	"vxml/internal/core"
-	"vxml/internal/qcache"
 	"vxml/internal/scoring"
 )
 
@@ -73,16 +73,36 @@ func (c *Coordinator) Search(ctx context.Context, name string, keywords []string
 	var key string
 	var gen int
 	if opts.Cache {
-		key = qcache.Key(cv.text, keywords,
-			qcache.IntPart(opts.TopK),
-			qcache.BoolPart(opts.Disjunctive),
-			qcache.IntPart(int(opts.Approach)))
+		key = catalog.Key(cv.text, keywords,
+			catalog.IntPart(opts.TopK),
+			catalog.BoolPart(opts.Disjunctive),
+			catalog.IntPart(int(opts.Approach)))
 		gen = c.cache.Gen()
 		if val, ok := c.cache.Get(key); ok {
 			hit := val.(*cachedSearch)
 			stats := hit.stats
 			stats.CacheHit = true
+			stats.PlanSource = catalog.PlanCacheHit
+			stats.PlanView = c.cache.IDOf(cv.text)
 			return remapTF(hit.results, keywords), &stats, nil
+		}
+		// Window rewrite, exactly as vxml.Database.SearchContext: a top-K
+		// ranking is a prefix of the full ranking, so a cached unranked
+		// TopK=0 entry answers any TopK>0 query over the same (view,
+		// keywords, semantics) by slicing.
+		if opts.TopK > 0 && !opts.NoRewrite {
+			fullKey := catalog.Key(cv.text, keywords,
+				catalog.IntPart(0),
+				catalog.BoolPart(opts.Disjunctive),
+				catalog.IntPart(int(opts.Approach)))
+			if val, ok := c.cache.Probe(fullKey); ok {
+				hit := val.(*cachedSearch)
+				stats := hit.stats
+				stats.PlanSource = catalog.PlanRewritten
+				stats.PlanView = c.cache.IDOf(cv.text)
+				c.cache.AccessPlanned(cv.text, catalog.PlanRewritten)
+				return pageSlice(remapTF(hit.results, keywords), 0, opts.TopK), &stats, nil
+			}
 		}
 	}
 	out, stats, err := c.searchUncached(ctx, name, cv, keywords, opts, 0)
@@ -106,6 +126,9 @@ func (c *Coordinator) searchUncached(ctx context.Context, name string, cv *compi
 	for a := 0; a < attempts; a++ {
 		results, stats, err := c.searchOnce(ctx, name, cv, keywords, opts, pageOffset)
 		if err == nil || !errors.Is(err, ErrStaleGeneration) {
+			if err == nil && stats != nil {
+				stats.PlanSource = catalog.PlanDirect
+			}
 			return results, stats, err
 		}
 		lastErr = err

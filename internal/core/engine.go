@@ -19,10 +19,10 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
-	"strings"
 	"sync"
 	"time"
 
+	"vxml/internal/catalog"
 	"vxml/internal/docname"
 	"vxml/internal/invindex"
 	"vxml/internal/pathindex"
@@ -76,6 +76,16 @@ type Engine struct {
 	// resolve through the source, and mutations publish document and
 	// indices to the backend in one operation.
 	src IndexSource
+	// Catalog is the view catalog the planner consults (always non-nil
+	// for engines built with New). Its generation is bumped inside every
+	// mutation's shard write lock, so a planned search — which checks
+	// artifact liveness under its shard read locks — can never mix
+	// artifact state from before a mutation with corpus state from after.
+	// Layers above (the Database, the HTTP server) share this same
+	// catalog for their exact result-cache tier.
+	Catalog *catalog.Catalog
+	// promoteMu single-flights view materialization (see maybePromote).
+	promoteMu sync.Mutex
 }
 
 // IndexSource is the optional seam a storage backend implements when it
@@ -172,8 +182,9 @@ func (e *Engine) IndexProbes() (pathProbes, keywordLookups int) {
 // a rebuild.
 func New(st store.Corpus) *Engine {
 	e := &Engine{
-		Store:  st,
-		shards: make([]*engineShard, st.ShardCount()),
+		Store:   st,
+		shards:  make([]*engineShard, st.ShardCount()),
+		Catalog: catalog.New(0),
 	}
 	for i := range e.shards {
 		e.shards[i] = &engineShard{path: map[string]*pathindex.Index{}, inv: map[string]*invindex.Index{}}
@@ -218,25 +229,49 @@ func (e *Engine) AddXML(name, xmlText string) error {
 // store plus the shard maps.
 func (e *Engine) registerLocked(sh *engineShard, doc *xmltree.Document, pix *pathindex.Index, iix *invindex.Index) error {
 	if e.src != nil {
-		return e.src.RegisterIndexed(doc, pix, iix)
+		if err := e.src.RegisterIndexed(doc, pix, iix); err != nil {
+			return err
+		}
+		e.bumpCatalogLocked()
+		return nil
 	}
 	if err := e.Store.RegisterParsed(doc); err != nil {
 		return err
 	}
 	sh.path[doc.Name], sh.inv[doc.Name] = pix, iix
+	e.bumpCatalogLocked()
 	return nil
 }
 
 // replaceLocked is registerLocked for the replacement path.
 func (e *Engine) replaceLocked(sh *engineShard, doc *xmltree.Document, pix *pathindex.Index, iix *invindex.Index) error {
 	if e.src != nil {
-		return e.src.ReplaceIndexed(doc, pix, iix)
+		if err := e.src.ReplaceIndexed(doc, pix, iix); err != nil {
+			return err
+		}
+		e.bumpCatalogLocked()
+		return nil
 	}
 	if err := e.Store.ReplaceParsed(doc); err != nil {
 		return err
 	}
 	sh.path[doc.Name], sh.inv[doc.Name] = pix, iix
+	e.bumpCatalogLocked()
 	return nil
+}
+
+// bumpCatalogLocked invalidates the catalog inside a mutation's shard
+// write lock. The ordering matters: a planned search takes the touched
+// shards' read locks and then checks artifact generations, so a mutation
+// that affects a view's documents is either entirely before the search
+// (the search sees the bumped generation and rejects stale artifacts) or
+// entirely after it. A bump from a mutation on an unrelated shard can
+// interleave with a search's compute, but only costs a conservative
+// artifact refusal — never a stale serve.
+func (e *Engine) bumpCatalogLocked() {
+	if e.Catalog != nil {
+		e.Catalog.Invalidate()
+	}
 }
 
 // AddParsed stores and indexes a programmatically built document. Like
@@ -302,6 +337,7 @@ func (e *Engine) Delete(name string) error {
 	}
 	delete(sh.path, name)
 	delete(sh.inv, name)
+	e.bumpCatalogLocked()
 	return nil
 }
 
@@ -329,7 +365,17 @@ func (e *Engine) CompileView(text string) (*View, error) {
 	if err != nil {
 		return nil, err
 	}
-	return e.CompileParsedView(text, q.Body, q.Functions)
+	v, err := e.CompileParsedView(text, q.Body, q.Functions)
+	if err != nil {
+		return nil, err
+	}
+	// Register here, not in CompileParsedView: synthetic per-query views
+	// (Database.Query compiles the verbatim query text) should not claim
+	// registry entries at compile time — planned searches register lazily.
+	if e.Catalog != nil {
+		e.Catalog.Register(text)
+	}
+	return v, nil
 }
 
 // CompileParsedView compiles an already-parsed view expression. QPT
@@ -388,6 +434,14 @@ type Options struct {
 	// evaluation and scoring); kept so phase-timing benchmarks can isolate
 	// the PDT module.
 	ParallelPDT bool
+	// Plan routes the search through the catalog planner: a live artifact
+	// of the view (skeleton or materialized view) serves the query instead
+	// of the PDT pipeline, and direct evaluations record artifacts and
+	// count toward adaptive materialization. Planned answers are
+	// byte-identical to direct evaluation at every option combination;
+	// Stats.PlanSource reports which path answered. Ignored (treated as
+	// false) when SkipMaterialize or KeywordPruning is set.
+	Plan bool
 }
 
 // workers resolves the Parallelism setting to a pool size.
@@ -426,6 +480,18 @@ type Stats struct {
 	Workers        int
 	Candidates     int
 	ShardsSearched int
+	// PlanSource reports how the answer was produced (catalog.PlanDirect /
+	// PlanRewritten / PlanMaterialized; the Database layer adds
+	// PlanCacheHit for exact result-cache hits). PlanView is the catalog
+	// ID of the serving view ("" on the direct path). Like the fields
+	// above they describe the execution — the results are byte-identical
+	// across every plan source.
+	PlanSource string
+	PlanView   string
+	// promotable is set when this search pushed its view over the
+	// promotion threshold; the entry points run maybePromote after the
+	// shard locks are released.
+	promotable bool
 }
 
 // Total returns the end-to-end time.
@@ -612,15 +678,17 @@ func (e *Engine) SearchPage(ctx context.Context, v *View, keywords []string, opt
 	// searches drive the store's shared counters.
 	start := time.Now()
 	fetcher := &scoring.CountingFetcher{Fetcher: e.Store}
+	prebuilt := stats.PlanSource == catalog.PlanMaterialized
 	out := make([]Result, 0, max(0, len(ranked)-offset))
 	for i := max(0, offset); i < len(ranked); i++ {
 		if err := ctxErr(ctx); err != nil {
 			return nil, nil, err
 		}
-		out = append(out, materializeResult(ranked[i], i+1, kws, opts, fetcher))
+		out = append(out, materializeResult(ranked[i], i+1, kws, opts, fetcher, prebuilt))
 	}
 	stats.PostTime += time.Since(start)
 	stats.SubtreeFetches = fetcher.Fetches
+	e.maybePromote(ctx, v, opts, stats)
 	return out, stats, nil
 }
 
@@ -641,8 +709,23 @@ func (e *Engine) rankedSearch(ctx context.Context, v *View, keywords []string, o
 		return nil, nil, nil, err
 	}
 	defer p.unlock()
-	stats := &Stats{Workers: opts.workers(), Candidates: len(p.units), ShardsSearched: len(p.shards)}
+	stats := &Stats{Workers: opts.workers(), Candidates: len(p.units), ShardsSearched: len(p.shards), PlanSource: catalog.PlanDirect}
 	kws := normalizeKeywords(keywords)
+
+	// The planner: serve from a live catalog artifact when one exists,
+	// else fall through to the pipeline and record one. planGen is read
+	// under the shard read locks, so a mutation touching this view's
+	// documents cannot land between here and the store below — a bump
+	// from an unrelated shard only makes the store a refused no-op.
+	planGen := -1
+	if e.Catalog != nil && planEligible(opts) {
+		planGen = e.Catalog.Gen()
+		if ranked, ok, err := e.tryPlan(ctx, v, p, kws, opts, stats); err != nil {
+			return nil, nil, nil, err
+		} else if ok {
+			return ranked, kws, stats, nil
+		}
+	}
 
 	// Phase 1+2: QPTs are compile-time; generate the PDTs from indices.
 	start := time.Now()
@@ -670,14 +753,14 @@ func (e *Engine) rankedSearch(ctx context.Context, v *View, keywords []string, o
 		stats.PDTNodes += pd.Nodes
 		stats.PDTBytes += pd.Bytes
 	}
-	catalog := catalogOf(pdts)
+	cat := catalogOf(pdts)
 	stats.PDTTime = time.Since(start)
 
 	// Phase 3: the unchanged evaluator runs the view over the PDTs —
 	// partitioned over the outer FLWOR bindings when a worker pool is
 	// available.
 	start = time.Now()
-	results, err := e.evalView(ctx, v, catalog, opts, stats.Workers)
+	results, err := e.evalView(ctx, v, cat, opts, stats.Workers)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -692,6 +775,16 @@ func (e *Engine) rankedSearch(ctx context.Context, v *View, keywords []string, o
 	}
 	stats.Matched = ranking.Matched
 	stats.PostTime = time.Since(start)
+
+	// Record artifacts for the next search over this view. The skeleton is
+	// the eval output itself: its nodes never escape to callers (winners
+	// are materialized into fresh trees below the lock), so sharing them
+	// with future serves is safe. AccessDirect counts this search toward
+	// promotion; the entry points materialize after the locks drop.
+	if planGen >= 0 {
+		e.Catalog.StoreSkeleton(v.Text, planGen, results, skeletonFootprint(results))
+		stats.promotable = e.Catalog.AccessDirect(v.Text)
+	}
 	return ranking.Results, kws, stats, nil
 }
 
@@ -702,12 +795,19 @@ const snippetWidth = 160
 
 // materializeResult expands one ranked winner into a caller-facing Result
 // (phase 4b). It needs no shard lock: subtree fetches resolve through the
-// store's lock-free Dewey map.
-func materializeResult(sc scoring.Scored, rank int, kws []string, opts Options, fetcher scoring.Fetcher) Result {
+// store's lock-free Dewey map. prebuilt marks winners served from a
+// materialized view — already complete trees, so a clone replaces the
+// base-data fetch (Clone preserves everything XMLString and Snippet read,
+// keeping the output byte-identical to a fetched materialization).
+func materializeResult(sc scoring.Scored, rank int, kws []string, opts Options, fetcher scoring.Fetcher, prebuilt bool) Result {
 	elem := sc.Result
 	snippet := ""
 	if !opts.SkipMaterialize {
-		elem = scoring.Materialize(sc.Result, fetcher)
+		if prebuilt {
+			elem = sc.Result.Clone()
+		} else {
+			elem = scoring.Materialize(sc.Result, fetcher)
+		}
 		snippet = scoring.Snippet(elem, kws, snippetWidth)
 	}
 	return Result{Rank: rank, Score: sc.Score, TFs: sc.Stats.TFs, Element: elem, Snippet: snippet}
@@ -749,9 +849,10 @@ func selectionFilterNode(v *View) *qpt.Node {
 }
 
 // NormalizeKeyword canonicalizes one query keyword the way every pipeline
-// matches it. The query-result cache keys and re-expresses TF maps through
-// this same definition, so any change here propagates everywhere at once.
-func NormalizeKeyword(k string) string { return strings.ToLower(strings.TrimSpace(k)) }
+// matches it. The definition lives in the catalog package (whose cache
+// keys re-express TF maps through it), so keys and matching can never
+// drift apart.
+func NormalizeKeyword(k string) string { return catalog.NormalizeKeyword(k) }
 
 func normalizeKeywords(keywords []string) []string {
 	out := make([]string, len(keywords))

@@ -1,0 +1,275 @@
+package core
+
+// The query planner. A planned search (Options.Plan) consults the engine's
+// catalog before running the PDT pipeline and serves from the strongest
+// live artifact of its view:
+//
+//   - A materialized view answers from stored result trees and a token
+//     index — no PDT generation, no evaluation, no base-data access.
+//   - A skeleton (the view's pruned evaluation output) skips PDT
+//     generation and evaluation and re-scores: skeletons are
+//     keyword-independent, because each result's term frequencies are
+//     re-derived from the inverted indices at serve time rather than read
+//     from the (keyword-specific) stored Meta payloads. One skeleton
+//     therefore rewrites ANY keyword query over its view — supersets,
+//     disjoint sets, either semantics — not just the conjunctive-superset
+//     case.
+//
+// Both tiers reproduce the direct pipeline's scoring inputs exactly — the
+// same per-result Stats fed to the same RankWithStats — so planned answers
+// are byte-identical to direct evaluation (ranks, scores, trees,
+// snippets). Artifacts are generation-stamped and every serve happens
+// under the search's shard read locks, where the corpus (and hence the
+// generation) cannot change for the view's documents.
+//
+// A search that falls through to direct evaluation records the view's
+// skeleton for the next query and counts toward promotion; when the
+// catalog reports the view hot, the search materializes it inline after
+// releasing its locks (single-flighted under promoteMu).
+
+import (
+	"context"
+	"time"
+
+	"vxml/internal/catalog"
+	"vxml/internal/invindex"
+	"vxml/internal/scoring"
+	"vxml/internal/xmltree"
+)
+
+// planEligible reports whether this search may serve from or record
+// catalog artifacts. SkipMaterialize hands internal (possibly shared)
+// trees to the caller and KeywordPruning changes scoring statistics by
+// design; both are benchmark/ablation modes the planner stays out of.
+func planEligible(opts Options) bool {
+	return opts.Plan && !opts.SkipMaterialize && !opts.KeywordPruning
+}
+
+// tryPlan attempts to answer the search from a live catalog artifact. It
+// runs under the plan's shard read locks, so a live (current-generation)
+// artifact stays live for the duration of the serve. ok = false means no
+// artifact: fall through to direct evaluation.
+func (e *Engine) tryPlan(ctx context.Context, v *View, p *plan, kws []string, opts Options, stats *Stats) ([]scoring.Scored, bool, error) {
+	if mv, id, ok := e.Catalog.Materialized(v.Text); ok {
+		start := time.Now()
+		perKw := make([][]int, len(kws))
+		for j, kw := range kws {
+			perKw[j] = mv.TF(kw)
+		}
+		sts := make([]scoring.Stats, len(mv.Trees))
+		for i := range sts {
+			if err := ctxErr(ctx); err != nil {
+				return nil, false, err
+			}
+			tfs := make([]int, len(kws))
+			for j := range perKw {
+				tfs[j] = perKw[j][i]
+			}
+			sts[i] = scoring.Stats{TFs: tfs, ByteLen: mv.ByteLens[i]}
+		}
+		ranking := scoring.RankWithStats(mv.Trees, sts, kws, !opts.Disjunctive, opts.K)
+		stats.ViewResults = len(mv.Trees)
+		stats.Matched = ranking.Matched
+		stats.PostTime = time.Since(start)
+		stats.PlanSource = catalog.PlanMaterialized
+		stats.PlanView = id
+		e.Catalog.AccessPlanned(v.Text, catalog.PlanMaterialized)
+		return ranking.Results, true, nil
+	}
+	if sk, id, ok := e.Catalog.Skeleton(v.Text); ok {
+		start := time.Now()
+		lists := e.skeletonLists(p, kws)
+		sts := make([]scoring.Stats, len(sk.Results))
+		for i, res := range sk.Results {
+			if err := ctxErr(ctx); err != nil {
+				return nil, false, err
+			}
+			sts[i] = skeletonStats(res, len(kws), lists)
+		}
+		ranking := scoring.RankWithStats(sk.Results, sts, kws, !opts.Disjunctive, opts.K)
+		stats.ViewResults = len(sk.Results)
+		stats.Matched = ranking.Matched
+		stats.PostTime = time.Since(start)
+		stats.PlanSource = catalog.PlanRewritten
+		stats.PlanView = id
+		// Rewrite serves count toward promotion too: a view whose skeleton
+		// keeps answering is the one worth materializing fully.
+		stats.promotable = e.Catalog.AccessPlanned(v.Text, catalog.PlanRewritten)
+		return ranking.Results, true, nil
+	}
+	return nil, false, nil
+}
+
+// skeletonLists resolves every candidate document's posting list for each
+// keyword, keyed by document ID (skeleton Meta payloads name their source
+// document through the leading Dewey component). Lookup on an absent
+// keyword returns an empty list whose range sums are 0, so no nil checks
+// are needed per keyword.
+func (e *Engine) skeletonLists(p *plan, kws []string) map[int32][]*invindex.PostingList {
+	lists := make(map[int32][]*invindex.PostingList, len(p.units))
+	for _, u := range p.units {
+		if u.iix == nil {
+			continue
+		}
+		info, ok := e.Store.Info(u.name)
+		if !ok {
+			continue
+		}
+		pls := make([]*invindex.PostingList, len(kws))
+		for j, kw := range kws {
+			pls[j] = u.iix.Lookup(kw)
+		}
+		lists[info.DocID] = pls
+	}
+	return lists
+}
+
+// skeletonStats recomputes one skeleton result's scoring inputs for the
+// incoming keywords, mirroring scoring.Collect(FromPDT)'s walk: each Meta
+// node contributes its whole base subtree exactly once, constructed
+// wrappers contribute nothing. The stored Meta.TFs were collected for
+// whatever keywords built the skeleton, so they are ignored; each term
+// frequency is re-derived as the posting list's Dewey-range sum — by
+// construction the same value PDT generation would attach (the pdt
+// property suite pins Meta.TFs == SubtreeTF over the base subtree).
+func skeletonStats(result *xmltree.Node, nKws int, lists map[int32][]*invindex.PostingList) scoring.Stats {
+	st := scoring.Stats{TFs: make([]int, nKws)}
+	var walk func(n *xmltree.Node)
+	walk = func(n *xmltree.Node) {
+		if n.Meta != nil {
+			st.ByteLen += n.Meta.SrcLen
+			if len(n.Meta.SrcID) > 0 {
+				if pls := lists[n.Meta.SrcID[0]]; pls != nil {
+					for j, pl := range pls {
+						st.TFs[j] += pl.SubtreeTF(n.Meta.SrcID)
+					}
+				}
+			}
+			return
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(result)
+	return st
+}
+
+// skeletonFootprint estimates the resident bytes of a skeleton forest for
+// the catalog's artifact budget.
+func skeletonFootprint(results []*xmltree.Node) int {
+	total := 0
+	for _, r := range results {
+		r.Walk(func(n *xmltree.Node) {
+			total += 64 + len(n.Tag) + len(n.Value) + 4*len(n.ID)
+			if n.Meta != nil {
+				total += 32 + 8*len(n.Meta.TFs)
+			}
+		})
+	}
+	return total
+}
+
+// maybePromote materializes the view inline when the search that just
+// completed pushed it over the promotion threshold. It must run after
+// rankedSearch has released its shard read locks (it re-enters the
+// pipeline) but while the caller's store pin is held (materialization
+// fetches base subtrees). promoteMu single-flights concurrent promotions;
+// a loser re-checks under the lock and finds the artifact already live.
+//
+// The unranked evaluation (empty keyword set, K = 0) returns every view
+// result in view order — all scores are 0 and ties break by view position
+// — with exact FromPDT byte lengths in its Stats, so the stored artifact
+// carries precisely the ByteLen a direct search would compute. The token
+// histogram is built over the materialized trees with the same scoping as
+// scoring.Collect(FromBase), which the Baseline-vs-Efficient equivalence
+// suites pin equal to the PDT-derived statistics.
+func (e *Engine) maybePromote(ctx context.Context, v *View, opts Options, stats *Stats) {
+	if stats == nil || !stats.promotable || e.Catalog == nil {
+		return
+	}
+	e.promoteMu.Lock()
+	defer e.promoteMu.Unlock()
+	if _, _, ok := e.Catalog.Materialized(v.Text); ok {
+		return
+	}
+	gen := e.Catalog.Gen()
+	ranked, _, _, err := e.rankedSearch(ctx, v, nil, Options{Parallelism: opts.Parallelism})
+	if err != nil {
+		return
+	}
+	mv := &catalog.MatView{
+		Trees:    make([]*xmltree.Node, len(ranked)),
+		ByteLens: make([]int, len(ranked)),
+		Tokens:   map[string][]catalog.TokenCount{},
+	}
+	for i, sc := range ranked {
+		if ctxErr(ctx) != nil {
+			return
+		}
+		tree := scoring.Materialize(sc.Result, e.Store)
+		mv.Trees[i] = tree
+		mv.ByteLens[i] = sc.Stats.ByteLen
+		counts := map[string]int{}
+		treeTokens(tree, counts)
+		for tok, c := range counts {
+			mv.Tokens[tok] = append(mv.Tokens[tok], catalog.TokenCount{Index: i, TF: c})
+		}
+		mv.Bytes += treeFootprint(tree)
+	}
+	for tok, entries := range mv.Tokens {
+		mv.Bytes += len(tok) + 16*len(entries)
+	}
+	// A mutation since gen was read makes the stamp stale and the store a
+	// no-op — the artifact would describe a corpus that no longer exists.
+	e.Catalog.StoreMaterialized(v.Text, gen, mv)
+}
+
+// treeTokens accumulates one materialized result's token histogram with
+// the same scoping as scoring.Collect(FromBase): each topmost
+// Dewey-ID-bearing subtree contributes every token it contains, wholesale;
+// constructed wrapper elements contribute nothing.
+func treeTokens(n *xmltree.Node, counts map[string]int) {
+	if len(n.ID) > 0 {
+		n.Walk(func(x *xmltree.Node) {
+			if x.Value == "" {
+				return
+			}
+			xmltree.VisitTokens(x.Value, func(tok string) bool { counts[tok]++; return true })
+		})
+		return
+	}
+	for _, c := range n.Children {
+		treeTokens(c, counts)
+	}
+}
+
+// treeFootprint estimates the resident bytes of one materialized tree for
+// the artifact budget.
+func treeFootprint(root *xmltree.Node) int {
+	total := 0
+	root.Walk(func(n *xmltree.Node) {
+		total += 64 + len(n.Tag) + len(n.Value) + 4*len(n.ID)
+	})
+	return total
+}
+
+// PlanProbe predicts, without executing a search, how a planned search
+// over v would be served right now: PlanMaterialized when a live
+// materialized artifact exists, PlanRewritten for a live skeleton, else
+// PlanDirect. The second return is the view's catalog ID ("" before first
+// compile). The exact result cache is not consulted — whether it hits
+// depends on the full option set, which the caller (the Database layer)
+// checks itself.
+func (e *Engine) PlanProbe(v *View) (source, viewID string) {
+	if e.Catalog == nil {
+		return catalog.PlanDirect, ""
+	}
+	if _, id, ok := e.Catalog.Materialized(v.Text); ok {
+		return catalog.PlanMaterialized, id
+	}
+	if _, id, ok := e.Catalog.Skeleton(v.Text); ok {
+		return catalog.PlanRewritten, id
+	}
+	return catalog.PlanDirect, e.Catalog.IDOf(v.Text)
+}

@@ -13,9 +13,9 @@ import (
 	"sync"
 
 	"vxml"
+	"vxml/internal/catalog"
 	"vxml/internal/cluster"
 	"vxml/internal/diskstore"
-	"vxml/internal/qcache"
 )
 
 // Backend is the serving surface the HTTP handlers run against. Both
@@ -40,7 +40,11 @@ type Backend interface {
 	Search(ctx context.Context, view string, keywords []string, opts *vxml.Options) ([]vxml.Result, *vxml.Stats, error)
 	Results(ctx context.Context, view string, keywords []string, opts *vxml.Options) iter.Seq2[vxml.Result, error]
 	Explain(ctx context.Context, view string, keywords []string) (string, error)
-	CacheStats() qcache.Stats
+	CacheStats() catalog.Stats
+	// PlanProbe reports which catalog tier would answer a cached search
+	// over the view — "cache_hit", "materialized", "rewritten" or
+	// "direct" — plus the view's catalog ID, without evaluating anything.
+	PlanProbe(view string, keywords []string) (source, viewID string, err error)
 	// Shards reports per-partition counters: corpus shards for a
 	// database, cluster slots for a coordinator.
 	Shards() []shardInfo
@@ -137,7 +141,16 @@ func (b *dbBackend) Explain(ctx context.Context, view string, keywords []string)
 	return b.db.ExplainContext(ctx, v, keywords)
 }
 
-func (b *dbBackend) CacheStats() qcache.Stats { return b.db.CacheStats() }
+func (b *dbBackend) CacheStats() catalog.Stats { return b.db.CacheStats() }
+
+func (b *dbBackend) PlanProbe(view string, keywords []string) (string, string, error) {
+	v, err := b.resolve(view)
+	if err != nil {
+		return "", "", err
+	}
+	source, viewID := b.db.PlanProbe(v, keywords)
+	return source, viewID, nil
+}
 
 func (b *dbBackend) DiskStats() (diskstore.Stats, bool) { return b.db.DiskStats() }
 
@@ -179,7 +192,11 @@ func (b *coordBackend) HasView(name string) bool { return b.coord.HasView(name) 
 func (b *coordBackend) ViewCount() int           { return b.coord.ViewCount() }
 func (b *coordBackend) DocumentNames() []string  { return b.coord.DocumentNames() }
 func (b *coordBackend) TotalBytes() int          { return b.coord.TotalBytes() }
-func (b *coordBackend) CacheStats() qcache.Stats { return b.coord.CacheStats() }
+func (b *coordBackend) CacheStats() catalog.Stats { return b.coord.CacheStats() }
+
+func (b *coordBackend) PlanProbe(view string, keywords []string) (string, string, error) {
+	return b.coord.PlanProbe(view, keywords)
+}
 
 // DiskStats: a coordinator has no local corpus; per-node disk counters
 // live on the nodes' own stats surfaces.

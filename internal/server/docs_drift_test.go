@@ -11,6 +11,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"reflect"
 	"regexp"
 	"strings"
 	"testing"
@@ -50,6 +51,40 @@ func TestDocsAPIMatchesRegisteredRoutes(t *testing.T) {
 	for d := range documented {
 		if !registered[d] {
 			t.Errorf("%s documents %q but internal/server does not register it", apiDocPath, d)
+		}
+	}
+}
+
+// TestDocsAPICoversWireFields holds docs/API.md to the JSON field names of
+// the response wire structs whose shapes the docs show: every json tag of
+// the search stats, the cache/catalog stats blocks and the explain response
+// must appear in the document (as a `"quoted"` example key or a `backtick`
+// reference), so a wire field added to a response — plan_source, a catalog
+// counter — cannot ship undocumented.
+func TestDocsAPICoversWireFields(t *testing.T) {
+	data, err := os.ReadFile(filepath.FromSlash(apiDocPath))
+	if err != nil {
+		t.Fatalf("reading %s: %v", apiDocPath, err)
+	}
+	doc := string(data)
+	for _, s := range []struct {
+		name string
+		v    any
+	}{
+		{"searchStats", searchStats{}},
+		{"cacheStats", cacheStats{}},
+		{"catalogStats", catalogStats{}},
+		{"explainResponse", explainResponse{}},
+	} {
+		rt := reflect.TypeOf(s.v)
+		for i := 0; i < rt.NumField(); i++ {
+			tag, _, _ := strings.Cut(rt.Field(i).Tag.Get("json"), ",")
+			if tag == "" || tag == "-" {
+				continue
+			}
+			if !strings.Contains(doc, `"`+tag+`"`) && !strings.Contains(doc, "`"+tag+"`") {
+				t.Errorf("%s serves field %q but %s never mentions it", s.name, tag, apiDocPath)
+			}
 		}
 	}
 }

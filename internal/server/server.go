@@ -416,6 +416,13 @@ type searchStats struct {
 	Workers        int   `json:"workers"`
 	Candidates     int   `json:"candidates"`
 	ShardsSearched int   `json:"shards_searched"`
+	// PlanSource reports how the answer was produced ("direct",
+	// "cache_hit", "rewritten" or "materialized" — results are
+	// byte-identical across all four); PlanView is the catalog ID of the
+	// serving view. Both are empty on pipelines that never consult the
+	// catalog.
+	PlanSource string `json:"plan_source,omitempty"`
+	PlanView   string `json:"plan_view,omitempty"`
 	// Nodes is the per-member outcome of a distributed search (cluster
 	// backend only; absent on single-process servers).
 	Nodes []nodeStatus `json:"nodes,omitempty"`
@@ -454,6 +461,8 @@ func wireStats(stats *vxml.Stats) searchStats {
 		Workers:        stats.Workers,
 		Candidates:     stats.Candidates,
 		ShardsSearched: stats.ShardsSearched,
+		PlanSource:     stats.PlanSource,
+		PlanView:       stats.PlanView,
 	}
 	for _, n := range stats.Nodes {
 		out.Nodes = append(out.Nodes, nodeStatus{URL: n.URL, Slot: n.Slot, State: n.State, Gen: n.Gen, Error: n.Err})
@@ -647,11 +656,18 @@ type explainRequest struct {
 
 // explainResponse echoes the request identity alongside the rendered plan,
 // so a captured explanation is self-describing when attached to a load
-// harness failure or stored next to other evidence.
+// harness failure or stored next to other evidence. PlanSource and
+// PlanView report which catalog tier would answer a cached search right
+// now ("direct", "cache_hit", "rewritten" or "materialized", plus the
+// serving view's catalog ID) — a point-in-time probe, not a promise: a
+// mutation or eviction between explain and search can change the tier
+// (never the results).
 type explainResponse struct {
-	View     string   `json:"view"`
-	Keywords []string `json:"keywords"`
-	Plan     string   `json:"plan"`
+	View       string   `json:"view"`
+	Keywords   []string `json:"keywords"`
+	Plan       string   `json:"plan"`
+	PlanSource string   `json:"plan_source,omitempty"`
+	PlanView   string   `json:"plan_view,omitempty"`
 }
 
 // handleExplain is POST /v1/explain: render the query plan — the QPTs
@@ -679,7 +695,14 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, statusFor(err), "explain: %v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, explainResponse{View: req.View, Keywords: req.Keywords, Plan: plan})
+	// The probe can only fail if the view vanished between HasView and
+	// here; the plan text is still worth returning, so a failed probe just
+	// leaves the plan fields empty.
+	source, viewID, _ := s.backend.PlanProbe(req.View, req.Keywords)
+	writeJSON(w, http.StatusOK, explainResponse{
+		View: req.View, Keywords: req.Keywords, Plan: plan,
+		PlanSource: source, PlanView: viewID,
+	})
 }
 
 type statsResponse struct {
@@ -688,6 +711,9 @@ type statsResponse struct {
 	Views      int         `json:"views"`
 	Shards     []shardInfo `json:"shards"`
 	Cache      cacheStats  `json:"cache"`
+	// Catalog carries the view-catalog planner counters: registered views,
+	// resident artifacts and the per-tier serving statistics.
+	Catalog catalogStats `json:"catalog"`
 	// Disk carries the disk backend's counters (on-disk/resident bytes, DAG
 	// dedup, block/doc/index cache hit rates); absent on a heap-resident
 	// corpus.
@@ -717,6 +743,21 @@ type cacheStats struct {
 	Generation    int `json:"generation"`
 }
 
+// catalogStats is the view-catalog block of GET /v1/stats: registry size,
+// resident planner artifacts (skeletons, materialized views, their byte
+// footprint against the budget) and how often each planner tier served.
+type catalogStats struct {
+	Views            int `json:"views"`
+	Skeletons        int `json:"skeletons"`
+	Materialized     int `json:"materialized"`
+	RewriteHits      int `json:"rewrite_hits"`
+	MaterializedHits int `json:"materialized_hits"`
+	Promotions       int `json:"promotions"`
+	Demotions        int `json:"demotions"`
+	ArtifactBytes    int `json:"artifact_bytes"`
+	ArtifactMaxBytes int `json:"artifact_max_bytes"`
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	cs := s.backend.CacheStats()
 	resp := statsResponse{
@@ -734,6 +775,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Bytes:         cs.Bytes,
 			MaxBytes:      cs.MaxBytes,
 			Generation:    cs.Generation,
+		},
+		Catalog: catalogStats{
+			Views:            cs.Views,
+			Skeletons:        cs.Skeletons,
+			Materialized:     cs.Materialized,
+			RewriteHits:      cs.RewriteHits,
+			MaterializedHits: cs.MaterializedHits,
+			Promotions:       cs.Promotions,
+			Demotions:        cs.Demotions,
+			ArtifactBytes:    cs.ArtifactBytes,
+			ArtifactMaxBytes: cs.ArtifactMaxBytes,
 		},
 	}
 	if ds, ok := s.backend.DiskStats(); ok {

@@ -20,7 +20,6 @@ import (
 	"vxml/internal/diskstore"
 	"vxml/internal/invindex"
 	"vxml/internal/pathindex"
-	"vxml/internal/qcache"
 	"vxml/internal/store"
 )
 
@@ -80,7 +79,7 @@ func LoadWithStats(dir string) (*Database, *LoadStats, error) {
 		Index:      indexed.Sub(parsed),
 		Total:      time.Since(start),
 	}
-	return &Database{engine: eng, cache: qcache.New(0)}, stats, nil
+	return newDatabase(eng), stats, nil
 }
 
 // OpenDisk opens a database over a disk-resident corpus directory written
@@ -109,7 +108,7 @@ func OpenDiskOptions(dir string, opts diskstore.Options) (*Database, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Database{engine: core.New(ds), cache: qcache.New(0)}, nil
+	return newDatabase(core.New(ds)), nil
 }
 
 // SaveDisk writes the corpus as a disk-resident, DAG-compressed store in

@@ -109,9 +109,9 @@ import (
 	"time"
 
 	"vxml/internal/baseline"
+	"vxml/internal/catalog"
 	"vxml/internal/core"
 	"vxml/internal/gtp"
-	"vxml/internal/qcache"
 	"vxml/internal/store"
 	"vxml/internal/xq"
 )
@@ -121,11 +121,20 @@ import (
 // package documentation for the locking discipline.
 type Database struct {
 	engine *core.Engine
-	cache  *qcache.Cache
+	// catalog is the engine's view catalog (never a separate instance):
+	// one generation counter and one artifact store serve the engine's
+	// planner tiers and this layer's exact result cache alike, so a
+	// mutation invalidates every tier atomically under its shard lock.
+	catalog *catalog.Catalog
+}
+
+// newDatabase wraps an engine, sharing its catalog.
+func newDatabase(eng *core.Engine) *Database {
+	return &Database{engine: eng, catalog: eng.Catalog}
 }
 
 // Open creates an empty database with a result cache of
-// qcache.DefaultCapacity entries and store.DefaultShardCount corpus
+// catalog.DefaultCapacity entries and store.DefaultShardCount corpus
 // shards.
 func Open() *Database {
 	return OpenShards(0)
@@ -136,25 +145,32 @@ func Open() *Database {
 // hash-assigned to shards by name; the shard count never affects query
 // results, only which ingests and searches contend.
 func OpenShards(n int) *Database {
-	return &Database{engine: core.New(store.NewSharded(n)), cache: qcache.New(0)}
+	return newDatabase(core.New(store.NewSharded(n)))
+}
+
+// SetPlanPolicy tunes the catalog's adaptive-materialization policy: a
+// view is promoted to fully materialized after promoteHits planned
+// searches since the last corpus change (doubling per demotion-churn
+// step), and skeletons plus materialized views together may hold
+// artifactBytes resident bytes. Non-positive values keep the current
+// setting. See docs/TUNING.md for guidance.
+func (db *Database) SetPlanPolicy(promoteHits, artifactBytes int) {
+	db.catalog.SetPolicy(promoteHits, artifactBytes)
 }
 
 // Add parses, stores and indexes an XML document under the given name
-// (referenced from views as fn:doc(name)). It invalidates the query-result
-// cache: every subsequent Search recomputes against the grown collection.
-// Adding a duplicate name returns an error wrapping ErrDuplicateDocument.
+// (referenced from views as fn:doc(name)). It invalidates the catalog —
+// the query-result cache and every planner artifact — so every subsequent
+// Search recomputes against the grown collection. Adding a duplicate name
+// returns an error wrapping ErrDuplicateDocument.
 //
-// The publication order is load-bearing: the document is registered first
-// and the cache invalidated second, so any cache entry computed against the
-// pre-Add collection is stale by the time the post-Add generation exists
-// (Search stamps its insert with the generation read before computing; see
-// qcache.PutAt).
+// The invalidation happens inside the engine, under the home shard's write
+// lock, so the registration and the generation bump are one atomic event:
+// any cache entry or artifact computed against the pre-Add collection is
+// stale by the time the post-Add generation exists (Search stamps its
+// insert with the generation read before computing; see catalog.PutAt).
 func (db *Database) Add(name, xmlText string) error {
-	if err := db.engine.AddXML(name, xmlText); err != nil {
-		return err
-	}
-	db.cache.Invalidate()
-	return nil
+	return db.engine.AddXML(name, xmlText)
 }
 
 // MustAdd is Add that panics on error, for tests and examples.
@@ -185,11 +201,7 @@ func (db *Database) ReplaceContext(ctx context.Context, name, xmlText string) er
 	if err := ctx.Err(); err != nil {
 		return fmt.Errorf("vxml: replace interrupted: %w", err)
 	}
-	if err := db.engine.ReplaceXML(name, xmlText); err != nil {
-		return err
-	}
-	db.cache.Invalidate()
-	return nil
+	return db.engine.ReplaceXML(name, xmlText)
 }
 
 // Delete removes the document registered under name. Every subsequent
@@ -208,11 +220,7 @@ func (db *Database) DeleteContext(ctx context.Context, name string) error {
 	if err := ctx.Err(); err != nil {
 		return fmt.Errorf("vxml: delete interrupted: %w", err)
 	}
-	if err := db.engine.Delete(name); err != nil {
-		return err
-	}
-	db.cache.Invalidate()
-	return nil
+	return db.engine.Delete(name)
 }
 
 // DocumentNames returns the names of all loaded documents.
@@ -237,8 +245,28 @@ func (db *Database) TotalBytes() int {
 // Stats.BaseData.
 func (db *Database) SubtreeFetches() int { return db.engine.Store.SubtreeFetches() }
 
-// CacheStats returns a snapshot of the query-result cache counters.
-func (db *Database) CacheStats() qcache.Stats { return db.cache.Stats() }
+// CacheStats returns a snapshot of the catalog counters: the exact
+// query-result cache plus the view registry and planner-tier statistics.
+func (db *Database) CacheStats() catalog.Stats { return db.catalog.Stats() }
+
+// PlanProbe reports which catalog tier would answer a cached (Cache: true)
+// conjunctive Efficient search over v with the given keywords, without
+// evaluating anything: "cache_hit" when the shared unpaged result-cache
+// entry is resident (exact and TopK-window queries are both served from
+// it), "materialized" or "rewritten" when the catalog holds that artifact
+// for the view, else "direct". viewID is the view's catalog ID ("" when it
+// is not registered). The probe mutates no counters and no LRU recency
+// beyond a cache touch, so it is safe to call from diagnostics surfaces.
+func (db *Database) PlanProbe(v *View, keywords []string) (source, viewID string) {
+	fullKey := catalog.Key(v.inner.Text, keywords,
+		catalog.IntPart(0),
+		catalog.BoolPart(false),
+		catalog.IntPart(int(Efficient)))
+	if _, ok := db.catalog.Probe(fullKey); ok {
+		return catalog.PlanCacheHit, db.catalog.IDOf(v.inner.Text)
+	}
+	return db.engine.PlanProbe(v.inner)
+}
 
 // ShardStats returns a snapshot of per-shard corpus counters (document
 // count and summed serialized bytes per shard).
@@ -318,7 +346,19 @@ type Options struct {
 	// caller's keyword forms. Cached and uncached paths return identical
 	// results; a hit sets Stats.CacheHit and reports the timings of the
 	// original computation.
+	//
+	// Cache also opts the search into the catalog planner (Efficient
+	// pipeline only): on an exact-entry miss the query may still be
+	// answered by rewriting — a TopK window sliced from a cached unranked
+	// entry, or a re-scored view skeleton — or from an adaptively
+	// materialized view, all byte-identical to direct evaluation.
+	// Stats.PlanSource reports which path answered.
 	Cache bool
+	// NoRewrite keeps the exact result cache active but disables the
+	// rewrite and materialized tiers (and artifact recording): a miss
+	// always evaluates directly. Benchmarks use it to isolate tier
+	// contributions; results are identical either way.
+	NoRewrite bool
 }
 
 // Approach selects the query processing pipeline.
@@ -360,6 +400,15 @@ type Stats struct {
 	// CacheHit reports that the response was served from the query-result
 	// cache; the timing fields then describe the original computation.
 	CacheHit bool
+	// PlanSource reports how the answer was produced: "direct" (full
+	// pipeline), "cache_hit" (exact result-cache entry), "rewritten"
+	// (window slice of a cached unranked entry, or a re-scored view
+	// skeleton), or "materialized" (adaptively materialized view). It
+	// describes the execution only — results are byte-identical across
+	// every source. PlanView is the catalog ID of the serving view
+	// ("" when the view is not in the catalog).
+	PlanSource string
+	PlanView   string
 	// Workers is the worker-pool size the search actually ran with (1 =
 	// sequential path; comparator pipelines always report 1). Candidates
 	// counts the documents the view resolved to and ShardsSearched the
@@ -446,21 +495,43 @@ func (db *Database) SearchContext(ctx context.Context, v *View, keywords []strin
 	}
 	// No lock spans the lookup-compute-insert sequence; instead the
 	// generation is read before computing and the insert is discarded if
-	// an Add bumped it in between (qcache.PutAt), so a result computed
+	// an Add bumped it in between (catalog.PutAt), so a result computed
 	// here can never be inserted at a generation newer than its data.
 	var key string
 	var gen int
 	if opts.Cache {
-		key = qcache.Key(v.inner.Text, keywords,
-			qcache.IntPart(opts.TopK),
-			qcache.BoolPart(opts.Disjunctive),
-			qcache.IntPart(int(opts.Approach)))
-		gen = db.cache.Gen()
-		if val, ok := db.cache.Get(key); ok {
+		key = catalog.Key(v.inner.Text, keywords,
+			catalog.IntPart(opts.TopK),
+			catalog.BoolPart(opts.Disjunctive),
+			catalog.IntPart(int(opts.Approach)))
+		gen = db.catalog.Gen()
+		if val, ok := db.catalog.Get(key); ok {
 			hit := val.(*cachedSearch)
 			stats := hit.stats
 			stats.CacheHit = true
+			stats.PlanSource = catalog.PlanCacheHit
+			stats.PlanView = db.catalog.IDOf(v.inner.Text)
 			return remapTF(hit.results, keywords), &stats, nil
+		}
+		// Window rewrite: a top-K ranking is a prefix of the full ranking
+		// (the heap's total order is the sort order), so a cached unranked
+		// TopK=0 entry answers any TopK>0 query over the same (view,
+		// keywords, semantics) by slicing — same ranks, scores, trees and
+		// snippets as a direct top-K search. The timing fields then
+		// describe the original full computation, like a cache hit's.
+		if opts.TopK > 0 && !opts.NoRewrite {
+			fullKey := catalog.Key(v.inner.Text, keywords,
+				catalog.IntPart(0),
+				catalog.BoolPart(opts.Disjunctive),
+				catalog.IntPart(int(opts.Approach)))
+			if val, ok := db.catalog.Probe(fullKey); ok {
+				hit := val.(*cachedSearch)
+				stats := hit.stats
+				stats.PlanSource = catalog.PlanRewritten
+				stats.PlanView = db.catalog.IDOf(v.inner.Text)
+				db.catalog.AccessPlanned(v.inner.Text, catalog.PlanRewritten)
+				return pageSlice(remapTF(hit.results, keywords), 0, opts.TopK), &stats, nil
+			}
 		}
 	}
 	out, stats, err := db.searchUncached(ctx, v, keywords, opts, 0)
@@ -469,7 +540,7 @@ func (db *Database) SearchContext(ctx context.Context, v *View, keywords []strin
 	}
 	if opts.Cache {
 		stored := storedResults(out)
-		db.cache.PutAt(key, &cachedSearch{results: stored, stats: *stats}, gen, resultsFootprint(stored))
+		db.catalog.PutAt(key, &cachedSearch{results: stored, stats: *stats}, gen, resultsFootprint(stored))
 	}
 	return out, stats, nil
 }
@@ -533,11 +604,14 @@ func (db *Database) searchUncached(ctx context.Context, v *View, keywords []stri
 	copts := core.Options{K: opts.TopK, Disjunctive: opts.Disjunctive, Parallelism: opts.Parallelism}
 	var (
 		results []core.Result
-		stats   = &Stats{Workers: 1}
+		stats   = &Stats{Workers: 1, PlanSource: catalog.PlanDirect}
 		err     error
 	)
 	switch opts.Approach {
 	case Efficient:
+		// Cache opts the search into the engine's planner tiers too; the
+		// comparator pipelines below always evaluate directly.
+		copts.Plan = opts.Cache && !opts.NoRewrite
 		var cs *core.Stats
 		results, cs, err = db.engine.SearchPage(ctx, v.inner, keywords, copts, pageOffset)
 		pageOffset = 0 // the engine already skipped the prefix
@@ -551,6 +625,8 @@ func (db *Database) searchUncached(ctx context.Context, v *View, keywords []stri
 			stats.Workers = cs.Workers
 			stats.Candidates = cs.Candidates
 			stats.ShardsSearched = cs.ShardsSearched
+			stats.PlanSource = cs.PlanSource
+			stats.PlanView = cs.PlanView
 		}
 	case Baseline:
 		var bs *baseline.Stats
@@ -690,15 +766,16 @@ func (db *Database) QueryContext(ctx context.Context, fullQuery string, opts *Op
 	var key string
 	var gen int
 	if opts.Cache {
-		key = qcache.Key("query:"+fullQuery, nil,
-			qcache.IntPart(opts.TopK),
-			qcache.IntPart(opts.Offset),
-			qcache.IntPart(int(opts.Approach)))
-		gen = db.cache.Gen()
-		if val, ok := db.cache.Get(key); ok {
+		key = catalog.Key("query:"+fullQuery, nil,
+			catalog.IntPart(opts.TopK),
+			catalog.IntPart(opts.Offset),
+			catalog.IntPart(int(opts.Approach)))
+		gen = db.catalog.Gen()
+		if val, ok := db.catalog.Get(key); ok {
 			hit := val.(*cachedSearch)
 			stats := hit.stats
 			stats.CacheHit = true
+			stats.PlanSource = catalog.PlanCacheHit
 			return copyResults(hit.results), &stats, nil
 		}
 	}
@@ -726,7 +803,7 @@ func (db *Database) QueryContext(ctx context.Context, fullQuery string, opts *Op
 	}
 	if opts.Cache {
 		stored := copyResults(out)
-		db.cache.PutAt(key, &cachedSearch{results: stored, stats: *stats}, gen, resultsFootprint(stored))
+		db.catalog.PutAt(key, &cachedSearch{results: stored, stats: *stats}, gen, resultsFootprint(stored))
 	}
 	return out, stats, nil
 }
